@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark measures wall-clock time with ``pytest-benchmark``; simulated
+network latency is charged to the simulated clock and reported separately
+where relevant, so the wall-clock numbers isolate processing cost the way the
+paper's Table 3 does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.core.trust_domain import TrustDomain
+from repro.enclave.tee import HardwareType
+from repro.enclave.vendor import HardwareVendor
+from repro.sandbox.programs import bls_share_module, bls_share_source
+from repro.sandbox.wvm_executor import WvmExecutor
+
+# The message and key share used by every Table 3 row, so all three execution
+# environments process the identical request.
+TABLE3_MESSAGE = b"transfer 10 BTC to cold storage"
+TABLE3_SHARE = 0x1F3A5C7E9B2D4F6081A3C5E7092B4D6F81A3C5E7092B4D6F81A3C5E7092B4D6F
+
+
+@pytest.fixture(scope="session")
+def table3_request():
+    """The (message_int, message_len, share, order) tuple all environments sign."""
+    from repro.crypto.bilinear import BLS_SCALAR_ORDER
+
+    return [
+        int.from_bytes(TABLE3_MESSAGE, "big"),
+        len(TABLE3_MESSAGE),
+        TABLE3_SHARE,
+        BLS_SCALAR_ORDER,
+    ]
+
+
+@pytest.fixture(scope="session")
+def sandbox_executor():
+    """The WVM sandbox loaded with the BLS signature-share application."""
+    return WvmExecutor(bls_share_module())
+
+
+@pytest.fixture(scope="session")
+def tee_domain():
+    """A Nitro-style trust domain running the same application behind vsock hops."""
+    developer = DeveloperIdentity("bench-developer")
+    domain = TrustDomain("bench-nitro", HardwareType.NITRO, developer.public_key,
+                         vendor=HardwareVendor("aws-nitro-sim"), use_vsock=True)
+    package = CodePackage("bls-custody", "1.0.0", "wvm", bls_share_source())
+    domain.install_update(developer.sign_update(package, 0), package)
+    return domain

@@ -1,0 +1,71 @@
+"""Ablation C — attestation cost per hardware type, and heterogeneity overhead.
+
+Measures evidence generation and verification for the Nitro-style document and
+the SGX-style quote, plus a full heterogeneous-vs-homogeneous deployment audit,
+quantifying what the paper's "use heterogeneous secure hardware" recommendation
+costs the client.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.enclave.attestation import AttestationVerifier
+from repro.enclave.measurement import measure_code
+from repro.enclave.nitro import NitroStyleEnclave
+from repro.enclave.sgx import SgxStyleEnclave
+from repro.enclave.vendor import HardwareVendor, VendorRegistry
+from repro.sandbox.programs import bls_share_source
+
+FRAMEWORK_CODE = b"benchmark framework image"
+EXPECTED = measure_code(FRAMEWORK_CODE, "framework")
+
+
+def make_enclaves():
+    nitro_vendor = HardwareVendor("aws-nitro-sim")
+    sgx_vendor = HardwareVendor("intel-sgx-sim")
+    registry = VendorRegistry([nitro_vendor, sgx_vendor])
+    nitro = NitroStyleEnclave("bench-nitro", nitro_vendor, FRAMEWORK_CODE, code_label="framework")
+    sgx = SgxStyleEnclave("bench-sgx", sgx_vendor, FRAMEWORK_CODE, code_label="framework")
+    return nitro, sgx, AttestationVerifier(registry)
+
+
+@pytest.mark.benchmark(group="ablation-attestation-generate")
+@pytest.mark.parametrize("hardware", ["nitro", "sgx"])
+def test_evidence_generation(benchmark, hardware):
+    """Time for an enclave to produce its attestation evidence."""
+    nitro, sgx, _ = make_enclaves()
+    enclave = nitro if hardware == "nitro" else sgx
+    evidence = benchmark(enclave.attest, b"\x07" * 32, b"bound state")
+    assert evidence.nonce == b"\x07" * 32
+
+
+@pytest.mark.benchmark(group="ablation-attestation-verify")
+@pytest.mark.parametrize("hardware", ["nitro", "sgx"])
+def test_evidence_verification(benchmark, hardware):
+    """Time for a client to verify one piece of attestation evidence."""
+    nitro, sgx, verifier = make_enclaves()
+    enclave = nitro if hardware == "nitro" else sgx
+    evidence = enclave.attest(b"\x07" * 32, b"bound state")
+    result = benchmark(verifier.verify, evidence, b"\x07" * 32, EXPECTED, b"bound state")
+    assert result.valid
+
+
+@pytest.mark.benchmark(group="ablation-heterogeneity")
+@pytest.mark.parametrize("heterogeneous", [True, False], ids=["heterogeneous", "homogeneous"])
+def test_deployment_audit_heterogeneous_vs_homogeneous(benchmark, heterogeneous):
+    """Full audit cost: mixed Nitro+SGX deployment vs. all-Nitro deployment."""
+    developer = DeveloperIdentity("bench-developer")
+    deployment = Deployment(
+        f"het-bench-{heterogeneous}", developer,
+        DeploymentConfig(num_domains=5, heterogeneous=heterogeneous),
+    )
+    deployment.publish_and_install(
+        CodePackage("bls-custody", "1.0.0", "wvm", bls_share_source())
+    )
+    client = AuditingClient(deployment.vendor_registry)
+    report = benchmark(client.audit_deployment, deployment)
+    assert report.ok

@@ -1,0 +1,60 @@
+"""Ablation A — client audit cost vs. deployment size and log length.
+
+The paper's auditability guarantee is only useful if audits are cheap enough
+to run routinely. This ablation measures the end-to-end client audit
+(attestation verification, log verification, cross-domain checks, release-log
+cross-check) as the number of trust domains grows and as the digest log grows
+with successive updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.sandbox.programs import bls_share_source
+
+
+def build_deployment(num_domains: int, num_updates: int = 1) -> Deployment:
+    developer = DeveloperIdentity("bench-developer")
+    deployment = Deployment(f"audit-bench-{num_domains}-{num_updates}", developer,
+                            DeploymentConfig(num_domains=num_domains))
+    for update in range(num_updates):
+        package = CodePackage("bls-custody", f"1.0.{update}", "wvm",
+                              bls_share_source() + f"\n; release {update}")
+        deployment.publish_and_install(package)
+    return deployment
+
+
+@pytest.mark.benchmark(group="ablation-audit-vs-domains")
+@pytest.mark.parametrize("num_domains", [2, 4, 8])
+def test_audit_cost_vs_domains(benchmark, num_domains):
+    """Full-deployment audit latency as the number of trust domains grows."""
+    deployment = build_deployment(num_domains)
+    client = AuditingClient(deployment.vendor_registry)
+    report = benchmark(client.audit_deployment, deployment)
+    assert report.ok
+    assert len(report.domain_results) == num_domains
+
+
+@pytest.mark.benchmark(group="ablation-audit-vs-log-length")
+@pytest.mark.parametrize("num_updates", [1, 8, 32])
+def test_audit_cost_vs_log_length(benchmark, num_updates):
+    """Audit latency as the per-domain digest log grows with code updates."""
+    deployment = build_deployment(3, num_updates=num_updates)
+    client = AuditingClient(deployment.vendor_registry)
+    report = benchmark(client.audit_deployment, deployment)
+    assert report.ok
+    assert all(result.log_length == num_updates for result in report.domain_results)
+
+
+@pytest.mark.benchmark(group="ablation-audit-single-domain")
+def test_single_domain_audit_cost(benchmark):
+    """Cost of auditing one enclave-backed domain (attestation + log check)."""
+    deployment = build_deployment(2)
+    client = AuditingClient(deployment.vendor_registry)
+    domain = deployment.domains[1]
+    result = benchmark(lambda: client.audit_domains([domain]))
+    assert result.ok

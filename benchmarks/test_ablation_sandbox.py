@@ -1,0 +1,85 @@
+"""Ablation D — sandbox interpretation and metering overhead.
+
+Quantifies the cost the WVM sandbox adds as a function of program size
+(modular exponentiation with growing exponents) and compares the WVM path with
+the restricted-Python sandbox and native execution for a small application
+handler, isolating where the Table 3 sandbox overhead comes from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sandbox.native import NativeExecutor
+from repro.sandbox.programs import fibonacci_module, modexp_module
+from repro.sandbox.pysandbox import PythonSandbox
+from repro.sandbox.wvm.vm import WvmLimits
+from repro.sandbox.wvm_executor import WvmExecutor
+
+MODULUS = 2**127 - 1
+
+
+@pytest.mark.benchmark(group="ablation-sandbox-modexp")
+@pytest.mark.parametrize("exponent_bits", [64, 256, 1024])
+def test_wvm_modexp_scaling(benchmark, exponent_bits):
+    """WVM interpretation cost scales linearly with the exponent bit length."""
+    executor = WvmExecutor(modexp_module(), limits=WvmLimits(max_fuel=100_000_000))
+    exponent = (1 << exponent_bits) - 1
+    result = benchmark(lambda: executor.invoke("modexp", [3, exponent, MODULUS]).value)
+    assert result == pow(3, exponent, MODULUS)
+
+
+@pytest.mark.benchmark(group="ablation-sandbox-vs-native")
+@pytest.mark.parametrize("environment", ["native", "wvm"])
+def test_modexp_native_vs_wvm(benchmark, environment):
+    """The same modular exponentiation natively and under the WVM."""
+    exponent = (1 << 256) - 1
+    if environment == "native":
+        def run():
+            result = 1
+            base = 3 % MODULUS
+            e = exponent
+            while e:
+                if e & 1:
+                    result = result * base % MODULUS
+                base = base * base % MODULUS
+                e >>= 1
+            return result
+    else:
+        executor = WvmExecutor(modexp_module(), limits=WvmLimits(max_fuel=100_000_000))
+
+        def run():
+            return executor.invoke("modexp", [3, exponent, MODULUS]).value
+
+    assert benchmark(run) == pow(3, exponent, MODULUS)
+
+
+@pytest.mark.benchmark(group="ablation-sandbox-python")
+@pytest.mark.parametrize("environment", ["native", "python-sandbox"])
+def test_python_handler_native_vs_sandboxed(benchmark, environment):
+    """A small request handler natively vs. inside the restricted Python sandbox."""
+    source = """
+def handle(method, params, state):
+    total = 0
+    for value in params["values"]:
+        total = total + value
+    return {"sum": total}
+"""
+    params = {"values": list(range(200))}
+    if environment == "native":
+        executor = NativeExecutor({
+            "handle": lambda p: {"sum": sum(p["values"])},
+        })
+        run = lambda: executor.invoke("handle", [params]).value  # noqa: E731
+    else:
+        sandbox = PythonSandbox(source)
+        run = lambda: sandbox.invoke("handle", params)  # noqa: E731
+    assert benchmark(run) == {"sum": sum(range(200))}
+
+
+@pytest.mark.benchmark(group="ablation-sandbox-fuel")
+def test_fuel_metering_overhead(benchmark):
+    """Fuel accounting cost, measured on a long pure-control-flow program."""
+    executor = WvmExecutor(fibonacci_module(), limits=WvmLimits(max_fuel=100_000_000))
+    result = benchmark(lambda: executor.invoke("fibonacci", [500]).value)
+    assert result > 0

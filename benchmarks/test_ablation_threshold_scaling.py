@@ -1,0 +1,44 @@
+"""Ablation B — threshold-signing latency vs. the number of signers.
+
+Sweeps (t, n) for the custody application: end-to-end signing time grows with
+the number of signature shares requested (each share is produced inside a
+different trust domain's sandbox) plus a combination step that is linear in t.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
+from repro.crypto.bls import BlsThresholdScheme
+
+
+@pytest.mark.benchmark(group="ablation-threshold-end-to-end")
+@pytest.mark.parametrize("threshold,num_signers", [(2, 3), (3, 5), (5, 8)])
+def test_end_to_end_signing_latency(benchmark, threshold, num_signers):
+    """Full custody signing (audit disabled) as (t, n) grows."""
+    service = CustodyDeployment(threshold=threshold, num_signers=num_signers,
+                                keygen_seed=b"threshold-bench")
+    client = CustodyClient(service, audit_before_use=False)
+    transaction = benchmark(client.sign_transaction, b"benchmark withdrawal")
+    assert client.verify(transaction)
+
+
+@pytest.mark.benchmark(group="ablation-threshold-combine")
+@pytest.mark.parametrize("threshold", [2, 4, 8, 16])
+def test_share_combination_cost(benchmark, threshold):
+    """Lagrange combination cost alone, isolated from the per-domain signing."""
+    scheme = BlsThresholdScheme(threshold, threshold)
+    public_key, shares = scheme.keygen(seed=b"combine-bench")
+    partials = [scheme.sign_share(share, b"message") for share in shares]
+    signature = benchmark(scheme.combine, partials)
+    assert scheme.verify(public_key, b"message", signature)
+
+
+@pytest.mark.benchmark(group="ablation-threshold-keygen")
+@pytest.mark.parametrize("num_signers", [3, 8, 16])
+def test_dealer_keygen_cost(benchmark, num_signers):
+    """Dealer-based key generation cost as n grows."""
+    scheme = BlsThresholdScheme(max(2, num_signers // 2), num_signers)
+    public_key, shares = benchmark(scheme.keygen)
+    assert len(shares) == num_signers

@@ -1,0 +1,83 @@
+"""Ablation E — code-update propagation cost and audit-path message overhead.
+
+Measures (a) the wall-clock processing cost of publishing and installing a
+signed update across a growing number of trust domains, and (b) the simulated
+end-to-end latency of pushing an update over networks with increasing one-way
+delay, exercising the RPC path clients and developers actually use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.net.latency import ConstantLatency
+from repro.net.rpc import RpcClient
+from repro.net.transport import Network
+from repro.sandbox.programs import bls_share_source
+
+
+def fresh_deployment(num_domains: int, name: str) -> Deployment:
+    developer = DeveloperIdentity("bench-developer")
+    deployment = Deployment(name, developer, DeploymentConfig(num_domains=num_domains))
+    deployment.publish_and_install(
+        CodePackage("bls-custody", "1.0.0", "wvm", bls_share_source())
+    )
+    return deployment
+
+
+@pytest.mark.benchmark(group="ablation-update-propagation")
+@pytest.mark.parametrize("num_domains", [2, 4, 8])
+def test_update_push_cost(benchmark, num_domains):
+    """Processing cost of signing, publishing, and installing one update everywhere."""
+    deployment = fresh_deployment(num_domains, f"update-bench-{num_domains}")
+    counter = {"n": 0}
+
+    def push_update():
+        counter["n"] += 1
+        package = CodePackage("bls-custody", f"1.0.{counter['n']}", "wvm",
+                              bls_share_source() + f"\n; update {counter['n']}")
+        return deployment.publish_and_install(package)
+
+    manifest = benchmark(push_update)
+    assert manifest.sequence >= 1
+
+
+@pytest.mark.benchmark(group="ablation-update-over-network")
+@pytest.mark.parametrize("one_way_latency_ms", [1, 10, 50])
+def test_update_over_network_latency(benchmark, one_way_latency_ms, capsys):
+    """Update push over RPC with increasing one-way network latency.
+
+    Wall-clock time (what pytest-benchmark reports) measures processing; the
+    simulated clock captures the latency a real WAN deployment would see, and
+    both are printed so the series can be compared against the latency sweep.
+    """
+    deployment = fresh_deployment(3, f"net-bench-{one_way_latency_ms}")
+    network = Network(default_latency=ConstantLatency(one_way_latency_ms / 1000.0))
+    deployment.attach_to_network(network)
+    developer = deployment.developer
+    clients = [
+        RpcClient(network, network.endpoint(f"developer-console-{one_way_latency_ms}-{i}"),
+                  domain.domain_id)
+        for i, domain in enumerate(deployment.domains)
+    ]
+    counter = {"n": 0}
+
+    def push_over_rpc():
+        counter["n"] += 1
+        package = CodePackage("bls-custody", f"2.0.{counter['n']}", "wvm",
+                              bls_share_source() + f"\n; networked update {counter['n']}")
+        manifest = developer.sign_update(package, deployment.current_sequence + counter["n"])
+        deployment.registry.publish(package, manifest)
+        for rpc in clients:
+            rpc.call("install_update", {"manifest": manifest.to_dict(),
+                                        "package": package.to_dict()})
+        return manifest
+
+    simulated_start = network.clock.now()
+    benchmark.pedantic(push_over_rpc, rounds=3, iterations=1)
+    simulated_elapsed = network.clock.now() - simulated_start
+    with capsys.disabled():
+        print(f"\n[ablation-update-over-network] one-way latency {one_way_latency_ms} ms -> "
+              f"simulated propagation {simulated_elapsed * 1000 / 3:.1f} ms per update push")

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments where PEP 660
+editable-wheel builds are unavailable (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Reflections on trusting distributed trust' (HotNets '22): "
+        "an auditable bootstrapping framework for distributed-trust systems."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,172 @@
+"""Secret-key backup across trust domains (the paper's Figure 1 application).
+
+A user splits a secret key (for end-to-end encrypted messaging, a
+cryptocurrency wallet, ...) into Shamir shares and stores one share in each
+trust domain. Even an attacker who steals the application developer's
+credentials cannot reassemble the key, because the shares held by
+enclave-backed domains live in isolated memory the developer cannot read.
+
+The sandboxed application code (``KEY_BACKUP_APP_SOURCE``) is deliberately
+simple — store a share, return it on request, delete on request — because the
+interesting guarantees come from the framework around it, not from the app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.crypto.shamir import Share, ShamirSecretSharing
+from repro.errors import ApplicationError, MisbehaviorDetected
+from repro.sim.adversary import DeveloperCompromise
+
+__all__ = ["KEY_BACKUP_APP_SOURCE", "KeyBackupDeployment", "KeyBackupClient"]
+
+KEY_BACKUP_APP_SOURCE = '''
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"shares": {}}
+
+def handle(method, params, state):
+    if method == "store_share":
+        user = params["user"]
+        if user in state["shares"] and not params.get("overwrite", False):
+            raise ValueError("share already stored for this user")
+        state["shares"][user] = {"index": params["index"], "value": params["value"]}
+        return {"stored": True}
+    if method == "fetch_share":
+        share = state["shares"].get(params["user"])
+        if share is None:
+            return {"found": False}
+        return {"found": True, "index": share["index"], "value": share["value"]}
+    if method == "delete_share":
+        existed = params["user"] in state["shares"]
+        if existed:
+            del state["shares"][params["user"]]
+        return {"deleted": existed}
+    if method == "count_users":
+        return {"users": len(state["shares"])}
+    raise ValueError("unknown method: " + method)
+'''
+
+APP_NAME = "key-backup"
+APP_VERSION = "1.0.0"
+
+
+class KeyBackupDeployment:
+    """The developer-side of the key-backup service."""
+
+    def __init__(self, developer: DeveloperIdentity | None = None, num_domains: int = 3,
+                 threshold: int | None = None):
+        if num_domains < 2:
+            raise ApplicationError("key backup needs at least two trust domains")
+        self.developer = developer or DeveloperIdentity("key-backup-developer")
+        self.deployment = Deployment(
+            APP_NAME, self.developer, DeploymentConfig(num_domains=num_domains)
+        )
+        self.threshold = threshold if threshold is not None else num_domains
+        if not 2 <= self.threshold <= num_domains:
+            raise ApplicationError("reconstruction threshold must be between 2 and num_domains")
+        package = CodePackage(APP_NAME, APP_VERSION, "python", KEY_BACKUP_APP_SOURCE)
+        self.deployment.publish_and_install(package)
+
+    @property
+    def num_domains(self) -> int:
+        """Number of trust domains holding shares."""
+        return len(self.deployment.domains)
+
+    def simulate_developer_compromise(self) -> dict:
+        """Run the Figure 1 attack: how many shares can a compromised developer read?
+
+        Returns a summary with the number of breached domains and whether the
+        attacker could reconstruct any user's key.
+        """
+        adversary = DeveloperCompromise(self.deployment)
+        outcome = adversary.attempt_memory_extraction(keys=["shares"])
+        return {
+            "breached_domains": outcome.domains_breached,
+            "resisted_domains": outcome.domains_resisted,
+            "shares_recoverable": outcome.breached_count,
+            "key_recoverable": outcome.breached_count >= self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class BackupReceipt:
+    """What the client keeps after backing up a key."""
+
+    user_id: str
+    threshold: int
+    num_domains: int
+
+
+class KeyBackupClient:
+    """The end-user side: audit, split, store, recover."""
+
+    def __init__(self, service: KeyBackupDeployment, audit_before_use: bool = True):
+        self.service = service
+        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        self.audit_before_use = audit_before_use
+        self.sharing = ShamirSecretSharing(service.threshold, service.num_domains)
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def audit(self):
+        """Audit the deployment; raises :class:`MisbehaviorDetected` on failure."""
+        return self.auditing_client.audit_or_raise(self.service.deployment)
+
+    # ------------------------------------------------------------------
+    # Backup / recovery
+    # ------------------------------------------------------------------
+    def backup_key(self, user_id: str, secret_key: int | bytes) -> BackupReceipt:
+        """Split ``secret_key`` and store one share in every trust domain."""
+        if self.audit_before_use:
+            self.audit()
+        shares = self.sharing.split(secret_key)
+        for domain_index, share in enumerate(shares):
+            result = self.service.deployment.invoke(domain_index, "store_share", {
+                "user": user_id,
+                "index": share.index,
+                "value": share.value,
+            })
+            if not result["value"]["stored"]:
+                raise ApplicationError(f"domain {domain_index} refused to store a share")
+        return BackupReceipt(user_id=user_id, threshold=self.service.threshold,
+                             num_domains=self.service.num_domains)
+
+    def recover_key(self, user_id: str, domain_indices: list[int] | None = None) -> int:
+        """Recover the key from any ``threshold`` trust domains."""
+        if self.audit_before_use:
+            self.audit()
+        if domain_indices is None:
+            domain_indices = list(range(self.service.threshold))
+        if len(domain_indices) < self.service.threshold:
+            raise ApplicationError(
+                f"need shares from at least {self.service.threshold} domains"
+            )
+        shares = []
+        for domain_index in domain_indices:
+            response = self.service.deployment.invoke(domain_index, "fetch_share",
+                                                      {"user": user_id})["value"]
+            if not response["found"]:
+                raise ApplicationError(f"domain {domain_index} has no share for {user_id!r}")
+            shares.append(Share(response["index"], response["value"]))
+        return self.sharing.reconstruct(shares)
+
+    def recover_key_bytes(self, user_id: str, length: int = 32) -> bytes:
+        """Recover the key and return it as fixed-length bytes."""
+        return self.recover_key(user_id).to_bytes(length, "big")
+
+    def delete_backup(self, user_id: str) -> int:
+        """Delete the user's shares everywhere; returns how many domains had one."""
+        deleted = 0
+        for domain_index in range(self.service.num_domains):
+            response = self.service.deployment.invoke(domain_index, "delete_share",
+                                                      {"user": user_id})["value"]
+            deleted += 1 if response["deleted"] else 0
+        return deleted

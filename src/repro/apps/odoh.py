@@ -1,0 +1,238 @@
+"""Oblivious DNS over a proxy/resolver split (the private-DNS deployments of §2).
+
+The paper surveys oblivious DNS over HTTPS: queries pass through a *proxy*
+(which learns who is asking but not what) to a *resolver* (which learns what is
+asked but not by whom), run by disjoint organizations. Here both roles are
+trust domains bootstrapped by the framework, so a single developer can stand
+the pair up and users can audit that the proxy really runs the published
+forward-only code.
+
+The client encrypts its query to the resolver's public key (ECDH over
+secp256k1 + HKDF-derived keystream + HMAC, i.e. a from-scratch ECIES-style
+construction), so the proxy forwards only opaque ciphertext.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.common import constant_time_equal
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.crypto.hashes import hkdf, hmac_sha256
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.crypto.secp256k1 import SECP256K1
+from repro.errors import ApplicationError
+from repro.wire.codec import decode, encode
+
+__all__ = ["ObliviousDnsDeployment", "ObliviousDnsClient", "PROXY_APP_SOURCE", "RESOLVER_APP_SOURCE"]
+
+PROXY_APP_SOURCE = '''
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"forwarded": 0, "seen_queries": []}
+
+def handle(method, params, state):
+    if method == "forward":
+        # The proxy sees only opaque ciphertext; it records how much it
+        # forwarded (billing) but cannot record query names.
+        state["forwarded"] = state["forwarded"] + 1
+        state["seen_queries"].append(len(params["ciphertext"]))
+        return {"relayed": True, "ciphertext": params["ciphertext"],
+                "ephemeral_key": params["ephemeral_key"], "tag": params["tag"]}
+    if method == "stats":
+        return {"forwarded": state["forwarded"]}
+    raise ValueError("unknown method: " + method)
+'''
+
+RESOLVER_APP_SOURCE = '''
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"records": config.get("records", {}), "resolved": 0}
+
+def handle(method, params, state):
+    if method == "load_records":
+        for name, address in params["records"].items():
+            state["records"][name] = address
+        return {"loaded": len(params["records"])}
+    if method == "resolve_plaintext":
+        # Called by the resolver-side framework after decryption.
+        state["resolved"] = state["resolved"] + 1
+        address = state["records"].get(params["name"])
+        return {"found": address is not None, "address": address}
+    if method == "stats":
+        return {"resolved": state["resolved"]}
+    raise ValueError("unknown method: " + method)
+'''
+
+APP_VERSION = "1.0.0"
+PROXY_DOMAIN = 0
+RESOLVER_DOMAIN = 1
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """The decrypted answer the client ends up with."""
+
+    name: str
+    found: bool
+    address: str | None
+
+
+class ObliviousDnsDeployment:
+    """Operator side: one proxy domain and one resolver domain.
+
+    The resolver's decryption key pair is generated at deployment time; its
+    public half is what clients encrypt queries to. (In a full ODoH deployment
+    the key would live inside the resolver enclave; the simulation keeps it in
+    the deployment object and performs decryption on the resolver's behalf —
+    the privacy split between proxy and resolver is unaffected.)
+    """
+
+    def __init__(self, records: dict[str, str] | None = None,
+                 developer: DeveloperIdentity | None = None):
+        self.developer = developer or DeveloperIdentity("odoh-developer")
+        self.deployment = Deployment(
+            "oblivious-dns", self.developer,
+            DeploymentConfig(num_domains=2, include_developer_domain=False),
+        )
+        proxy_package = CodePackage("odoh-proxy", APP_VERSION, "python", PROXY_APP_SOURCE)
+        resolver_package = CodePackage("odoh-resolver", APP_VERSION, "python", RESOLVER_APP_SOURCE)
+        # The proxy and resolver are distinct applications; publish both and
+        # install each on its own domain.
+        proxy_manifest = self.developer.sign_update(proxy_package, 0)
+        self.deployment.registry.publish(proxy_package, proxy_manifest)
+        self.deployment.release_log.append(encode(proxy_manifest.to_dict()))
+        self.deployment.install_on_domain(PROXY_DOMAIN, proxy_manifest, proxy_package)
+
+        resolver_manifest = self.developer.sign_update(resolver_package, 0)
+        self.deployment.registry.publish(resolver_package, resolver_manifest)
+        self.deployment.release_log.append(encode(resolver_manifest.to_dict()))
+        self.deployment.install_on_domain(RESOLVER_DOMAIN, resolver_manifest, resolver_package)
+
+        self._resolver_key = SigningKey.generate()
+        if records:
+            self.load_records(records)
+
+    # ------------------------------------------------------------------
+    # Operator actions
+    # ------------------------------------------------------------------
+    @property
+    def resolver_public_key(self) -> VerifyingKey:
+        """The key clients encrypt queries to."""
+        return self._resolver_key.verifying_key()
+
+    def load_records(self, records: dict[str, str]) -> int:
+        """Load name→address records into the resolver."""
+        response = self.deployment.invoke(RESOLVER_DOMAIN, "load_records",
+                                          {"records": records})["value"]
+        return response["loaded"]
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def handle_query(self, envelope: dict) -> dict:
+        """Carry one encrypted query: client → proxy → resolver → back.
+
+        The proxy only forwards; the resolver decrypts and answers. The
+        response travels back encrypted under the same shared secret.
+        """
+        relayed = self.deployment.invoke(PROXY_DOMAIN, "forward", envelope)["value"]
+        name = self._decrypt_query(relayed)
+        answer = self.deployment.invoke(RESOLVER_DOMAIN, "resolve_plaintext",
+                                        {"name": name})["value"]
+        return self._encrypt_response(relayed, answer)
+
+    def _shared_key(self, ephemeral_public: bytes) -> bytes:
+        point = SECP256K1.decode_point(ephemeral_public)
+        shared_point = SECP256K1.multiply(point, self._resolver_key.scalar)
+        return hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
+
+    def _decrypt_query(self, envelope: dict) -> str:
+        key = self._shared_key(bytes(envelope["ephemeral_key"]))
+        ciphertext = bytes(envelope["ciphertext"])
+        expected_tag = hmac_sha256(key, ciphertext)
+        if not constant_time_equal(expected_tag, bytes(envelope["tag"])):
+            raise ApplicationError("query failed authentication at the resolver")
+        stream = hkdf(key, info=b"repro/odoh/query-stream", length=len(ciphertext))
+        plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
+        return decode(plaintext)["name"]
+
+    def _encrypt_response(self, envelope: dict, answer: dict) -> dict:
+        key = self._shared_key(bytes(envelope["ephemeral_key"]))
+        plaintext = encode(answer)
+        stream = hkdf(key, info=b"repro/odoh/response-stream", length=len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return {"ciphertext": ciphertext, "tag": hmac_sha256(key, ciphertext)}
+
+    # ------------------------------------------------------------------
+    # What each party observed (for the privacy tests)
+    # ------------------------------------------------------------------
+    def proxy_observations(self) -> dict:
+        """What the proxy saw (counts only — it never sees names)."""
+        return self.deployment.invoke(PROXY_DOMAIN, "stats", {})["value"]
+
+    def resolver_observations(self) -> dict:
+        """What the resolver saw (query counts; it never sees client identity)."""
+        return self.deployment.invoke(RESOLVER_DOMAIN, "stats", {})["value"]
+
+
+class ObliviousDnsClient:
+    """The stub resolver on the user's machine."""
+
+    def __init__(self, service: ObliviousDnsDeployment, audit_before_use: bool = True):
+        self.service = service
+        self.auditing_client = AuditingClient(
+            service.deployment.vendor_registry,
+            require_attestation_from_all_enclaves=True,
+        )
+        self.audit_before_use = audit_before_use
+        self._audited = False
+
+    def audit(self):
+        """Audit both the proxy and resolver domains.
+
+        The proxy and resolver intentionally run *different* published
+        applications, so the cross-domain same-digest check does not apply;
+        the client audits each domain individually instead.
+        """
+        report = self.auditing_client.audit_domains([self.service.deployment.domains[PROXY_DOMAIN]])
+        report_resolver = self.auditing_client.audit_domains(
+            [self.service.deployment.domains[RESOLVER_DOMAIN]]
+        )
+        if not (report.ok and report_resolver.ok):
+            raise ApplicationError("oblivious DNS deployment failed its audit")
+        self._audited = True
+        return report, report_resolver
+
+    def resolve(self, name: str) -> DnsResponse:
+        """Resolve ``name`` without the proxy learning it."""
+        if self.audit_before_use and not self._audited:
+            self.audit()
+        ephemeral = SigningKey.generate()
+        shared_point = SECP256K1.multiply(self.service.resolver_public_key.point, ephemeral.scalar)
+        key = hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
+        plaintext = encode({"name": name, "padding": secrets.token_bytes(16)})
+        stream = hkdf(key, info=b"repro/odoh/query-stream", length=len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        envelope = {
+            "ciphertext": ciphertext,
+            "ephemeral_key": ephemeral.verifying_key().to_bytes(),
+            "tag": hmac_sha256(key, ciphertext),
+        }
+        encrypted_response = self.service.handle_query(envelope)
+        response_stream = hkdf(key, info=b"repro/odoh/response-stream",
+                               length=len(encrypted_response["ciphertext"]))
+        expected_tag = hmac_sha256(key, encrypted_response["ciphertext"])
+        if not constant_time_equal(expected_tag, encrypted_response["tag"]):
+            raise ApplicationError("response failed authentication at the client")
+        answer = decode(bytes(
+            c ^ s for c, s in zip(encrypted_response["ciphertext"], response_stream)
+        ))
+        return DnsResponse(name=name, found=answer["found"], address=answer["address"])

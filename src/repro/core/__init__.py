@@ -1,0 +1,59 @@
+"""The paper's primary contribution: an auditable bootstrapping framework.
+
+The pieces map directly onto §3–§4 of the paper:
+
+* :mod:`repro.core.package` — application code packages and the signed update
+  manifests the developer ships;
+* :mod:`repro.core.framework` — the application-independent framework sealed
+  into every TEE: it verifies update signatures against the sealed developer
+  key, runs application code inside a sandbox, maintains the per-TEE digest
+  log, announces updates to clients before switching, and answers attestation
+  and audit queries;
+* :mod:`repro.core.trust_domain` — one trust domain: a (simulated) enclave
+  running the framework behind vsock-style socket hops, exposed over RPC;
+  trust domain 0 runs the same framework without secure hardware;
+* :mod:`repro.core.deployment` — the developer-side orchestrator that stands
+  up ``n`` heterogeneous trust domains, publishes releases to a CT-style log
+  and a source registry, and pushes signed updates;
+* :mod:`repro.core.client` — the auditing client: attest every domain, verify
+  digest logs against attested heads, cross-check domains against each other
+  and against the public release log;
+* :mod:`repro.core.auditor` — a third-party auditor built from the same
+  checks plus source-code inspection and log monitoring;
+* :mod:`repro.core.evidence` — publicly verifiable misbehavior evidence.
+"""
+
+from repro.core.package import CodePackage, DeveloperIdentity, UpdateManifest
+from repro.core.framework import FrameworkState, TrustDomainFramework, UpdateAnnouncement, framework_source
+from repro.core.trust_domain import TrustDomain
+from repro.core.deployment import Deployment, DeploymentConfig
+from repro.core.client import AuditReport, AuditingClient, DomainAuditResult
+from repro.core.auditor import AuditorFinding, ThirdPartyAuditor
+from repro.core.evidence import (
+    DigestMismatchEvidence,
+    LogMismatchEvidence,
+    MisbehaviorEvidence,
+)
+from repro.core.registry import ReleaseRegistry
+
+__all__ = [
+    "CodePackage",
+    "DeveloperIdentity",
+    "UpdateManifest",
+    "TrustDomainFramework",
+    "FrameworkState",
+    "UpdateAnnouncement",
+    "framework_source",
+    "TrustDomain",
+    "Deployment",
+    "DeploymentConfig",
+    "AuditingClient",
+    "AuditReport",
+    "DomainAuditResult",
+    "ThirdPartyAuditor",
+    "AuditorFinding",
+    "MisbehaviorEvidence",
+    "DigestMismatchEvidence",
+    "LogMismatchEvidence",
+    "ReleaseRegistry",
+]

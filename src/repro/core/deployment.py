@@ -1,0 +1,189 @@
+"""Deployment orchestration — what the (non-expert) developer actually runs.
+
+The paper's goal is that a single developer can "efficiently and cheaply set
+up any distributed-trust system in a publicly auditable way" using existing
+cloud TEE offerings and transparency-log infrastructure, with no human-level
+cross-organization coordination. :class:`Deployment` is that workflow in code:
+
+1. pick how many trust domains to run and on which (heterogeneous) hardware;
+2. stand them up — each one is an enclave measured over the published
+   framework source, with the developer's update-verification key sealed in;
+3. publish each application release to the source registry and the CT-style
+   release log;
+4. push the signed update to every domain;
+5. hand clients everything they need to audit: vendor roots, the expected
+   framework measurement, the release log key, and the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.package import CodePackage, DeveloperIdentity, UpdateManifest
+from repro.core.registry import ReleaseRegistry
+from repro.core.trust_domain import TrustDomain
+from repro.core.framework import framework_source
+from repro.enclave.tee import HardwareType
+from repro.enclave.vendor import HardwareVendor, VendorRegistry
+from repro.errors import DeploymentError
+from repro.net.clock import SimClock
+from repro.net.rpc import RpcServer
+from repro.net.transport import Network
+from repro.transparency.ct_log import CtLog
+from repro.wire.codec import encode
+
+__all__ = ["DeploymentConfig", "Deployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """How a deployment should be laid out.
+
+    Attributes:
+        num_domains: total trust domains, including the developer-run
+            "trust domain 0" (so the paper's Figure 2 is ``num_domains=2``).
+        include_developer_domain: whether domain 0 runs without secure
+            hardware on the developer's own infrastructure.
+        heterogeneous: alternate hardware vendors across enclave-backed
+            domains (the paper's recommendation); otherwise every enclave
+            domain uses the first vendor.
+        use_vsock: route enclave requests through the vsock-style socket hops.
+    """
+
+    num_domains: int = 2
+    include_developer_domain: bool = True
+    heterogeneous: bool = True
+    use_vsock: bool = True
+
+    def __post_init__(self):
+        if self.num_domains < 1:
+            raise DeploymentError("a deployment needs at least one trust domain")
+        if self.num_domains < 2:
+            # A single domain is allowed for micro-benchmarks, but it cannot
+            # distribute trust; deployments used by the applications check
+            # their own threshold requirements.
+            pass
+
+
+class Deployment:
+    """A running distributed-trust deployment plus its public audit artifacts."""
+
+    def __init__(self, name: str, developer: DeveloperIdentity,
+                 config: DeploymentConfig | None = None,
+                 vendors: list[HardwareVendor] | None = None,
+                 clock: SimClock | None = None):
+        self.name = name
+        self.developer = developer
+        self.config = config or DeploymentConfig()
+        self.clock = clock or SimClock()
+        self.vendors = vendors or [HardwareVendor("aws-nitro-sim"), HardwareVendor("intel-sgx-sim")]
+        self.vendor_registry = VendorRegistry(self.vendors)
+        self.registry = ReleaseRegistry(framework_source())
+        self.release_log = CtLog(f"{name}-releases")
+        self.domains: list[TrustDomain] = []
+        self._sequence = -1
+        self._build_domains()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_domains(self) -> None:
+        hardware_cycle = [HardwareType.NITRO, HardwareType.SGX]
+        enclave_index = 0
+        for index in range(self.config.num_domains):
+            domain_id = f"{self.name}-domain-{index}"
+            if index == 0 and self.config.include_developer_domain:
+                domain = TrustDomain(
+                    domain_id, HardwareType.NONE, self.developer.public_key, clock=self.clock
+                )
+            else:
+                if self.config.heterogeneous:
+                    hardware = hardware_cycle[enclave_index % len(hardware_cycle)]
+                else:
+                    hardware = HardwareType.NITRO
+                vendor = self._vendor_for(hardware)
+                domain = TrustDomain(
+                    domain_id, hardware, self.developer.public_key, vendor=vendor,
+                    clock=self.clock, use_vsock=self.config.use_vsock,
+                )
+                enclave_index += 1
+            self.domains.append(domain)
+
+    def _vendor_for(self, hardware: HardwareType) -> HardwareVendor:
+        wanted = "aws-nitro-sim" if hardware == HardwareType.NITRO else "intel-sgx-sim"
+        for vendor in self.vendors:
+            if vendor.name == wanted:
+                return vendor
+        return self.vendors[0]
+
+    # ------------------------------------------------------------------
+    # Release and update workflow
+    # ------------------------------------------------------------------
+    def publish_and_install(self, package: CodePackage) -> UpdateManifest:
+        """Publish a release publicly and install it on every trust domain.
+
+        Returns the signed manifest. Raises if any domain rejects the update —
+        a deployment must never be left half-updated silently.
+        """
+        manifest = self.developer.sign_update(package, self._sequence + 1)
+        self.registry.publish(package, manifest)
+        self.release_log.append(encode(manifest.to_dict()))
+        for domain in self.domains:
+            domain.install_update(manifest, package)
+        self._sequence = manifest.sequence
+        return manifest
+
+    def install_on_domain(self, domain_index: int, manifest: UpdateManifest,
+                          package: CodePackage) -> dict:
+        """Install a specific (already signed) update on one domain only.
+
+        Used by experiments that model partially applied or malicious updates.
+        """
+        return self.domains[domain_index].install_update(manifest, package)
+
+    # ------------------------------------------------------------------
+    # Application access
+    # ------------------------------------------------------------------
+    def invoke(self, domain_index: int, entry: str, params) -> dict:
+        """Invoke the application on one specific trust domain."""
+        return self.domains[domain_index].invoke_application(entry, params)
+
+    def invoke_all(self, entry: str, params) -> list[dict]:
+        """Invoke the application on every trust domain (e.g. collect shares)."""
+        return [domain.invoke_application(entry, params) for domain in self.domains]
+
+    # ------------------------------------------------------------------
+    # Audit artifacts clients need
+    # ------------------------------------------------------------------
+    @property
+    def current_sequence(self) -> int:
+        """Sequence number of the most recent release (-1 before any release)."""
+        return self._sequence
+
+    def enclave_domains(self) -> list[TrustDomain]:
+        """The domains backed by secure hardware."""
+        return [domain for domain in self.domains if domain.enclave is not None]
+
+    def hardware_census(self) -> dict:
+        """How many domains run on each hardware type (for ablation reporting)."""
+        census: dict[str, int] = {}
+        for domain in self.domains:
+            census[domain.hardware_type.value] = census.get(domain.hardware_type.value, 0) + 1
+        return census
+
+    # ------------------------------------------------------------------
+    # Networked access (optional)
+    # ------------------------------------------------------------------
+    def attach_to_network(self, network: Network) -> dict[str, RpcServer]:
+        """Expose every trust domain as an RPC server on a simulated network.
+
+        Returns a mapping of domain id to its RPC server; endpoint addresses
+        equal the domain ids.
+        """
+        servers: dict[str, RpcServer] = {}
+        for domain in self.domains:
+            endpoint = network.endpoint(domain.domain_id)
+            server = RpcServer(endpoint, name=domain.domain_id)
+            domain.register_rpc(server)
+            servers[domain.domain_id] = server
+        return servers

@@ -1,0 +1,128 @@
+"""Publicly verifiable misbehavior evidence.
+
+The paper's central guarantee is not "nothing bad can happen" but "the user
+will be able to detect whenever the system does not execute the expected code
+... and the user will obtain a publicly verifiable proof of misbehavior" (§1).
+These classes are those proofs: each bundles the signed artifacts (attestation
+evidence, exported logs, tree heads) that contradict each other, and exposes a
+``verify`` method any third party can run with only public keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enclave.attestation import AttestationVerifier
+from repro.enclave.measurement import Measurement
+from repro.errors import LogError
+from repro.transparency.log import DigestLog
+
+__all__ = [
+    "MisbehaviorEvidence",
+    "DigestMismatchEvidence",
+    "LogMismatchEvidence",
+    "AttestationFailureEvidence",
+]
+
+
+@dataclass(frozen=True)
+class MisbehaviorEvidence:
+    """Base class: a labelled, self-describing piece of evidence."""
+
+    kind: str
+    description: str
+
+    def verify(self, verifier: AttestationVerifier,
+               expected_measurement: Measurement | None = None) -> bool:
+        """Re-check the evidence from its constituent artifacts."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DigestMismatchEvidence(MisbehaviorEvidence):
+    """Two trust domains attested to different current code digests.
+
+    Attributes:
+        first_domain / second_domain: domain identifiers.
+        first_response / second_response: the full audit responses (attestation
+            evidence dict, reported digest, nonce) returned by each domain.
+    """
+
+    first_domain: str = ""
+    second_domain: str = ""
+    first_response: dict = field(default_factory=dict)
+    second_response: dict = field(default_factory=dict)
+
+    def verify(self, verifier: AttestationVerifier,
+               expected_measurement: Measurement | None = None) -> bool:
+        """Both attestations must be genuine and their reported digests must differ."""
+        first_ok = self._attested_digest(verifier, self.first_response, expected_measurement)
+        second_ok = self._attested_digest(verifier, self.second_response, expected_measurement)
+        if first_ok is None or second_ok is None:
+            return False
+        return first_ok != second_ok
+
+    @staticmethod
+    def _attested_digest(verifier: AttestationVerifier, response: dict,
+                         expected_measurement: Measurement | None):
+        evidence = response.get("attestation")
+        nonce = response.get("nonce", b"")
+        user_data = response.get("user_data", b"")
+        if evidence is None:
+            return None
+        result = verifier.verify(evidence, nonce, expected_measurement, user_data=user_data)
+        if not result:
+            return None
+        return bytes(response.get("app_digest", b""))
+
+
+@dataclass(frozen=True)
+class LogMismatchEvidence(MisbehaviorEvidence):
+    """A trust domain's exported digest log contradicts its attested log head.
+
+    Attributes:
+        domain_id: the offending domain.
+        exported_log: the log entries the domain served.
+        attested_head: the chain head bound into the attestation user data.
+    """
+
+    domain_id: str = ""
+    exported_log: list = field(default_factory=list)
+    attested_head: bytes = b""
+
+    def verify(self, verifier: AttestationVerifier,
+               expected_measurement: Measurement | None = None) -> bool:
+        """The export must fail to re-verify against the attested head."""
+        try:
+            DigestLog.verify_export(self.exported_log, self.attested_head)
+        except LogError:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AttestationFailureEvidence(MisbehaviorEvidence):
+    """A trust domain returned attestation evidence that does not verify.
+
+    This covers wrong framework measurements (the domain is not running the
+    published framework), stale nonces (replay), and untrusted hardware roots.
+    """
+
+    domain_id: str = ""
+    response: dict = field(default_factory=dict)
+    expected_measurement_digest: bytes = b""
+    failure_reason: str = ""
+
+    def verify(self, verifier: AttestationVerifier,
+               expected_measurement: Measurement | None = None) -> bool:
+        """The recorded evidence must still fail verification when re-checked."""
+        evidence = self.response.get("attestation")
+        if evidence is None:
+            return True  # refusing to attest at all is itself misbehavior
+        result = verifier.verify(
+            evidence,
+            self.response.get("nonce", b""),
+            expected_measurement,
+            user_data=self.response.get("user_data", b""),
+        )
+        return not result.valid

@@ -1,0 +1,94 @@
+"""The open-source release registry.
+
+The paper requires the developer to "publish her code to allow clients and
+third-party auditors to inspect it and check that it hashes to the value
+provided by the TEEs" (§1, §3.3). The registry is that publication point: it
+stores every released package (and the framework's own source), keyed by
+digest, alongside the signed update manifest that introduced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.package import CodePackage, UpdateManifest
+from repro.errors import AuditError
+
+__all__ = ["ReleaseRecord", "ReleaseRegistry"]
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """One published release: the package source plus its signed manifest."""
+
+    package: CodePackage
+    manifest: UpdateManifest
+
+
+class ReleaseRegistry:
+    """Where the developer publishes source code for public inspection."""
+
+    def __init__(self, framework_source_text: str):
+        self._framework_source = framework_source_text
+        self._releases: dict[bytes, ReleaseRecord] = {}
+        self._by_version: dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Developer side
+    # ------------------------------------------------------------------
+    def publish(self, package: CodePackage, manifest: UpdateManifest) -> bytes:
+        """Publish a release; returns the package digest.
+
+        Raises:
+            AuditError: the manifest does not describe this package.
+        """
+        digest = package.digest()
+        if manifest.package_digest != digest:
+            raise AuditError("manifest digest does not match the published package")
+        if manifest.version != package.version or manifest.package_name != package.name:
+            raise AuditError("manifest metadata does not match the published package")
+        self._releases[digest] = ReleaseRecord(package, manifest)
+        self._by_version[package.version] = digest
+        return digest
+
+    # ------------------------------------------------------------------
+    # Public (client / auditor) side
+    # ------------------------------------------------------------------
+    def framework_source(self) -> str:
+        """The published source of the application-independent framework."""
+        return self._framework_source
+
+    def lookup(self, digest: bytes) -> ReleaseRecord:
+        """Fetch the release whose package hashes to ``digest``."""
+        record = self._releases.get(bytes(digest))
+        if record is None:
+            raise AuditError(f"no published release with digest {bytes(digest).hex()[:16]}...")
+        return record
+
+    def lookup_version(self, version: str) -> ReleaseRecord:
+        """Fetch a release by version string."""
+        digest = self._by_version.get(version)
+        if digest is None:
+            raise AuditError(f"no published release with version {version!r}")
+        return self._releases[digest]
+
+    def versions(self) -> list[str]:
+        """All published versions."""
+        return sorted(self._by_version)
+
+    def digests(self) -> list[bytes]:
+        """All published package digests."""
+        return list(self._releases)
+
+    def contains(self, digest: bytes) -> bool:
+        """Whether a digest corresponds to a published release."""
+        return bytes(digest) in self._releases
+
+    def verify_source(self, digest: bytes) -> bool:
+        """Recompute the digest of the published source and compare.
+
+        This is the auditor's "does the published code hash to the value the
+        TEEs reported" check.
+        """
+        record = self.lookup(digest)
+        return record.package.digest() == bytes(digest)

@@ -1,0 +1,84 @@
+"""ECDSA signatures over secp256k1.
+
+The simulated hardware vendors (AWS-Nitro-style and SGX-style roots of trust in
+:mod:`repro.enclave.vendor`) sign attestation documents with ECDSA, mirroring
+the signature schemes the real services use. Nonces are derived
+deterministically from the key and message so attestation documents are
+reproducible in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256, tagged_hash
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.crypto.secp256k1 import SECP256K1
+from repro.errors import CryptoError
+
+__all__ = ["EcdsaSignature", "ecdsa_sign", "ecdsa_verify"]
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An ECDSA signature ``(r, s)`` with low-s normalization applied."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``r (32 bytes) || s (32 bytes)``."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EcdsaSignature":
+        """Deserialize a signature produced by :meth:`to_bytes`."""
+        if len(data) != 64:
+            raise CryptoError("ecdsa signature must be 64 bytes")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+def _message_scalar(message: bytes) -> int:
+    return int.from_bytes(sha256(message), "big") % SECP256K1.n
+
+
+def ecdsa_sign(key: SigningKey, message: bytes) -> EcdsaSignature:
+    """Sign ``message`` with deterministic-nonce ECDSA."""
+    z = _message_scalar(message)
+    counter = 0
+    while True:
+        nonce_digest = tagged_hash(
+            "repro/ecdsa-nonce", key.to_bytes(), message, counter.to_bytes(4, "big")
+        )
+        k = int.from_bytes(nonce_digest, "big") % SECP256K1.n
+        counter += 1
+        if k == 0:
+            continue
+        point = SECP256K1.generator_multiply(k)
+        r = point.x % SECP256K1.n
+        if r == 0:
+            continue
+        s = (pow(k, -1, SECP256K1.n) * (z + r * key.scalar)) % SECP256K1.n
+        if s == 0:
+            continue
+        if s > SECP256K1.n // 2:
+            s = SECP256K1.n - s
+        return EcdsaSignature(r, s)
+
+
+def ecdsa_verify(key: VerifyingKey, message: bytes, signature: EcdsaSignature) -> bool:
+    """Verify an ECDSA signature; returns ``False`` on any failure."""
+    r, s = signature.r, signature.s
+    if not (1 <= r < SECP256K1.n and 1 <= s < SECP256K1.n):
+        return False
+    z = _message_scalar(message)
+    s_inv = pow(s, -1, SECP256K1.n)
+    u1 = z * s_inv % SECP256K1.n
+    u2 = r * s_inv % SECP256K1.n
+    point = SECP256K1.add(
+        SECP256K1.generator_multiply(u1),
+        SECP256K1.multiply(key.point, u2),
+    )
+    if point.is_infinity:
+        return False
+    return point.x % SECP256K1.n == r

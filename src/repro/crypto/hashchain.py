@@ -1,0 +1,125 @@
+"""A hash chain — the per-TEE append-only log primitive from the paper (§4.1).
+
+Each simulated TEE maintains an append-only log of code digests "implemented at
+each TEE as a hash chain". Every entry commits to the previous entry's head, so
+removing or editing history changes every subsequent head and is detectable by
+any client that remembers an earlier head (the same check certificate
+transparency clients perform on signed tree heads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.crypto.hashes import sha256
+from repro.errors import LogError
+
+__all__ = ["ChainEntry", "HashChain"]
+
+GENESIS_HEAD = sha256(b"repro/hashchain/genesis")
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One hash-chain entry: payload plus the head it produced."""
+
+    index: int
+    payload: bytes
+    previous_head: bytes
+    head: bytes
+
+    @staticmethod
+    def compute_head(index: int, payload: bytes, previous_head: bytes) -> bytes:
+        """Head = SHA-256(index || previous_head || payload)."""
+        return sha256(index.to_bytes(8, "big"), previous_head, payload)
+
+    def verify_link(self) -> bool:
+        """Check that this entry's head matches its contents."""
+        return self.head == self.compute_head(self.index, self.payload, self.previous_head)
+
+
+class HashChain:
+    """An append-only hash chain over byte-string payloads."""
+
+    def __init__(self):
+        self._entries: list[ChainEntry] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> ChainEntry:
+        """Append a payload and return the new entry."""
+        index = len(self._entries)
+        previous_head = self.head()
+        head = ChainEntry.compute_head(index, payload, previous_head)
+        entry = ChainEntry(index, bytes(payload), previous_head, head)
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ChainEntry]:
+        return iter(self._entries)
+
+    def head(self) -> bytes:
+        """The current chain head (a fixed genesis value for the empty chain)."""
+        if not self._entries:
+            return GENESIS_HEAD
+        return self._entries[-1].head
+
+    def entry(self, index: int) -> ChainEntry:
+        """Return the entry at ``index``; raises :class:`LogError` if absent."""
+        if not 0 <= index < len(self._entries):
+            raise LogError(f"hash chain has no entry {index}")
+        return self._entries[index]
+
+    def entries(self, start: int = 0, end: int | None = None) -> list[ChainEntry]:
+        """Return entries in ``[start, end)`` (end defaults to the chain length)."""
+        if end is None:
+            end = len(self._entries)
+        if start < 0 or end > len(self._entries) or start > end:
+            raise LogError("invalid hash chain range")
+        return list(self._entries[start:end])
+
+    def payloads(self) -> list[bytes]:
+        """All payloads in append order."""
+        return [e.payload for e in self._entries]
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def verify_entries(entries: list[ChainEntry], genesis: bytes = GENESIS_HEAD) -> bool:
+        """Verify that a list of entries forms a valid chain starting at ``genesis``.
+
+        Clients use this to audit the digest history returned by a trust domain:
+        the entries must link correctly and the final head must match the head
+        the TEE attested to.
+        """
+        previous = genesis
+        for expected_index, entry in enumerate(entries):
+            if entry.index != expected_index:
+                return False
+            if entry.previous_head != previous:
+                return False
+            if not entry.verify_link():
+                return False
+            previous = entry.head
+        return True
+
+    @staticmethod
+    def verify_extension(
+        old_entries: list[ChainEntry], new_entries: list[ChainEntry]
+    ) -> bool:
+        """Verify that ``new_entries`` extends ``old_entries`` without rewriting history."""
+        if len(new_entries) < len(old_entries):
+            return False
+        for old, new in zip(old_entries, new_entries):
+            if old != new:
+                return False
+        return HashChain.verify_entries(new_entries)

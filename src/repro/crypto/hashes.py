@@ -1,0 +1,97 @@
+"""Hashing helpers: SHA-256 wrappers, HKDF, domain-separated hash-to-int.
+
+The framework hashes code packages into digests, chains log entries, derives
+sealing keys inside simulated enclaves, and hashes messages onto the simulated
+bilinear group for BLS signing. All of that funnels through this module so that
+domain separation is applied consistently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = [
+    "sha256",
+    "sha256_hex",
+    "double_sha256",
+    "hmac_sha256",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf",
+    "hash_to_int",
+    "tagged_hash",
+]
+
+DIGEST_SIZE = 32
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def sha256_hex(*parts: bytes) -> str:
+    """SHA-256 over the concatenation of ``parts``, rendered as hex."""
+    return sha256(*parts).hex()
+
+
+def double_sha256(data: bytes) -> bytes:
+    """SHA-256 applied twice (used by the hash-chain entries)."""
+    return sha256(sha256(data))
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869) with SHA-256."""
+    if not salt:
+        salt = b"\x00" * DIGEST_SIZE
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869) with SHA-256."""
+    if length > 255 * DIGEST_SIZE:
+        raise ValueError("HKDF-Expand length too large")
+    blocks = []
+    previous = b""
+    counter = 1
+    while len(b"".join(blocks)) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF (extract-then-expand)."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def tagged_hash(tag: str, *parts: bytes) -> bytes:
+    """Domain-separated hash: ``SHA256(SHA256(tag) || SHA256(tag) || parts...)``.
+
+    The construction mirrors BIP-340's tagged hashes and keeps every use of the
+    hash function in the library on its own domain.
+    """
+    tag_digest = sha256(tag.encode("utf-8"))
+    return sha256(tag_digest, tag_digest, *parts)
+
+
+def hash_to_int(data: bytes, modulus: int, tag: str = "repro/hash-to-int") -> int:
+    """Hash arbitrary bytes to an integer in ``[0, modulus)``.
+
+    Uses rejection-free wide reduction: 64 bytes of tagged output reduced
+    modulo ``modulus``, which keeps bias below 2^-128 for moduli up to 384 bits.
+    """
+    if modulus <= 1:
+        raise ValueError("modulus must be > 1")
+    wide = tagged_hash(tag, data) + tagged_hash(tag + "/2", data)
+    return int.from_bytes(wide, "big") % modulus

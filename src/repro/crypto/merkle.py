@@ -1,0 +1,261 @@
+"""Merkle trees with RFC 6962 / RFC 9162 (Certificate Transparency) semantics.
+
+The CT-style transparency log in :mod:`repro.transparency.ct_log` stores code
+digests as leaves of a Merkle tree and serves *inclusion proofs* ("this digest
+is in the tree with this root") and *consistency proofs* ("the tree with root A
+is a prefix of the tree with root B"). Proof generation follows RFC 6962 §2.1
+and verification follows the RFC 9162 algorithms, so the log behaves like the
+deployed certificate-transparency infrastructure the paper points to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.errors import InclusionProofError, LogConsistencyError
+
+__all__ = ["MerkleTree", "InclusionProof", "ConsistencyProof", "leaf_hash", "node_hash"]
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """RFC 6962 leaf hash: ``SHA-256(0x00 || data)``."""
+    return sha256(_LEAF_PREFIX, data)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """RFC 6962 interior-node hash: ``SHA-256(0x01 || left || right)``."""
+    return sha256(_NODE_PREFIX, left, right)
+
+
+def _largest_power_of_two_less_than(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (requires ``n >= 2``)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Proof that the leaf at ``leaf_index`` is included in a tree of ``tree_size`` leaves."""
+
+    leaf_index: int
+    tree_size: int
+    audit_path: tuple[bytes, ...]
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """Verify against a leaf's raw data and an expected root (RFC 9162 §2.1.3.2)."""
+        if not 0 <= self.leaf_index < self.tree_size:
+            return False
+        fn = self.leaf_index
+        sn = self.tree_size - 1
+        result = leaf_hash(leaf_data)
+        for sibling in self.audit_path:
+            if sn == 0:
+                return False
+            if fn & 1 or fn == sn:
+                result = node_hash(sibling, result)
+                if not fn & 1:
+                    while fn & 1 == 0 and fn != 0:
+                        fn >>= 1
+                        sn >>= 1
+            else:
+                result = node_hash(result, sibling)
+            fn >>= 1
+            sn >>= 1
+        return sn == 0 and result == root
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (hex-encoded path) for wire transfer."""
+        return {
+            "leaf_index": self.leaf_index,
+            "tree_size": self.tree_size,
+            "audit_path": [h.hex() for h in self.audit_path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InclusionProof":
+        """Rebuild a proof from :meth:`to_dict` output."""
+        return cls(
+            int(data["leaf_index"]),
+            int(data["tree_size"]),
+            tuple(bytes.fromhex(h) for h in data["audit_path"]),
+        )
+
+
+@dataclass(frozen=True)
+class ConsistencyProof:
+    """Proof that the tree of size ``old_size`` is a prefix of the tree of size ``new_size``."""
+
+    old_size: int
+    new_size: int
+    path: tuple[bytes, ...]
+
+    def verify(self, old_root: bytes, new_root: bytes) -> bool:
+        """Verify between two tree heads (RFC 9162 §2.1.4.2)."""
+        if self.old_size > self.new_size:
+            return False
+        if self.old_size == 0:
+            # An empty tree is a prefix of every tree; no path needed.
+            return not self.path
+        if self.old_size == self.new_size:
+            return old_root == new_root and not self.path
+        path = list(self.path)
+        # If old_size is an exact power of two, the old root itself seeds the walk.
+        if self.old_size & (self.old_size - 1) == 0:
+            path.insert(0, old_root)
+        if not path:
+            return False
+        fn = self.old_size - 1
+        sn = self.new_size - 1
+        while fn & 1:
+            fn >>= 1
+            sn >>= 1
+        fr = sr = path[0]
+        for sibling in path[1:]:
+            if sn == 0:
+                return False
+            if fn & 1 or fn == sn:
+                fr = node_hash(sibling, fr)
+                sr = node_hash(sibling, sr)
+                if not fn & 1:
+                    while fn & 1 == 0 and fn != 0:
+                        fn >>= 1
+                        sn >>= 1
+            else:
+                sr = node_hash(sr, sibling)
+            fn >>= 1
+            sn >>= 1
+        return sn == 0 and fr == old_root and sr == new_root
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (hex-encoded path) for wire transfer."""
+        return {
+            "old_size": self.old_size,
+            "new_size": self.new_size,
+            "path": [h.hex() for h in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConsistencyProof":
+        """Rebuild a proof from :meth:`to_dict` output."""
+        return cls(
+            int(data["old_size"]),
+            int(data["new_size"]),
+            tuple(bytes.fromhex(h) for h in data["path"]),
+        )
+
+
+class MerkleTree:
+    """An append-only Merkle tree over byte-string leaves (RFC 6962 hashing)."""
+
+    def __init__(self, leaves: list[bytes] | None = None):
+        self._leaves: list[bytes] = []
+        self._leaf_hashes: list[bytes] = []
+        for leaf in leaves or []:
+            self.append(leaf)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, leaf: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaves.append(bytes(leaf))
+        self._leaf_hashes.append(leaf_hash(leaf))
+        return len(self._leaves) - 1
+
+    def extend(self, leaves: list[bytes]) -> None:
+        """Append several leaves in order."""
+        for leaf in leaves:
+            self.append(leaf)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of leaves currently in the tree."""
+        return len(self._leaves)
+
+    def leaf(self, index: int) -> bytes:
+        """Return the raw leaf data at ``index``."""
+        return self._leaves[index]
+
+    def leaves(self) -> list[bytes]:
+        """Return a copy of all leaves in append order."""
+        return list(self._leaves)
+
+    def root(self, size: int | None = None) -> bytes:
+        """Merkle root over the first ``size`` leaves (default: all of them).
+
+        The empty tree's root is ``SHA-256("")`` per RFC 6962.
+        """
+        if size is None:
+            size = self.size
+        if not 0 <= size <= self.size:
+            raise InclusionProofError("requested root for size beyond the tree")
+        if size == 0:
+            return sha256(b"")
+        return self._subtree_root(0, size)
+
+    def _subtree_root(self, start: int, size: int) -> bytes:
+        if size == 1:
+            return self._leaf_hashes[start]
+        mid = _largest_power_of_two_less_than(size)
+        return node_hash(
+            self._subtree_root(start, mid),
+            self._subtree_root(start + mid, size - mid),
+        )
+
+    # ------------------------------------------------------------------
+    # Proof generation
+    # ------------------------------------------------------------------
+    def inclusion_proof(self, leaf_index: int, tree_size: int | None = None) -> InclusionProof:
+        """Build an inclusion proof for ``leaf_index`` in the tree of ``tree_size`` leaves."""
+        if tree_size is None:
+            tree_size = self.size
+        if not 0 <= leaf_index < tree_size <= self.size:
+            raise InclusionProofError("leaf index or tree size out of range")
+        path = self._inclusion_path(leaf_index, 0, tree_size)
+        return InclusionProof(leaf_index, tree_size, tuple(path))
+
+    def _inclusion_path(self, index: int, start: int, size: int) -> list[bytes]:
+        if size == 1:
+            return []
+        mid = _largest_power_of_two_less_than(size)
+        if index < mid:
+            path = self._inclusion_path(index, start, mid)
+            path.append(self._subtree_root(start + mid, size - mid))
+        else:
+            path = self._inclusion_path(index - mid, start + mid, size - mid)
+            path.append(self._subtree_root(start, mid))
+        return path
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> ConsistencyProof:
+        """Build a consistency proof between two tree sizes (RFC 6962 §2.1.2)."""
+        if new_size is None:
+            new_size = self.size
+        if not 0 <= old_size <= new_size <= self.size:
+            raise LogConsistencyError("inconsistent sizes for consistency proof")
+        if old_size == 0 or old_size == new_size:
+            return ConsistencyProof(old_size, new_size, tuple())
+        path = self._consistency_subproof(old_size, 0, new_size, True)
+        return ConsistencyProof(old_size, new_size, tuple(path))
+
+    def _consistency_subproof(self, m: int, start: int, n: int, complete: bool) -> list[bytes]:
+        if m == n:
+            if complete:
+                return []
+            return [self._subtree_root(start, n)]
+        mid = _largest_power_of_two_less_than(n)
+        if m <= mid:
+            path = self._consistency_subproof(m, start, mid, complete)
+            path.append(self._subtree_root(start + mid, n - mid))
+        else:
+            path = self._consistency_subproof(m - mid, start + mid, n - mid, False)
+            path.append(self._subtree_root(start, mid))
+        return path

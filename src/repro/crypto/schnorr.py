@@ -1,0 +1,74 @@
+"""Schnorr signatures over secp256k1.
+
+This is the default signature scheme for developer code-update manifests and
+for the signed tree heads emitted by transparency logs. The construction
+follows the classic Schnorr identification-scheme transform with RFC-6979-style
+deterministic nonces (derived from the key and message via a tagged hash), so
+signing never needs an external RNG and is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import tagged_hash
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.crypto.secp256k1 import SECP256K1
+from repro.errors import CryptoError
+
+__all__ = ["SchnorrSignature", "schnorr_sign", "schnorr_verify"]
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature ``(R, s)`` with ``R`` a curve point and ``s`` a scalar."""
+
+    r_bytes: bytes
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``R (33 bytes, compressed) || s (32 bytes)``."""
+        return self.r_bytes + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SchnorrSignature":
+        """Deserialize a signature produced by :meth:`to_bytes`."""
+        if len(data) != 65:
+            raise CryptoError("schnorr signature must be 65 bytes")
+        return cls(data[:33], int.from_bytes(data[33:], "big"))
+
+
+def _challenge(r_bytes: bytes, pub_bytes: bytes, message: bytes) -> int:
+    digest = tagged_hash("repro/schnorr-challenge", r_bytes, pub_bytes, message)
+    return int.from_bytes(digest, "big") % SECP256K1.n
+
+
+def schnorr_sign(key: SigningKey, message: bytes) -> SchnorrSignature:
+    """Sign ``message`` with a deterministic-nonce Schnorr signature."""
+    pub_bytes = key.verifying_key().to_bytes()
+    nonce_digest = tagged_hash("repro/schnorr-nonce", key.to_bytes(), message)
+    k = int.from_bytes(nonce_digest, "big") % SECP256K1.n
+    if k == 0:
+        # Astronomically unlikely; adjust deterministically rather than failing.
+        k = 1
+    r_point = SECP256K1.generator_multiply(k)
+    r_bytes = SECP256K1.encode_point(r_point, compressed=True)
+    e = _challenge(r_bytes, pub_bytes, message)
+    s = (k + e * key.scalar) % SECP256K1.n
+    return SchnorrSignature(r_bytes, s)
+
+
+def schnorr_verify(key: VerifyingKey, message: bytes, signature: SchnorrSignature) -> bool:
+    """Verify a Schnorr signature; returns ``False`` on any failure."""
+    try:
+        r_point = SECP256K1.decode_point(signature.r_bytes)
+    except Exception:
+        return False
+    if not 0 <= signature.s < SECP256K1.n:
+        return False
+    pub_bytes = key.to_bytes()
+    e = _challenge(signature.r_bytes, pub_bytes, message)
+    # Check s*G == R + e*P
+    left = SECP256K1.generator_multiply(signature.s)
+    right = SECP256K1.add(r_point, SECP256K1.multiply(key.point, e))
+    return left == right

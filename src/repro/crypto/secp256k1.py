@@ -1,0 +1,222 @@
+"""secp256k1 elliptic-curve arithmetic.
+
+The framework uses a real elliptic-curve group for the signatures that matter
+to its security argument: the developer's code-update signing key (sealed into
+each TEE at provisioning time) and the simulated hardware vendors' attestation
+keys. Schnorr and ECDSA signatures are built on top of this module.
+
+The implementation is textbook short-Weierstrass arithmetic in affine
+coordinates with a Jacobian fast path for scalar multiplication. It is not
+constant time — the repository is a simulator, not a production crypto library
+— but it is functionally correct and validated against the curve equation and
+known-answer tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CryptoError, InvalidPointError
+
+__all__ = ["Secp256k1", "Point", "SECP256K1"]
+
+# Standard secp256k1 domain parameters (SEC 2).
+_P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+_N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+_A = 0
+_B = 7
+_GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+_GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on secp256k1 in affine coordinates; ``None`` coordinates = infinity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_infinity(self) -> bool:
+        """True for the point at infinity (the group identity)."""
+        return self.x is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_infinity:
+            return "Point(infinity)"
+        return f"Point(x={hex(self.x)}, y={hex(self.y)})"
+
+
+INFINITY = Point(None, None)
+
+
+class Secp256k1:
+    """Group operations on the secp256k1 curve."""
+
+    def __init__(self):
+        self.p = _P
+        self.n = _N
+        self.a = _A
+        self.b = _B
+        self.generator = Point(_GX, _GY)
+        if not self.is_on_curve(self.generator):
+            raise CryptoError("secp256k1 generator failed curve-equation check")
+
+    # ------------------------------------------------------------------
+    # Basic point predicates
+    # ------------------------------------------------------------------
+    def is_on_curve(self, point: Point) -> bool:
+        """Check the curve equation y^2 = x^3 + 7 (mod p)."""
+        if point.is_infinity:
+            return True
+        x, y = point.x, point.y
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    # ------------------------------------------------------------------
+    # Affine group law (used for small cases and as a reference)
+    # ------------------------------------------------------------------
+    def add(self, p1: Point, p2: Point) -> Point:
+        """Add two points using the affine group law."""
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        if p1.x == p2.x and (p1.y + p2.y) % self.p == 0:
+            return INFINITY
+        if p1.x == p2.x:
+            # Doubling
+            slope = (3 * p1.x * p1.x + self.a) * pow(2 * p1.y, -1, self.p) % self.p
+        else:
+            slope = (p2.y - p1.y) * pow(p2.x - p1.x, -1, self.p) % self.p
+        x3 = (slope * slope - p1.x - p2.x) % self.p
+        y3 = (slope * (p1.x - x3) - p1.y) % self.p
+        return Point(x3, y3)
+
+    def negate(self, point: Point) -> Point:
+        """Return the additive inverse of a point."""
+        if point.is_infinity:
+            return INFINITY
+        return Point(point.x, (-point.y) % self.p)
+
+    # ------------------------------------------------------------------
+    # Jacobian scalar multiplication (fast path)
+    # ------------------------------------------------------------------
+    def _to_jacobian(self, point: Point) -> tuple[int, int, int]:
+        if point.is_infinity:
+            return (0, 1, 0)
+        return (point.x, point.y, 1)
+
+    def _from_jacobian(self, jac: tuple[int, int, int]) -> Point:
+        x, y, z = jac
+        if z == 0:
+            return INFINITY
+        z_inv = pow(z, -1, self.p)
+        z_inv2 = z_inv * z_inv % self.p
+        return Point(x * z_inv2 % self.p, y * z_inv2 * z_inv % self.p)
+
+    def _jacobian_double(self, jac: tuple[int, int, int]) -> tuple[int, int, int]:
+        x, y, z = jac
+        if y == 0 or z == 0:
+            return (0, 1, 0)
+        p = self.p
+        s = 4 * x * y % p * y % p
+        m = 3 * x * x % p
+        x3 = (m * m - 2 * s) % p
+        y3 = (m * (s - x3) - 8 * pow(y, 4, p)) % p
+        z3 = 2 * y * z % p
+        return (x3, y3, z3)
+
+    def _jacobian_add(self, a: tuple[int, int, int], b: tuple[int, int, int]) -> tuple[int, int, int]:
+        p = self.p
+        x1, y1, z1 = a
+        x2, y2, z2 = b
+        if z1 == 0:
+            return b
+        if z2 == 0:
+            return a
+        z1z1 = z1 * z1 % p
+        z2z2 = z2 * z2 % p
+        u1 = x1 * z2z2 % p
+        u2 = x2 * z1z1 % p
+        s1 = y1 * z2 * z2z2 % p
+        s2 = y2 * z1 * z1z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return (0, 1, 0)
+            return self._jacobian_double(a)
+        h = (u2 - u1) % p
+        i = 4 * h * h % p
+        j = h * i % p
+        r = 2 * (s2 - s1) % p
+        v = u1 * i % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * s1 * j) % p
+        z3 = 2 * h * z1 * z2 % p
+        return (x3, y3, z3)
+
+    def multiply(self, point: Point, scalar: int) -> Point:
+        """Scalar multiplication ``scalar * point`` via double-and-add in Jacobian coords."""
+        scalar %= self.n
+        if scalar == 0 or point.is_infinity:
+            return INFINITY
+        result = (0, 1, 0)
+        addend = self._to_jacobian(point)
+        while scalar:
+            if scalar & 1:
+                result = self._jacobian_add(result, addend)
+            addend = self._jacobian_double(addend)
+            scalar >>= 1
+        return self._from_jacobian(result)
+
+    def generator_multiply(self, scalar: int) -> Point:
+        """Multiply the standard generator by ``scalar``."""
+        return self.multiply(self.generator, scalar)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def encode_point(self, point: Point, compressed: bool = True) -> bytes:
+        """Serialize a point (SEC 1: 0x02/0x03 compressed, 0x04 uncompressed, 0x00 infinity)."""
+        if point.is_infinity:
+            return b"\x00"
+        if compressed:
+            prefix = b"\x02" if point.y % 2 == 0 else b"\x03"
+            return prefix + point.x.to_bytes(32, "big")
+        return b"\x04" + point.x.to_bytes(32, "big") + point.y.to_bytes(32, "big")
+
+    def decode_point(self, data: bytes) -> Point:
+        """Deserialize a point produced by :meth:`encode_point`."""
+        if data == b"\x00":
+            return INFINITY
+        if not data:
+            raise InvalidPointError("empty point encoding")
+        prefix = data[0]
+        if prefix == 0x04:
+            if len(data) != 65:
+                raise InvalidPointError("bad uncompressed point length")
+            x = int.from_bytes(data[1:33], "big")
+            y = int.from_bytes(data[33:65], "big")
+            point = Point(x, y)
+        elif prefix in (0x02, 0x03):
+            if len(data) != 33:
+                raise InvalidPointError("bad compressed point length")
+            x = int.from_bytes(data[1:33], "big")
+            if x >= self.p:
+                raise InvalidPointError("x coordinate out of range")
+            y_squared = (pow(x, 3, self.p) + self.a * x + self.b) % self.p
+            y = pow(y_squared, (self.p + 1) // 4, self.p)
+            if y * y % self.p != y_squared:
+                raise InvalidPointError("point is not on the curve")
+            if (y % 2 == 0) != (prefix == 0x02):
+                y = self.p - y
+            point = Point(x, y)
+        else:
+            raise InvalidPointError(f"unknown point prefix {prefix:#x}")
+        if not self.is_on_curve(point):
+            raise InvalidPointError("decoded point is not on the curve")
+        return point
+
+
+# Shared curve instance: the curve is stateless, so one instance serves the package.
+SECP256K1 = Secp256k1()

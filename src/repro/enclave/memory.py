@@ -1,0 +1,77 @@
+"""The enclave's isolated memory model.
+
+Real TEEs isolate (and for confidentiality-oriented designs, encrypt) the
+memory of the code they run; the host operating system and the cloud operator
+cannot read or modify it. The simulation models that boundary explicitly:
+state stored in :class:`EnclaveMemory` is only reachable through the owning
+enclave's methods, reads from outside raise, and an "exploited" enclave flips
+the switch that makes host reads possible — which is exactly the failure mode
+the paper's heterogeneous-hardware argument is about.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SandboxEscapeError
+
+__all__ = ["EnclaveMemory"]
+
+
+class EnclaveMemory:
+    """Key/value memory visible only inside the enclave boundary."""
+
+    def __init__(self, isolated: bool = True):
+        self._store: dict[str, object] = {}
+        self._isolated = isolated
+        self._breached = False
+
+    # ------------------------------------------------------------------
+    # In-enclave access (used by the enclave's own code paths)
+    # ------------------------------------------------------------------
+    def write(self, key: str, value) -> None:
+        """Store a value from inside the enclave."""
+        self._store[key] = value
+
+    def read(self, key: str):
+        """Read a value from inside the enclave; ``None`` when absent."""
+        return self._store.get(key)
+
+    def delete(self, key: str) -> None:
+        """Remove a value (no-op when absent)."""
+        self._store.pop(key, None)
+
+    def keys(self) -> list[str]:
+        """All keys currently stored (names only, visible to the host)."""
+        return sorted(self._store)
+
+    def wipe(self) -> None:
+        """Erase all contents (enclave teardown)."""
+        self._store.clear()
+
+    # ------------------------------------------------------------------
+    # Host-side access attempts
+    # ------------------------------------------------------------------
+    def host_read(self, key: str):
+        """A read attempted from outside the enclave boundary.
+
+        Succeeds only when the memory is not isolated (trust domain 0 runs
+        without secure hardware) or when an exploit has breached the enclave.
+        """
+        if self._isolated and not self._breached:
+            raise SandboxEscapeError(
+                "host attempted to read isolated enclave memory"
+            )
+        return self._store.get(key)
+
+    def breach(self) -> None:
+        """Mark the isolation as defeated (called by the exploit simulator)."""
+        self._breached = True
+
+    @property
+    def isolated(self) -> bool:
+        """Whether the memory is behind an intact isolation boundary."""
+        return self._isolated and not self._breached
+
+    @property
+    def breached(self) -> bool:
+        """Whether an exploit has defeated the isolation."""
+        return self._breached

@@ -1,0 +1,106 @@
+"""An AWS-Nitro-style simulated enclave.
+
+Nitro enclaves attest with a CBOR/COSE "attestation document" containing
+platform configuration registers (PCRs), a nonce, optional user data, and a
+certificate chain ending at the AWS root. The simulation reproduces the same
+*shape*: PCR0 measures the loaded image, PCR1/PCR2 measure the (simulated)
+kernel and boot ramdisk, the document carries nonce and user data, and it is
+signed by the device key certified by the vendor root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.enclave.tee import EnclaveBase, HardwareType
+from repro.enclave.vendor import VendorCertificate
+from repro.errors import AttestationError
+from repro.wire.codec import encode
+
+__all__ = ["NitroAttestationDocument", "NitroStyleEnclave"]
+
+
+@dataclass(frozen=True)
+class NitroAttestationDocument:
+    """The Nitro-style attestation document a client (or peer domain) verifies."""
+
+    module_id: str
+    pcrs: dict
+    nonce: bytes
+    user_data: bytes
+    certificate: VendorCertificate
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The canonical bytes covered by the device signature."""
+        return encode({
+            "format": "nitro-attestation-v1",
+            "module_id": self.module_id,
+            "pcrs": {str(k): v for k, v in self.pcrs.items()},
+            "nonce": self.nonce,
+            "user_data": self.user_data,
+        })
+
+    def measurement_digest(self) -> bytes:
+        """The PCR0 value — the digest of the loaded enclave image."""
+        try:
+            return self.pcrs["0"]
+        except KeyError as exc:
+            raise AttestationError("attestation document is missing PCR0") from exc
+
+    def to_dict(self) -> dict:
+        """Plain-data form for wire transfer."""
+        return {
+            "format": "nitro-attestation-v1",
+            "module_id": self.module_id,
+            "pcrs": {str(k): v for k, v in self.pcrs.items()},
+            "nonce": self.nonce,
+            "user_data": self.user_data,
+            "certificate": self.certificate.to_dict(),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NitroAttestationDocument":
+        """Rebuild a document from :meth:`to_dict` output."""
+        return cls(
+            module_id=str(data["module_id"]),
+            pcrs={str(k): bytes(v) for k, v in data["pcrs"].items()},
+            nonce=bytes(data["nonce"]),
+            user_data=bytes(data["user_data"]),
+            certificate=VendorCertificate.from_dict(data["certificate"]),
+            signature=bytes(data["signature"]),
+        )
+
+
+class NitroStyleEnclave(EnclaveBase):
+    """A simulated AWS Nitro enclave."""
+
+    hardware_type = HardwareType.NITRO
+
+    def attest(self, nonce: bytes, user_data: bytes = b"") -> NitroAttestationDocument:
+        """Produce a Nitro-style attestation document for the current launch state."""
+        self._check_operational()
+        pcrs = {
+            "0": self.measurement.digest,
+            "1": sha256(b"repro/nitro/kernel", self.device_id.encode("utf-8")),
+            "2": sha256(b"repro/nitro/ramdisk", self.device_id.encode("utf-8")),
+        }
+        document = NitroAttestationDocument(
+            module_id=self.device_id,
+            pcrs=pcrs,
+            nonce=bytes(nonce),
+            user_data=bytes(user_data),
+            certificate=self.certificate,
+            signature=b"",
+        )
+        signature = self._sign_evidence(document.signed_payload())
+        return NitroAttestationDocument(
+            module_id=document.module_id,
+            pcrs=document.pcrs,
+            nonce=document.nonce,
+            user_data=document.user_data,
+            certificate=document.certificate,
+            signature=signature,
+        )

@@ -1,0 +1,85 @@
+"""Sealed storage.
+
+Sealing lets an enclave persist data (the developer's public key, the
+append-only log head, application key shares) so that only an enclave with the
+*same measurement on the same device* can recover it. The simulation derives a
+sealing key from the device secret and the measurement via HKDF and protects
+the blob with an encrypt-then-MAC construction built from the primitives in
+:mod:`repro.crypto.hashes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import constant_time_equal, random_bytes
+from repro.crypto.hashes import hkdf, hkdf_expand, hmac_sha256
+from repro.enclave.measurement import Measurement
+from repro.errors import SealingError
+
+__all__ = ["SealedBlob", "seal", "unseal"]
+
+_NONCE_SIZE = 16
+_TAG_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An opaque sealed blob: nonce, ciphertext, and authentication tag."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``nonce || tag || ciphertext``."""
+        return self.nonce + self.tag + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedBlob":
+        """Deserialize a blob produced by :meth:`to_bytes`."""
+        if len(data) < _NONCE_SIZE + _TAG_SIZE:
+            raise SealingError("sealed blob too short")
+        return cls(
+            nonce=data[:_NONCE_SIZE],
+            tag=data[_NONCE_SIZE:_NONCE_SIZE + _TAG_SIZE],
+            ciphertext=data[_NONCE_SIZE + _TAG_SIZE:],
+        )
+
+
+def _sealing_key(device_secret: bytes, measurement: Measurement) -> bytes:
+    return hkdf(
+        device_secret,
+        salt=measurement.digest,
+        info=b"repro/enclave/sealing-key",
+        length=32,
+    )
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    return hkdf_expand(key, b"repro/enclave/sealing-stream" + nonce, length) if length else b""
+
+
+def seal(device_secret: bytes, measurement: Measurement, plaintext: bytes) -> SealedBlob:
+    """Seal ``plaintext`` to (device secret, measurement)."""
+    key = _sealing_key(device_secret, measurement)
+    nonce = random_bytes(_NONCE_SIZE)
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_sha256(key, nonce + ciphertext)
+    return SealedBlob(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def unseal(device_secret: bytes, measurement: Measurement, blob: SealedBlob) -> bytes:
+    """Recover the plaintext of a sealed blob.
+
+    Raises:
+        SealingError: the blob was sealed on a different device, under a
+            different measurement, or has been tampered with.
+    """
+    key = _sealing_key(device_secret, measurement)
+    expected_tag = hmac_sha256(key, blob.nonce + blob.ciphertext)
+    if not constant_time_equal(expected_tag, blob.tag):
+        raise SealingError("sealed blob failed authentication")
+    stream = _keystream(key, blob.nonce, len(blob.ciphertext))
+    return bytes(c ^ s for c, s in zip(blob.ciphertext, stream))

@@ -1,0 +1,119 @@
+"""An Intel-SGX-style simulated enclave.
+
+SGX enclaves attest with a *quote*: a structure containing MRENCLAVE (the
+enclave code measurement), MRSIGNER (the identity of the key that signed the
+enclave), security version numbers, and report data chosen by the enclave,
+signed by an attestation key that chains to Intel. The simulation reproduces
+that structure, with the vendor registry standing in for Intel's quote
+verification collateral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.enclave.tee import EnclaveBase, HardwareType
+from repro.enclave.vendor import VendorCertificate
+from repro.errors import AttestationError
+from repro.wire.codec import encode
+
+__all__ = ["SgxQuote", "SgxStyleEnclave"]
+
+
+@dataclass(frozen=True)
+class SgxQuote:
+    """The SGX-style quote a client (or peer trust domain) verifies."""
+
+    mrenclave: bytes
+    mrsigner: bytes
+    isv_svn: int
+    report_data: bytes
+    nonce: bytes
+    certificate: VendorCertificate
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The canonical bytes covered by the attestation-key signature."""
+        return encode({
+            "format": "sgx-quote-v1",
+            "mrenclave": self.mrenclave,
+            "mrsigner": self.mrsigner,
+            "isv_svn": self.isv_svn,
+            "report_data": self.report_data,
+            "nonce": self.nonce,
+        })
+
+    def measurement_digest(self) -> bytes:
+        """The MRENCLAVE value — the digest of the loaded enclave code."""
+        if not self.mrenclave:
+            raise AttestationError("quote is missing MRENCLAVE")
+        return self.mrenclave
+
+    def to_dict(self) -> dict:
+        """Plain-data form for wire transfer."""
+        return {
+            "format": "sgx-quote-v1",
+            "mrenclave": self.mrenclave,
+            "mrsigner": self.mrsigner,
+            "isv_svn": self.isv_svn,
+            "report_data": self.report_data,
+            "nonce": self.nonce,
+            "certificate": self.certificate.to_dict(),
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SgxQuote":
+        """Rebuild a quote from :meth:`to_dict` output."""
+        return cls(
+            mrenclave=bytes(data["mrenclave"]),
+            mrsigner=bytes(data["mrsigner"]),
+            isv_svn=int(data["isv_svn"]),
+            report_data=bytes(data["report_data"]),
+            nonce=bytes(data["nonce"]),
+            certificate=VendorCertificate.from_dict(data["certificate"]),
+            signature=bytes(data["signature"]),
+        )
+
+
+class SgxStyleEnclave(EnclaveBase):
+    """A simulated Intel SGX enclave."""
+
+    hardware_type = HardwareType.SGX
+    isv_svn = 2  # security version number reported in quotes
+
+    def attest(self, nonce: bytes, user_data: bytes = b"") -> SgxQuote:
+        """Produce an SGX-style quote for the current launch state.
+
+        SGX report data is limited to 64 bytes, so the quote carries
+        ``SHA-256(user_data)`` rather than the user data itself — callers that
+        need the full value send it alongside the quote and the verifier checks
+        the hash, exactly as real SGX applications do.
+        """
+        self._check_operational()
+        report_data = sha256(b"repro/sgx/report-data", user_data)
+        quote = SgxQuote(
+            mrenclave=self.measurement.digest,
+            mrsigner=sha256(b"repro/sgx/mrsigner", self.vendor.name.encode("utf-8")),
+            isv_svn=self.isv_svn,
+            report_data=report_data,
+            nonce=bytes(nonce),
+            certificate=self.certificate,
+            signature=b"",
+        )
+        signature = self._sign_evidence(quote.signed_payload())
+        return SgxQuote(
+            mrenclave=quote.mrenclave,
+            mrsigner=quote.mrsigner,
+            isv_svn=quote.isv_svn,
+            report_data=quote.report_data,
+            nonce=quote.nonce,
+            certificate=quote.certificate,
+            signature=signature,
+        )
+
+    @staticmethod
+    def expected_report_data(user_data: bytes) -> bytes:
+        """The report-data value a verifier expects for ``user_data``."""
+        return sha256(b"repro/sgx/report-data", user_data)

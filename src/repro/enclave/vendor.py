@@ -1,0 +1,142 @@
+"""Simulated hardware vendors and their attestation PKI.
+
+Every real TEE's attestation bottoms out in a vendor root of trust: AWS signs
+Nitro attestation documents, Intel signs SGX quote-verification collateral.
+The simulation gives each vendor a root signing key and lets it issue
+per-device certificates; attestation documents chain device → root, and the
+:class:`VendorRegistry` plays the role of the well-known root-certificate set
+a client ships with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import AttestationError
+from repro.wire.codec import encode
+
+__all__ = ["VendorCertificate", "HardwareVendor", "VendorRegistry"]
+
+
+@dataclass(frozen=True)
+class VendorCertificate:
+    """A device certificate: the vendor's signature over a device public key."""
+
+    vendor_name: str
+    device_id: str
+    device_public_key: bytes
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The canonical bytes the vendor signed."""
+        return encode({
+            "vendor": self.vendor_name,
+            "device_id": self.device_id,
+            "device_public_key": self.device_public_key,
+        })
+
+    def to_dict(self) -> dict:
+        """Plain-data form for embedding in attestation documents."""
+        return {
+            "vendor_name": self.vendor_name,
+            "device_id": self.device_id,
+            "device_public_key": self.device_public_key,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VendorCertificate":
+        """Rebuild a certificate from :meth:`to_dict` output."""
+        return cls(
+            vendor_name=str(data["vendor_name"]),
+            device_id=str(data["device_id"]),
+            device_public_key=bytes(data["device_public_key"]),
+            signature=bytes(data["signature"]),
+        )
+
+
+class HardwareVendor:
+    """A simulated secure-hardware vendor (AWS-like, Intel-like, ...).
+
+    The vendor holds a root signing key and issues device certificates for the
+    enclaves "manufactured" under its name. Vendors are deterministic given a
+    name so tests and examples can recreate the same PKI.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._root_key = SigningKey.from_seed(b"repro/vendor-root/" + name.encode("utf-8"))
+        self._issued: dict[str, VendorCertificate] = {}
+        self.compromised = False
+
+    @property
+    def root_public_key(self) -> VerifyingKey:
+        """The vendor's root verification key (pinned by clients)."""
+        return self._root_key.verifying_key()
+
+    def provision_device(self, device_id: str) -> tuple[SigningKey, VendorCertificate]:
+        """Create a device attestation key and certify it under the vendor root."""
+        device_key = SigningKey.from_seed(
+            b"repro/vendor-device/" + self.name.encode("utf-8") + b"/" + device_id.encode("utf-8")
+        )
+        payload = encode({
+            "vendor": self.name,
+            "device_id": device_id,
+            "device_public_key": device_key.verifying_key().to_bytes(),
+        })
+        certificate = VendorCertificate(
+            vendor_name=self.name,
+            device_id=device_id,
+            device_public_key=device_key.verifying_key().to_bytes(),
+            signature=self._root_key.sign(payload, scheme="ecdsa"),
+        )
+        self._issued[device_id] = certificate
+        return device_key, certificate
+
+    def issued_devices(self) -> list[str]:
+        """Device ids this vendor has provisioned."""
+        return sorted(self._issued)
+
+    def mark_compromised(self) -> None:
+        """Mark the vendor's TEE technology as exploited (fault injection)."""
+        self.compromised = True
+
+
+class VendorRegistry:
+    """The set of vendor roots a verifying client trusts."""
+
+    def __init__(self, vendors: list[HardwareVendor] | None = None):
+        self._vendors: dict[str, HardwareVendor] = {}
+        for vendor in vendors or []:
+            self.add(vendor)
+
+    def add(self, vendor: HardwareVendor) -> None:
+        """Trust a vendor's root key."""
+        self._vendors[vendor.name] = vendor
+
+    def get(self, name: str) -> HardwareVendor:
+        """Look up a trusted vendor; raises :class:`AttestationError` if unknown."""
+        vendor = self._vendors.get(name)
+        if vendor is None:
+            raise AttestationError(f"unknown hardware vendor {name!r}")
+        return vendor
+
+    def names(self) -> list[str]:
+        """Names of all trusted vendors."""
+        return sorted(self._vendors)
+
+    def verify_certificate(self, certificate: VendorCertificate) -> VerifyingKey:
+        """Verify a device certificate and return the certified device key."""
+        vendor = self.get(certificate.vendor_name)
+        root = vendor.root_public_key
+        if not root.verify(certificate.signed_payload(), certificate.signature, scheme="ecdsa"):
+            raise AttestationError(
+                f"device certificate for {certificate.device_id!r} failed verification"
+            )
+        return VerifyingKey.from_bytes(certificate.device_public_key)
+
+    @classmethod
+    def default(cls) -> "VendorRegistry":
+        """A registry with the two vendors used throughout the examples."""
+        return cls([HardwareVendor("aws-nitro-sim"), HardwareVendor("intel-sgx-sim")])

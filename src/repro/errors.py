@@ -1,0 +1,223 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CryptoError",
+    "InvalidSignatureError",
+    "InvalidPointError",
+    "SecretSharingError",
+    "ThresholdError",
+    "EncodingError",
+    "DecodingError",
+    "NetworkError",
+    "TransportClosedError",
+    "RpcError",
+    "TimeoutError",
+    "EnclaveError",
+    "AttestationError",
+    "MeasurementMismatchError",
+    "SealingError",
+    "EnclaveCompromisedError",
+    "SandboxError",
+    "SandboxEscapeError",
+    "FuelExhaustedError",
+    "MemoryLimitError",
+    "WvmTrapError",
+    "AssemblerError",
+    "LogError",
+    "LogConsistencyError",
+    "InclusionProofError",
+    "SplitViewError",
+    "FrameworkError",
+    "UpdateRejectedError",
+    "UnauthorizedUpdateError",
+    "DeploymentError",
+    "AuditError",
+    "MisbehaviorDetected",
+    "ApplicationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class InvalidPointError(CryptoError):
+    """A byte string did not decode to a valid group element or curve point."""
+
+
+class SecretSharingError(CryptoError):
+    """A secret-sharing operation received malformed or inconsistent shares."""
+
+
+class ThresholdError(CryptoError):
+    """Not enough shares (or partial signatures) were supplied to reconstruct."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding / wire format
+# ---------------------------------------------------------------------------
+
+class EncodingError(ReproError):
+    """A value could not be encoded into the canonical wire format."""
+
+
+class DecodingError(ReproError):
+    """A byte string could not be decoded from the canonical wire format."""
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class TransportClosedError(NetworkError):
+    """An endpoint attempted to use a transport that has been closed."""
+
+
+class RpcError(NetworkError):
+    """An RPC call failed at the application layer on the remote side."""
+
+
+class TimeoutError(NetworkError):  # noqa: A001 - deliberate shadowing inside package
+    """A blocking network operation exceeded its deadline."""
+
+
+# ---------------------------------------------------------------------------
+# Enclaves / secure hardware
+# ---------------------------------------------------------------------------
+
+class EnclaveError(ReproError):
+    """Base class for simulated secure-hardware failures."""
+
+
+class AttestationError(EnclaveError):
+    """An attestation document or quote failed verification."""
+
+
+class MeasurementMismatchError(AttestationError):
+    """The attested measurement does not match the expected code digest."""
+
+
+class SealingError(EnclaveError):
+    """Sealed data could not be recovered (wrong enclave, corrupted blob, ...)."""
+
+
+class EnclaveCompromisedError(EnclaveError):
+    """An operation was attempted on an enclave marked as exploited."""
+
+
+# ---------------------------------------------------------------------------
+# Sandbox
+# ---------------------------------------------------------------------------
+
+class SandboxError(ReproError):
+    """Base class for sandbox failures."""
+
+
+class SandboxEscapeError(SandboxError):
+    """Sandboxed code attempted to access state outside the sandbox."""
+
+
+class FuelExhaustedError(SandboxError):
+    """The sandboxed program ran out of execution fuel."""
+
+
+class MemoryLimitError(SandboxError):
+    """The sandboxed program exceeded its linear-memory limit."""
+
+
+class WvmTrapError(SandboxError):
+    """The WVM interpreter trapped (invalid opcode, stack underflow, ...)."""
+
+
+class AssemblerError(SandboxError):
+    """WVM assembly text could not be assembled into a module."""
+
+
+# ---------------------------------------------------------------------------
+# Transparency log
+# ---------------------------------------------------------------------------
+
+class LogError(ReproError):
+    """Base class for append-only log failures."""
+
+
+class LogConsistencyError(LogError):
+    """A consistency proof between two tree heads failed to verify."""
+
+
+class InclusionProofError(LogError):
+    """An inclusion proof failed to verify."""
+
+
+class SplitViewError(LogError):
+    """Two views of the same log are mutually inconsistent (equivocation)."""
+
+
+# ---------------------------------------------------------------------------
+# Core framework
+# ---------------------------------------------------------------------------
+
+class FrameworkError(ReproError):
+    """Base class for failures in the application-independent framework."""
+
+
+class UpdateRejectedError(FrameworkError):
+    """A code update was rejected (bad format, replayed version, ...)."""
+
+
+class UnauthorizedUpdateError(UpdateRejectedError):
+    """A code update's signature did not verify under the sealed developer key."""
+
+
+class DeploymentError(FrameworkError):
+    """A deployment could not be created or modified."""
+
+
+class AuditError(FrameworkError):
+    """A client or auditor audit could not be completed."""
+
+
+class MisbehaviorDetected(AuditError):
+    """An audit detected misbehavior; carries publicly verifiable evidence.
+
+    Attributes:
+        evidence: the :class:`repro.core.evidence.MisbehaviorEvidence` object
+            describing the misbehavior, or ``None`` when evidence could not be
+            assembled.
+    """
+
+    def __init__(self, message: str, evidence=None):
+        super().__init__(message)
+        self.evidence = evidence
+
+
+# ---------------------------------------------------------------------------
+# Applications
+# ---------------------------------------------------------------------------
+
+class ApplicationError(ReproError):
+    """Base class for failures in the bundled example applications."""

@@ -1,0 +1,49 @@
+"""Simulated networking substrate.
+
+The paper's prototype runs on a cloud testbed where the client, the host-side
+forwarder, the enclave-side framework, and the sandboxed application all talk
+over sockets; Table 3 attributes the TEE overhead specifically to two extra
+socket hops. This package reproduces that communication structure in process:
+
+* :mod:`repro.net.clock` — a simulated clock that protocols charge latency to,
+  kept separate from wall-clock benchmarking time;
+* :mod:`repro.net.latency` — pluggable latency/bandwidth models (LAN, WAN,
+  constant, uniform);
+* :mod:`repro.net.transport` — an in-memory network of addressable endpoints
+  with delivery queues and per-message accounting;
+* :mod:`repro.net.rpc` — a small request/response RPC layer on top of the
+  transport using the canonical codec;
+* :mod:`repro.net.vsock` — a vsock-style socket hop/proxy pair that models the
+  host↔enclave forwarding path (the source of the paper's TEE overhead).
+"""
+
+from repro.net.clock import SimClock
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    NoLatency,
+    UniformLatency,
+    lan_profile,
+    wan_profile,
+)
+from repro.net.transport import Endpoint, Message, Network, NetworkStats
+from repro.net.rpc import RpcClient, RpcServer
+from repro.net.vsock import SocketHop, VsockProxyChain
+
+__all__ = [
+    "SimClock",
+    "LatencyModel",
+    "NoLatency",
+    "ConstantLatency",
+    "UniformLatency",
+    "lan_profile",
+    "wan_profile",
+    "Endpoint",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RpcClient",
+    "RpcServer",
+    "SocketHop",
+    "VsockProxyChain",
+]

@@ -1,0 +1,89 @@
+"""Latency and bandwidth models for the simulated network.
+
+A :class:`LatencyModel` answers one question: how long does delivering a
+message of ``size`` bytes take? Deployments compose them per link — e.g. a
+LAN profile between the client and a cloud region, a WAN profile between trust
+domains in different regions, and a near-zero vsock profile between a host and
+its enclave.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "LatencyModel",
+    "NoLatency",
+    "ConstantLatency",
+    "UniformLatency",
+    "lan_profile",
+    "wan_profile",
+    "vsock_profile",
+]
+
+
+class LatencyModel:
+    """Base class: maps a message size in bytes to a one-way delay in seconds."""
+
+    def sample(self, size_bytes: int) -> float:
+        """Return the one-way delay for a message of ``size_bytes`` bytes."""
+        raise NotImplementedError
+
+
+class NoLatency(LatencyModel):
+    """Zero-latency link (useful for unit tests)."""
+
+    def sample(self, size_bytes: int) -> float:
+        return 0.0
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed propagation delay plus a bandwidth-proportional serialization delay.
+
+    Args:
+        delay_s: one-way propagation delay in seconds.
+        bandwidth_bps: link bandwidth in bytes per second (``None`` = infinite).
+    """
+
+    def __init__(self, delay_s: float, bandwidth_bps: float | None = None):
+        if delay_s < 0:
+            raise ValueError("latency cannot be negative")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.delay_s = delay_s
+        self.bandwidth_bps = bandwidth_bps
+
+    def sample(self, size_bytes: int) -> float:
+        delay = self.delay_s
+        if self.bandwidth_bps is not None:
+            delay += size_bytes / self.bandwidth_bps
+        return delay
+
+
+class UniformLatency(LatencyModel):
+    """Uniformly jittered latency in ``[low_s, high_s]`` (seeded for reproducibility)."""
+
+    def __init__(self, low_s: float, high_s: float, seed: int = 0):
+        if low_s < 0 or high_s < low_s:
+            raise ValueError("invalid latency bounds")
+        self.low_s = low_s
+        self.high_s = high_s
+        self._rng = random.Random(seed)
+
+    def sample(self, size_bytes: int) -> float:
+        return self._rng.uniform(self.low_s, self.high_s)
+
+
+def lan_profile() -> LatencyModel:
+    """A same-region cloud link: 0.5 ms propagation, 10 Gbit/s bandwidth."""
+    return ConstantLatency(0.0005, bandwidth_bps=10e9 / 8)
+
+
+def wan_profile() -> LatencyModel:
+    """A cross-region link: 30 ms propagation, 1 Gbit/s bandwidth."""
+    return ConstantLatency(0.030, bandwidth_bps=1e9 / 8)
+
+
+def vsock_profile() -> LatencyModel:
+    """The host↔enclave vsock hop: tens of microseconds, high bandwidth."""
+    return ConstantLatency(0.00005, bandwidth_bps=20e9 / 8)

@@ -1,0 +1,110 @@
+"""A small request/response RPC layer over the simulated transport.
+
+Trust domains expose their framework operations (attest, fetch log, submit
+update, invoke application) as named RPC methods; clients and auditors call
+them through :class:`RpcClient`. Requests and responses are encoded with the
+canonical codec and framed, so the bytes on the simulated wire look like the
+bytes a real deployment would exchange.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.errors import RpcError, TimeoutError
+from repro.net.transport import Endpoint, Message, Network
+from repro.wire.codec import decode, encode
+from repro.wire.framing import frame_message, split_frames
+
+__all__ = ["RpcServer", "RpcClient"]
+
+
+class RpcServer:
+    """Dispatches incoming RPC requests to registered handler functions.
+
+    Handlers take the decoded ``params`` value and return an encodable result;
+    exceptions they raise are reported to the caller as :class:`RpcError`.
+    """
+
+    def __init__(self, endpoint: Endpoint, name: str | None = None):
+        self.endpoint = endpoint
+        self.name = name or endpoint.address
+        self._handlers: dict[str, Callable] = {}
+        self.requests_served = 0
+        endpoint.on_message = self._handle_message
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Register ``handler`` for ``method`` (overwrites any previous handler)."""
+        self._handlers[method] = handler
+
+    def registered_methods(self) -> list[str]:
+        """Names of all registered methods."""
+        return sorted(self._handlers)
+
+    def _handle_message(self, message: Message) -> None:
+        for frame in split_frames(message.payload):
+            request = decode(frame)
+            response = self._dispatch(request)
+            self.endpoint.send(message.source, frame_message(encode(response)))
+
+    def _dispatch(self, request) -> dict:
+        if not isinstance(request, dict) or "method" not in request or "id" not in request:
+            return {"id": request.get("id") if isinstance(request, dict) else None,
+                    "error": "malformed request"}
+        method = request["method"]
+        handler = self._handlers.get(method)
+        if handler is None:
+            return {"id": request["id"], "error": f"unknown method {method!r}"}
+        try:
+            result = handler(request.get("params"))
+        except Exception as exc:  # deliberately broad: server must answer the caller
+            return {"id": request["id"], "error": f"{type(exc).__name__}: {exc}"}
+        self.requests_served += 1
+        return {"id": request["id"], "result": result}
+
+
+class RpcClient:
+    """Issues RPC calls to a server address over the simulated network."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network: Network, endpoint: Endpoint, server_address: str):
+        self.network = network
+        self.endpoint = endpoint
+        self.server_address = server_address
+
+    def call(self, method: str, params=None):
+        """Call ``method`` with ``params`` and return the decoded result.
+
+        Raises:
+            RpcError: the server reported an application-level error.
+            TimeoutError: no response arrived after the network went idle.
+        """
+        request_id = next(self._ids)
+        request = {"id": request_id, "method": method, "params": params}
+        self.endpoint.send(self.server_address, frame_message(encode(request)))
+        self.network.run_until_idle()
+        response = self._await_response(request_id)
+        if "error" in response and response["error"] is not None:
+            raise RpcError(f"{method} failed: {response['error']}")
+        return response.get("result")
+
+    def _await_response(self, request_id: int) -> dict:
+        unrelated = []
+        try:
+            while True:
+                message = self.endpoint.receive()
+                if message is None:
+                    raise TimeoutError(
+                        f"no response to request {request_id} from {self.server_address}"
+                    )
+                for frame in split_frames(message.payload):
+                    response = decode(frame)
+                    if isinstance(response, dict) and response.get("id") == request_id:
+                        return response
+                    unrelated.append(message)
+        finally:
+            # Preserve unrelated messages for other callers sharing the endpoint.
+            for message in unrelated:
+                self.endpoint.inbox.append(message)

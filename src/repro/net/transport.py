@@ -1,0 +1,197 @@
+"""An in-memory simulated network of addressable endpoints.
+
+The network is synchronous and single-threaded: sends enqueue messages, and
+:meth:`Network.run_until_idle` drains the queue, invoking receiver handlers (or
+parking messages in inboxes for endpoints that poll). Latency is charged to a
+:class:`~repro.net.clock.SimClock` per link, and per-endpoint statistics are
+collected for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import NetworkError, TransportClosedError
+from repro.net.clock import SimClock
+from repro.net.latency import LatencyModel, NoLatency
+
+__all__ = ["Message", "NetworkStats", "Endpoint", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight: source, destination, payload, and delivery time."""
+
+    source: str
+    destination: str
+    payload: bytes
+    sent_at: float
+    deliver_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics the benchmarks and ablations report."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    total_latency: float = 0.0
+    per_link: dict = field(default_factory=dict)
+
+    def record_send(self, source: str, destination: str, size: int, latency: float) -> None:
+        """Record one message send on the (source, destination) link."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.total_latency += latency
+        key = (source, destination)
+        link = self.per_link.setdefault(key, {"messages": 0, "bytes": 0})
+        link["messages"] += 1
+        link["bytes"] += size
+
+    def record_delivery(self) -> None:
+        """Record one successful delivery."""
+        self.messages_delivered += 1
+
+
+class Endpoint:
+    """A network endpoint identified by a string address.
+
+    Endpoints either register an ``on_message`` handler (server style) or poll
+    :meth:`receive` for parked messages (client style).
+    """
+
+    def __init__(self, network: "Network", address: str):
+        self.network = network
+        self.address = address
+        self.inbox: deque[Message] = deque()
+        self.on_message: Optional[Callable[[Message], None]] = None
+        self._closed = False
+
+    def send(self, destination: str, payload: bytes) -> None:
+        """Send raw bytes to another endpoint's address."""
+        if self._closed:
+            raise TransportClosedError(f"endpoint {self.address} is closed")
+        self.network.send(self.address, destination, payload)
+
+    def receive(self) -> Optional[Message]:
+        """Pop the oldest parked message, or ``None`` when the inbox is empty."""
+        if self._closed:
+            raise TransportClosedError(f"endpoint {self.address} is closed")
+        if self.inbox:
+            return self.inbox.popleft()
+        return None
+
+    def close(self) -> None:
+        """Close the endpoint; subsequent sends and receives raise."""
+        self._closed = True
+        self.network._unregister(self.address)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+
+class Network:
+    """The simulated network fabric connecting all endpoints.
+
+    Args:
+        clock: simulated clock to charge latency against (a fresh one by default).
+        default_latency: latency model used for links without an explicit model.
+    """
+
+    def __init__(self, clock: SimClock | None = None, default_latency: LatencyModel | None = None):
+        self.clock = clock or SimClock()
+        self.default_latency = default_latency or NoLatency()
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._queue: deque[Message] = deque()
+        self._partitions: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def endpoint(self, address: str) -> Endpoint:
+        """Create (and register) a new endpoint at ``address``."""
+        if address in self._endpoints:
+            raise NetworkError(f"address {address!r} already registered")
+        endpoint = Endpoint(self, address)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def _unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def set_link_latency(self, source: str, destination: str, model: LatencyModel,
+                         symmetric: bool = True) -> None:
+        """Assign a latency model to a directed link (both directions by default)."""
+        self._link_latency[(source, destination)] = model
+        if symmetric:
+            self._link_latency[(destination, source)] = model
+
+    def partition(self, source: str, destination: str, symmetric: bool = True) -> None:
+        """Drop all traffic on a link (fault injection for audits under partition)."""
+        self._partitions.add((source, destination))
+        if symmetric:
+            self._partitions.add((destination, source))
+
+    def heal(self, source: str, destination: str, symmetric: bool = True) -> None:
+        """Remove a partition installed by :meth:`partition`."""
+        self._partitions.discard((source, destination))
+        if symmetric:
+            self._partitions.discard((destination, source))
+
+    def addresses(self) -> list[str]:
+        """All registered endpoint addresses."""
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str, payload: bytes) -> None:
+        """Enqueue a message for delivery; latency is charged at delivery time."""
+        if destination not in self._endpoints:
+            raise NetworkError(f"no endpoint registered at {destination!r}")
+        if (source, destination) in self._partitions:
+            # Partitioned links silently drop traffic, as a real network would.
+            return
+        model = self._link_latency.get((source, destination), self.default_latency)
+        latency = model.sample(len(payload))
+        message = Message(
+            source=source,
+            destination=destination,
+            payload=bytes(payload),
+            sent_at=self.clock.now(),
+            deliver_at=self.clock.now() + latency,
+        )
+        self.stats.record_send(source, destination, len(payload), latency)
+        self._queue.append(message)
+
+    def run_until_idle(self, max_steps: int = 100_000) -> int:
+        """Deliver queued messages until the queue is empty; returns deliveries made."""
+        delivered = 0
+        steps = 0
+        while self._queue:
+            steps += 1
+            if steps > max_steps:
+                raise NetworkError("network did not quiesce (possible message loop)")
+            message = self._queue.popleft()
+            endpoint = self._endpoints.get(message.destination)
+            if endpoint is None or endpoint.closed:
+                continue
+            self.clock.advance_to(message.deliver_at)
+            self.stats.record_delivery()
+            delivered += 1
+            if endpoint.on_message is not None:
+                endpoint.on_message(message)
+            else:
+                endpoint.inbox.append(message)
+        return delivered
+
+    def pending(self) -> int:
+        """Number of undelivered messages."""
+        return len(self._queue)

@@ -1,0 +1,45 @@
+"""Sandboxed execution substrate.
+
+The paper's framework (§4.1) never runs developer application code directly:
+updates are executed inside a software sandbox (WebAssembly in the prototype)
+so that a malicious update "cannot escape the sandbox and have an effect on the
+system outside the sandbox (i.e. the framework)". This package provides the
+simulated equivalents:
+
+* :mod:`repro.sandbox.wvm` — a from-scratch stack-based bytecode VM ("WVM")
+  with an assembler, fuel metering, bounded linear memory, and host-function
+  imports. The BLS signature-share application used by Table 3 ships as WVM
+  bytecode (:mod:`repro.sandbox.programs`).
+* :mod:`repro.sandbox.pysandbox` — a restricted-namespace Python sandbox for
+  the higher-level example applications (key backup, Prio-style aggregation,
+  ODoH-style DNS), with import/IO lockdown and data-only boundaries.
+* :mod:`repro.sandbox.native` — the no-sandbox baseline executor used as
+  Table 3's "Baseline" row.
+
+All three expose the same :class:`~repro.sandbox.executor.Executor` interface,
+so the framework and the benchmark harness can swap execution environments
+without touching application code.
+"""
+
+from repro.sandbox.executor import ExecutionResult, Executor
+from repro.sandbox.native import NativeExecutor
+from repro.sandbox.pysandbox import PythonSandbox, SandboxPolicy
+from repro.sandbox.wvm.assembler import assemble
+from repro.sandbox.wvm.module import WvmModule
+from repro.sandbox.wvm.vm import WvmInstance, WvmLimits
+from repro.sandbox.wvm_executor import WvmExecutor
+from repro.sandbox import programs
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "NativeExecutor",
+    "PythonSandbox",
+    "SandboxPolicy",
+    "assemble",
+    "WvmModule",
+    "WvmInstance",
+    "WvmLimits",
+    "WvmExecutor",
+    "programs",
+]

@@ -1,0 +1,20 @@
+"""WVM — a small WebAssembly-like stack virtual machine.
+
+The paper's prototype compiles C++ applications to WebAssembly and runs them
+inside Node.js. WVM plays that role here: a stack-based bytecode format, an
+assembler for a human-readable text form, and an interpreter with the two
+properties the framework relies on:
+
+* **containment** — programs can only touch their own operand stack, locals,
+  and bounded linear memory, plus whatever host functions the embedder chose
+  to expose; and
+* **metering** — every instruction consumes fuel, so a malicious or buggy
+  update cannot spin forever inside the enclave.
+"""
+
+from repro.sandbox.wvm.instructions import Opcode
+from repro.sandbox.wvm.module import WvmFunction, WvmModule
+from repro.sandbox.wvm.assembler import assemble
+from repro.sandbox.wvm.vm import WvmInstance, WvmLimits
+
+__all__ = ["Opcode", "WvmFunction", "WvmModule", "assemble", "WvmInstance", "WvmLimits"]

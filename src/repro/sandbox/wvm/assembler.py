@@ -1,0 +1,158 @@
+"""A small text assembler for WVM modules.
+
+The assembly format keeps the bundled programs readable and testable::
+
+    ; comments start with ';'
+    func scalar_mul(params=3, locals=6) export
+        push 0
+        store 3
+    loop:
+        load 0
+        jz done
+        ...
+        jmp loop
+    done:
+        load 3
+        halt
+    endfunc
+
+Rules:
+
+* ``func NAME(params=P, locals=L) [export]`` opens a function; ``endfunc``
+  closes it. ``locals`` counts parameters plus additional locals.
+* labels are ``name:`` on their own line and are function-scoped.
+* jump targets and ``call`` targets may be labels (same function), decimal
+  instruction indices, or function names (for ``call``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblerError
+from repro.sandbox.wvm.instructions import Opcode
+from repro.sandbox.wvm.module import WvmFunction, WvmModule
+
+__all__ = ["assemble"]
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?P<name>[A-Za-z_][\w-]*)\s*\(\s*params\s*=\s*(?P<params>\d+)\s*,"
+    r"\s*locals\s*=\s*(?P<locals>\d+)\s*\)\s*(?P<export>export)?$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][\w-]*):$")
+
+_NO_IMMEDIATE = {
+    Opcode.POP, Opcode.DUP, Opcode.SWAP, Opcode.ADD, Opcode.SUB, Opcode.MUL,
+    Opcode.DIV, Opcode.MOD, Opcode.NEG, Opcode.SHL, Opcode.SHR, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.EQ, Opcode.NE, Opcode.LT,
+    Opcode.LE, Opcode.GT, Opcode.GE, Opcode.RET, Opcode.HALT, Opcode.NOP,
+    Opcode.MSTORE, Opcode.MLOAD, Opcode.MSIZE,
+}
+_LABEL_IMMEDIATE = {Opcode.JMP, Opcode.JZ, Opcode.JNZ}
+
+
+def assemble(source: str) -> WvmModule:
+    """Assemble WVM assembly text into a module."""
+    functions: list[WvmFunction] = []
+    exports: dict[str, int] = {}
+    function_indices: dict[str, int] = {}
+    pending: list[dict] = []
+
+    current = None
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("func "):
+            if current is not None:
+                raise AssemblerError(f"line {line_number}: nested func")
+            match = _FUNC_RE.match(line)
+            if not match:
+                raise AssemblerError(f"line {line_number}: malformed func header")
+            current = {
+                "name": match.group("name"),
+                "params": int(match.group("params")),
+                "locals": int(match.group("locals")),
+                "export": bool(match.group("export")),
+                "instructions": [],
+                "labels": {},
+                "line": line_number,
+            }
+            if current["name"] in function_indices:
+                raise AssemblerError(f"line {line_number}: duplicate function {current['name']!r}")
+            function_indices[current["name"]] = len(pending)
+            pending.append(current)
+            continue
+        if line == "endfunc":
+            if current is None:
+                raise AssemblerError(f"line {line_number}: endfunc outside func")
+            current = None
+            continue
+        if current is None:
+            raise AssemblerError(f"line {line_number}: instruction outside func")
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group("label")
+            if label in current["labels"]:
+                raise AssemblerError(f"line {line_number}: duplicate label {label!r}")
+            current["labels"][label] = len(current["instructions"])
+            continue
+        current["instructions"].append((line_number, line))
+
+    if current is not None:
+        raise AssemblerError(f"function {current['name']!r} is missing endfunc")
+    if not pending:
+        raise AssemblerError("no functions defined")
+
+    for spec in pending:
+        code = []
+        for line_number, text in spec["instructions"]:
+            code.append(_parse_instruction(text, line_number, spec["labels"], function_indices))
+        function = WvmFunction(
+            name=spec["name"],
+            num_params=spec["params"],
+            num_locals=spec["locals"],
+            code=tuple(code),
+        )
+        functions.append(function)
+        if spec["export"]:
+            exports[spec["name"]] = function_indices[spec["name"]]
+
+    if not exports:
+        raise AssemblerError("module exports no entry points")
+    return WvmModule(functions=tuple(functions), exports=exports)
+
+
+def _parse_instruction(text: str, line_number: int, labels: dict, function_indices: dict):
+    parts = text.split()
+    mnemonic = parts[0].upper()
+    try:
+        opcode = Opcode[mnemonic]
+    except KeyError as exc:
+        raise AssemblerError(f"line {line_number}: unknown opcode {mnemonic!r}") from exc
+    operands = parts[1:]
+    if opcode in _NO_IMMEDIATE:
+        if operands:
+            raise AssemblerError(f"line {line_number}: {mnemonic} takes no operand")
+        return (opcode, None)
+    if len(operands) != 1:
+        raise AssemblerError(f"line {line_number}: {mnemonic} needs exactly one operand")
+    operand = operands[0]
+    if opcode in _LABEL_IMMEDIATE:
+        if operand in labels:
+            return (opcode, labels[operand])
+        if re.fullmatch(r"-?\d+", operand):
+            return (opcode, int(operand))
+        raise AssemblerError(f"line {line_number}: unknown label {operand!r}")
+    if opcode is Opcode.CALL:
+        if operand in function_indices:
+            return (opcode, function_indices[operand])
+        if re.fullmatch(r"\d+", operand):
+            return (opcode, int(operand))
+        raise AssemblerError(f"line {line_number}: unknown function {operand!r}")
+    # PUSH, LOAD, STORE, HOSTCALL take integer immediates (PUSH may be huge/negative).
+    try:
+        value = int(operand, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_number}: bad immediate {operand!r}") from exc
+    return (opcode, value)

@@ -1,0 +1,79 @@
+"""The WVM instruction set.
+
+Instructions operate on a stack of arbitrary-precision integers (mirroring a
+Wasm engine with a bignum extension, which is what compiling a bignum library
+to Wasm effectively gives you) plus per-frame locals and a bounded linear
+memory of bytes. Every opcode has a fixed fuel cost.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Opcode", "FUEL_COST"]
+
+
+class Opcode(enum.IntEnum):
+    """All WVM opcodes."""
+
+    # Stack manipulation
+    PUSH = 0x01      # push immediate integer
+    POP = 0x02
+    DUP = 0x03
+    SWAP = 0x04
+
+    # Locals
+    LOAD = 0x10      # push locals[imm]
+    STORE = 0x11     # locals[imm] = pop()
+
+    # Arithmetic / logic (operands popped right-then-left)
+    ADD = 0x20
+    SUB = 0x21
+    MUL = 0x22
+    DIV = 0x23       # floor division; traps on zero divisor
+    MOD = 0x24       # traps on zero modulus
+    NEG = 0x25
+    SHL = 0x26
+    SHR = 0x27
+    AND = 0x28
+    OR = 0x29
+    XOR = 0x2A
+    NOT = 0x2B
+
+    # Comparisons (push 1 or 0)
+    EQ = 0x30
+    NE = 0x31
+    LT = 0x32
+    LE = 0x33
+    GT = 0x34
+    GE = 0x35
+
+    # Control flow
+    JMP = 0x40       # unconditional jump to imm (instruction index)
+    JZ = 0x41        # jump if popped value == 0
+    JNZ = 0x42       # jump if popped value != 0
+    CALL = 0x43      # call function index imm
+    RET = 0x44       # return from function (value = top of stack, if any)
+    HALT = 0x45      # stop the program (value = top of stack, if any)
+    NOP = 0x46
+
+    # Linear memory (byte granularity, bounds checked)
+    MSTORE = 0x50    # addr, value -> memory[addr] = value & 0xFF
+    MLOAD = 0x51     # addr -> push memory[addr]
+    MSIZE = 0x52     # push memory size in bytes
+
+    # Host interface
+    HOSTCALL = 0x60  # call host function imm; pops arg count per host signature
+
+
+#: Fuel charged per opcode. Multiplications and host calls are the expensive
+#: operations, mirroring real gas/fuel schedules.
+FUEL_COST = {
+    Opcode.MUL: 4,
+    Opcode.DIV: 4,
+    Opcode.MOD: 4,
+    Opcode.HOSTCALL: 10,
+    Opcode.CALL: 2,
+}
+
+DEFAULT_FUEL_COST = 1

@@ -1,0 +1,286 @@
+"""The WVM interpreter.
+
+Execution model:
+
+* an *instance* binds a module to limits (fuel, memory, stack depth) and a set
+  of host functions;
+* invoking an export pushes a frame with the arguments in locals, then runs a
+  classic fetch/decode/execute loop;
+* every instruction is metered; containment violations (bad memory accesses,
+  unknown host functions, stack overflow) trap rather than touching anything
+  outside the instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    FuelExhaustedError,
+    MemoryLimitError,
+    SandboxEscapeError,
+    WvmTrapError,
+)
+from repro.sandbox.wvm.instructions import DEFAULT_FUEL_COST, FUEL_COST, Opcode
+from repro.sandbox.wvm.module import WvmModule
+
+__all__ = ["WvmLimits", "HostFunction", "WvmInstance"]
+
+
+@dataclass(frozen=True)
+class WvmLimits:
+    """Resource limits enforced on a WVM instance."""
+
+    max_fuel: int = 10_000_000
+    memory_bytes: int = 64 * 1024
+    max_stack_depth: int = 1024
+    max_call_depth: int = 128
+
+
+@dataclass(frozen=True)
+class HostFunction:
+    """A host function exposed to sandboxed code.
+
+    Args:
+        name: symbolic name (for diagnostics).
+        arity: number of integer arguments popped from the stack.
+        fn: the Python callable; must return an int (or None, treated as 0).
+    """
+
+    name: str
+    arity: int
+    fn: Callable
+
+
+@dataclass
+class _Frame:
+    function_index: int
+    pc: int
+    locals: list
+
+
+class WvmInstance:
+    """One sandboxed instantiation of a WVM module."""
+
+    def __init__(self, module: WvmModule, limits: WvmLimits | None = None,
+                 host_functions: dict[int, HostFunction] | None = None):
+        self.module = module
+        self.limits = limits or WvmLimits()
+        self.host_functions = dict(host_functions or {})
+        self.memory = bytearray(self.limits.memory_bytes)
+        self.fuel_used = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def invoke(self, entry: str, args: list[int]) -> int:
+        """Run the exported function ``entry`` with integer ``args``.
+
+        Returns the value left on top of the stack when the program halts or
+        the entry function returns.
+        """
+        function_index = self.module.function_index(entry)
+        function = self.module.function(function_index)
+        if len(args) != function.num_params:
+            raise WvmTrapError(
+                f"{entry} expects {function.num_params} arguments, got {len(args)}"
+            )
+        for arg in args:
+            if not isinstance(arg, int) or isinstance(arg, bool):
+                raise SandboxEscapeError("only integers may cross the sandbox boundary")
+        stack: list[int] = []
+        frames = [self._new_frame(function_index, args)]
+        return self._run(stack, frames)
+
+    @property
+    def fuel_remaining(self) -> int:
+        """Fuel left before the instance traps with :class:`FuelExhaustedError`."""
+        return max(0, self.limits.max_fuel - self.fuel_used)
+
+    # ------------------------------------------------------------------
+    # Interpreter core
+    # ------------------------------------------------------------------
+    def _new_frame(self, function_index: int, args: list[int]) -> _Frame:
+        function = self.module.function(function_index)
+        local_slots = [0] * function.num_locals
+        local_slots[: len(args)] = list(args)
+        return _Frame(function_index=function_index, pc=0, locals=local_slots)
+
+    def _charge(self, opcode: Opcode) -> None:
+        self.fuel_used += FUEL_COST.get(opcode, DEFAULT_FUEL_COST)
+        if self.fuel_used > self.limits.max_fuel:
+            raise FuelExhaustedError(
+                f"program exceeded fuel limit of {self.limits.max_fuel}"
+            )
+
+    def _run(self, stack: list[int], frames: list[_Frame]) -> int:
+        limits = self.limits
+        memory = self.memory
+        while frames:
+            frame = frames[-1]
+            code = self.module.function(frame.function_index).code
+            if frame.pc >= len(code):
+                raise WvmTrapError("execution ran off the end of a function")
+            opcode, immediate = code[frame.pc]
+            frame.pc += 1
+            self._charge(opcode)
+
+            if opcode is Opcode.PUSH:
+                if len(stack) >= limits.max_stack_depth:
+                    raise WvmTrapError("operand stack overflow")
+                stack.append(immediate)
+            elif opcode is Opcode.POP:
+                self._pop(stack)
+            elif opcode is Opcode.DUP:
+                value = self._pop(stack)
+                stack.append(value)
+                stack.append(value)
+            elif opcode is Opcode.SWAP:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(b)
+                stack.append(a)
+            elif opcode is Opcode.LOAD:
+                stack.append(self._local(frame, immediate))
+            elif opcode is Opcode.STORE:
+                self._set_local(frame, immediate, self._pop(stack))
+            elif opcode is Opcode.ADD:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a + b)
+            elif opcode is Opcode.SUB:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a - b)
+            elif opcode is Opcode.MUL:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a * b)
+            elif opcode is Opcode.DIV:
+                b, a = self._pop(stack), self._pop(stack)
+                if b == 0:
+                    raise WvmTrapError("division by zero")
+                stack.append(a // b)
+            elif opcode is Opcode.MOD:
+                b, a = self._pop(stack), self._pop(stack)
+                if b == 0:
+                    raise WvmTrapError("modulo by zero")
+                stack.append(a % b)
+            elif opcode is Opcode.NEG:
+                stack.append(-self._pop(stack))
+            elif opcode is Opcode.SHL:
+                b, a = self._pop(stack), self._pop(stack)
+                if b < 0 or b > 4096:
+                    raise WvmTrapError("shift amount out of range")
+                stack.append(a << b)
+            elif opcode is Opcode.SHR:
+                b, a = self._pop(stack), self._pop(stack)
+                if b < 0 or b > 4096:
+                    raise WvmTrapError("shift amount out of range")
+                stack.append(a >> b)
+            elif opcode is Opcode.AND:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a & b)
+            elif opcode is Opcode.OR:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a | b)
+            elif opcode is Opcode.XOR:
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(a ^ b)
+            elif opcode is Opcode.NOT:
+                stack.append(0 if self._pop(stack) else 1)
+            elif opcode in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE):
+                b, a = self._pop(stack), self._pop(stack)
+                stack.append(1 if _compare(opcode, a, b) else 0)
+            elif opcode is Opcode.JMP:
+                frame.pc = self._jump_target(code, immediate)
+            elif opcode is Opcode.JZ:
+                if self._pop(stack) == 0:
+                    frame.pc = self._jump_target(code, immediate)
+            elif opcode is Opcode.JNZ:
+                if self._pop(stack) != 0:
+                    frame.pc = self._jump_target(code, immediate)
+            elif opcode is Opcode.CALL:
+                if len(frames) >= limits.max_call_depth:
+                    raise WvmTrapError("call depth exceeded")
+                callee = self.module.function(immediate)
+                if len(stack) < callee.num_params:
+                    raise WvmTrapError(f"not enough arguments on stack for {callee.name}")
+                args = [stack.pop() for _ in range(callee.num_params)][::-1]
+                frames.append(self._new_frame(immediate, args))
+            elif opcode is Opcode.RET:
+                value = stack.pop() if stack else 0
+                frames.pop()
+                if not frames:
+                    return value
+                stack.append(value)
+            elif opcode is Opcode.HALT:
+                return stack.pop() if stack else 0
+            elif opcode is Opcode.NOP:
+                pass
+            elif opcode is Opcode.MSTORE:
+                value, address = self._pop(stack), self._pop(stack)
+                self._check_address(address)
+                memory[address] = value & 0xFF
+            elif opcode is Opcode.MLOAD:
+                address = self._pop(stack)
+                self._check_address(address)
+                stack.append(memory[address])
+            elif opcode is Opcode.MSIZE:
+                stack.append(len(memory))
+            elif opcode is Opcode.HOSTCALL:
+                host = self.host_functions.get(immediate)
+                if host is None:
+                    raise SandboxEscapeError(
+                        f"program called unavailable host function {immediate}"
+                    )
+                if len(stack) < host.arity:
+                    raise WvmTrapError(f"host function {host.name} needs {host.arity} arguments")
+                args = [stack.pop() for _ in range(host.arity)][::-1]
+                result = host.fn(*args)
+                stack.append(int(result) if result is not None else 0)
+            else:  # pragma: no cover - the enum is exhaustive
+                raise WvmTrapError(f"unimplemented opcode {opcode!r}")
+        raise WvmTrapError("program ended without HALT or RET")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pop(stack: list[int]) -> int:
+        if not stack:
+            raise WvmTrapError("operand stack underflow")
+        return stack.pop()
+
+    @staticmethod
+    def _local(frame: _Frame, index) -> int:
+        if index is None or not 0 <= index < len(frame.locals):
+            raise WvmTrapError(f"local index {index} out of range")
+        return frame.locals[index]
+
+    @staticmethod
+    def _set_local(frame: _Frame, index, value: int) -> None:
+        if index is None or not 0 <= index < len(frame.locals):
+            raise WvmTrapError(f"local index {index} out of range")
+        frame.locals[index] = value
+
+    @staticmethod
+    def _jump_target(code, target) -> int:
+        if target is None or not 0 <= target <= len(code):
+            raise WvmTrapError(f"jump target {target} out of range")
+        return target
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < len(self.memory):
+            raise MemoryLimitError(f"memory access at {address} outside linear memory")
+
+
+def _compare(opcode: Opcode, a: int, b: int) -> bool:
+    if opcode is Opcode.EQ:
+        return a == b
+    if opcode is Opcode.NE:
+        return a != b
+    if opcode is Opcode.LT:
+        return a < b
+    if opcode is Opcode.LE:
+        return a <= b
+    if opcode is Opcode.GT:
+        return a > b
+    return a >= b

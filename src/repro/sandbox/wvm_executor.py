@@ -1,0 +1,68 @@
+"""The WVM-backed executor (Table 3's "Sandbox" execution environment)."""
+
+from __future__ import annotations
+
+from repro.crypto.bilinear import BilinearGroup
+from repro.sandbox.executor import ExecutionResult, Executor
+from repro.sandbox.programs import HOST_HASH_TO_G1
+from repro.sandbox.wvm.module import WvmModule
+from repro.sandbox.wvm.vm import HostFunction, WvmInstance, WvmLimits
+
+__all__ = ["WvmExecutor", "default_host_functions"]
+
+_GROUP = BilinearGroup()
+
+
+def _hash_to_g1_exponent(message_int: int, message_len: int) -> int:
+    """Host intrinsic: hash an integer-encoded message onto G1 (exponent form).
+
+    The explicit ``message_len`` preserves leading zero bytes (and the empty
+    message), so the sandboxed application hashes exactly the bytes a native
+    signer would.
+    """
+    if message_len < 0:
+        raise ValueError("message length cannot be negative")
+    minimum = (message_int.bit_length() + 7) // 8
+    length = max(message_len, minimum)
+    message = message_int.to_bytes(length, "big") if length else b""
+    return _GROUP.hash_to_g1(message).exponent
+
+
+def default_host_functions() -> dict[int, HostFunction]:
+    """The host-function import table offered to application modules."""
+    return {
+        HOST_HASH_TO_G1: HostFunction("hash_to_g1", 2, _hash_to_g1_exponent),
+    }
+
+
+class WvmExecutor(Executor):
+    """Runs a WVM module inside a metered, contained interpreter instance.
+
+    A fresh :class:`WvmInstance` is created per invocation, matching the
+    framework's behaviour of giving each request a clean sandbox heap.
+    """
+
+    name = "wvm-sandbox"
+
+    def __init__(self, module: WvmModule, limits: WvmLimits | None = None,
+                 host_functions: dict[int, HostFunction] | None = None):
+        self.module = module
+        self.limits = limits or WvmLimits()
+        self.host_functions = host_functions if host_functions is not None else default_host_functions()
+        self.total_fuel_used = 0
+
+    def invoke(self, entry: str, args: list) -> ExecutionResult:
+        """Instantiate the module and run ``entry`` with integer arguments."""
+        instance = WvmInstance(self.module, self.limits, self.host_functions)
+        value = instance.invoke(entry, list(args))
+        self.total_fuel_used += instance.fuel_used
+        return ExecutionResult(value=value, fuel_used=instance.fuel_used, environment=self.name)
+
+    def describe(self) -> dict:
+        """Environment metadata for experiment logs."""
+        return {
+            "name": self.name,
+            "module_digest": self.module.digest().hex(),
+            "max_fuel": self.limits.max_fuel,
+            "memory_bytes": self.limits.memory_bytes,
+        }

@@ -1,0 +1,20 @@
+"""Simulation support: workload generators, adversary scenarios, and metrics.
+
+These helpers keep the examples and the benchmark harness small: workloads are
+seeded and reproducible, adversary scenarios encode the paper's threat model
+(a compromised application developer, an exploited TEE vendor), and the
+metrics module turns raw latency samples into the summary statistics the
+experiment write-ups report.
+"""
+
+from repro.sim.metrics import LatencyStats, summarize
+from repro.sim.workload import WorkloadGenerator
+from repro.sim.adversary import DeveloperCompromise, VendorExploit
+
+__all__ = [
+    "LatencyStats",
+    "summarize",
+    "WorkloadGenerator",
+    "DeveloperCompromise",
+    "VendorExploit",
+]

@@ -1,0 +1,117 @@
+"""Adversary scenarios from the paper's threat model.
+
+Two attacks recur throughout the paper's argument:
+
+* **Developer credential compromise** (Figure 1): the attacker controls the
+  application developer's cloud credentials and machines. Against the
+  strawman ("developer rents VMs on several clouds") this recovers every
+  user's secret; against the framework it only reaches trust domain 0 and any
+  signing capability the developer retained.
+* **Vendor-wide TEE exploit** (§1, §3.2): one secure-hardware technology
+  falls; heterogeneous deployments confine the damage.
+
+Both scenarios operate on a real :class:`~repro.core.deployment.Deployment`
+and report what the attacker could actually extract, so the examples and the
+Figure 1 experiment run them rather than merely asserting the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deployment import Deployment
+from repro.enclave.exploits import ExploitCampaign
+from repro.errors import SandboxEscapeError
+
+__all__ = ["DeveloperCompromise", "VendorExploit"]
+
+
+@dataclass
+class CompromiseOutcome:
+    """What an attack attempt against a deployment yielded."""
+
+    domains_breached: list[str] = field(default_factory=list)
+    domains_resisted: list[str] = field(default_factory=list)
+    extracted_values: dict = field(default_factory=dict)
+
+    @property
+    def breached_count(self) -> int:
+        """Number of trust domains whose application memory the attacker read."""
+        return len(self.domains_breached)
+
+
+class DeveloperCompromise:
+    """An attacker holding the application developer's credentials.
+
+    The attacker can log into machines the developer administers (trust domain
+    0 and, in the strawman deployment, every VM) and read process memory
+    there. It cannot read memory inside intact enclaves it does not have an
+    exploit for.
+    """
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+
+    def attempt_memory_extraction(self, keys: list[str]) -> CompromiseOutcome:
+        """Try to read application memory (``keys``) in every trust domain."""
+        outcome = CompromiseOutcome()
+        for domain in self.deployment.domains:
+            if domain.enclave is None:
+                # Developer-administered machine: full memory access.
+                outcome.domains_breached.append(domain.domain_id)
+                state = self._developer_domain_state(domain)
+                if state is not None:
+                    outcome.extracted_values[domain.domain_id] = state
+                continue
+            if not domain.enclave.memory.isolated:
+                # The enclave's isolation has already been defeated (e.g. by a
+                # TEE exploit); the developer's host access now reads memory.
+                outcome.domains_breached.append(domain.domain_id)
+                outcome.extracted_values[domain.domain_id] = {
+                    key: domain.enclave.memory.host_read(key) for key in keys
+                }
+                continue
+            try:
+                # Probe the isolation boundary the way a real attacker would.
+                domain.enclave.memory.host_read("__probe__")
+            except SandboxEscapeError:
+                outcome.domains_resisted.append(domain.domain_id)
+            else:  # pragma: no cover - unreachable while isolation holds
+                outcome.domains_breached.append(domain.domain_id)
+        return outcome
+
+    @staticmethod
+    def _developer_domain_state(domain):
+        framework = domain.framework
+        sandbox = getattr(framework, "_python_sandbox", None)
+        if sandbox is not None:
+            return sandbox.state
+        return None
+
+    def can_recover_secret(self, threshold: int) -> bool:
+        """Whether the attacker breached enough domains to defeat a t-of-n secret."""
+        outcome = self.attempt_memory_extraction(keys=[])
+        return outcome.breached_count >= threshold
+
+
+class VendorExploit:
+    """An attacker with an exploit for one secure-hardware vendor."""
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+
+    def exploit(self, vendor_name: str) -> CompromiseOutcome:
+        """Compromise every enclave built on ``vendor_name`` hardware."""
+        enclaves = [d.enclave for d in self.deployment.domains if d.enclave is not None]
+        campaign = ExploitCampaign(enclaves)
+        report = campaign.exploit_vendor(vendor_name)
+        outcome = CompromiseOutcome()
+        outcome.domains_breached = list(report.compromised_enclaves)
+        outcome.domains_resisted = list(report.unaffected_enclaves)
+        return outcome
+
+    def defeats_application(self, vendor_name: str, honest_required: int) -> bool:
+        """Whether exploiting one vendor leaves fewer than ``honest_required`` honest domains."""
+        outcome = self.exploit(vendor_name)
+        total = len(self.deployment.domains)
+        return (total - outcome.breached_count) < honest_required

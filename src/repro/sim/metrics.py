@@ -1,0 +1,57 @@
+"""Latency statistics for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LatencyStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def mean_ms(self) -> float:
+        """Mean in milliseconds (what the paper's Table 3 reports)."""
+        return self.mean * 1000.0
+
+    def overhead_vs(self, baseline: "LatencyStats") -> float:
+        """Percentage increase of this mean over a baseline mean."""
+        if baseline.mean == 0:
+            return float("inf")
+        return (self.mean - baseline.mean) / baseline.mean * 100.0
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    if not ordered:
+        raise ValueError("no samples")
+    index = min(len(ordered) - 1, max(0, int(math.ceil(fraction * len(ordered))) - 1))
+    return ordered[index]
+
+
+def summarize(samples: list[float]) -> LatencyStats:
+    """Compute summary statistics over latency samples."""
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    ordered = sorted(samples)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((s - mean) ** 2 for s in ordered) / count
+    return LatencyStats(
+        count=count,
+        mean=mean,
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        stddev=math.sqrt(variance),
+    )

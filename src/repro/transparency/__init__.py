@@ -1,0 +1,39 @@
+"""Append-only transparency logs.
+
+The paper's second building block is "an append-only log" of code digests
+(§3.1, §4.1): each TEE keeps a hash chain of every code version it has run so
+that a malicious developer cannot erase evidence of malicious code, and
+clients/auditors query all trust domains and compare. The paper also points at
+the deployed certificate-transparency ecosystem as infrastructure a deployment
+can lean on.
+
+This package provides both layers:
+
+* :mod:`repro.transparency.log` — the per-TEE digest log (hash chain with
+  structured entries), exactly what the framework maintains inside each
+  enclave;
+* :mod:`repro.transparency.ct_log` — a CT-style Merkle-tree log with signed
+  tree heads, inclusion proofs, and consistency proofs, playing the role of
+  the public log a developer additionally publishes releases to;
+* :mod:`repro.transparency.gossip` — cross-domain and cross-client gossip to
+  detect split views (equivocation);
+* :mod:`repro.transparency.monitor` — a long-running monitor that audits a
+  CT-style log as it grows.
+"""
+
+from repro.transparency.log import DigestLog, DigestLogEntry
+from repro.transparency.ct_log import CtLog, SignedTreeHead
+from repro.transparency.gossip import GossipPool, SplitViewEvidence, check_views_consistent
+from repro.transparency.monitor import LogMonitor, MonitorAlert
+
+__all__ = [
+    "DigestLog",
+    "DigestLogEntry",
+    "CtLog",
+    "SignedTreeHead",
+    "GossipPool",
+    "SplitViewEvidence",
+    "check_views_consistent",
+    "LogMonitor",
+    "MonitorAlert",
+]

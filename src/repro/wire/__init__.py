@@ -1,0 +1,22 @@
+"""Canonical binary wire format used by every protocol message in the system.
+
+Distributed-trust auditing relies on *canonical* encodings: when a client
+compares digests or signed structures received from different trust domains,
+byte-level equality has to mean semantic equality. :mod:`repro.wire.codec`
+provides a small, deterministic, length-prefixed encoding for the handful of
+types the protocols need (ints, bytes, strings, bools, lists, dicts, None),
+and :mod:`repro.wire.framing` provides length-prefixed message framing for the
+simulated socket streams.
+"""
+
+from repro.wire.codec import encode, decode, canonical_digest
+from repro.wire.framing import FrameReader, frame_message, split_frames
+
+__all__ = [
+    "encode",
+    "decode",
+    "canonical_digest",
+    "FrameReader",
+    "frame_message",
+    "split_frames",
+]

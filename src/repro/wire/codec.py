@@ -1,0 +1,182 @@
+"""A deterministic, self-describing binary codec.
+
+The format is deliberately tiny — a tag byte followed by a big-endian length
+and the payload — and biased toward canonical output:
+
+* dictionary keys are sorted lexicographically before encoding, so two
+  semantically equal dicts always serialize identically;
+* integers use a minimal-length two's-complement-free encoding (sign byte +
+  magnitude), so there is exactly one encoding per value;
+* no floats: protocol messages that need fractional values carry scaled
+  integers instead, which keeps encodings exact and comparable.
+
+Tags::
+
+    N  None          I  int            B  bytes        S  str (UTF-8)
+    T  True/False    L  list           D  dict
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import sha256
+from repro.errors import DecodingError, EncodingError
+
+__all__ = ["encode", "decode", "canonical_digest"]
+
+_MAX_DEPTH = 64
+
+
+def encode(value) -> bytes:
+    """Encode a Python value into canonical bytes.
+
+    Supported types: ``None``, ``bool``, ``int``, ``bytes``, ``str``, ``list``,
+    ``tuple`` (encoded as a list), and ``dict`` with string keys.
+    """
+    return b"".join(_encode_value(value, 0))
+
+
+def _encode_value(value, depth: int):
+    if depth > _MAX_DEPTH:
+        raise EncodingError("value nesting too deep to encode")
+    if value is None:
+        yield b"N"
+    elif isinstance(value, bool):
+        # bool must be checked before int (bool is a subclass of int).
+        yield b"T" + (b"\x01" if value else b"\x00")
+    elif isinstance(value, int):
+        yield _encode_int(value)
+    elif isinstance(value, bytes):
+        yield b"B" + _length(len(value)) + value
+    elif isinstance(value, bytearray):
+        yield b"B" + _length(len(value)) + bytes(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        yield b"S" + _length(len(raw)) + raw
+    elif isinstance(value, (list, tuple)):
+        yield b"L" + _length(len(value))
+        for item in value:
+            yield from _encode_value(item, depth + 1)
+    elif isinstance(value, dict):
+        keys = list(value.keys())
+        if not all(isinstance(k, str) for k in keys):
+            raise EncodingError("dict keys must be strings")
+        if len(set(keys)) != len(keys):
+            raise EncodingError("dict has duplicate keys")
+        yield b"D" + _length(len(keys))
+        for key in sorted(keys):
+            raw = key.encode("utf-8")
+            yield _length(len(raw)) + raw
+            yield from _encode_value(value[key], depth + 1)
+    else:
+        raise EncodingError(f"cannot encode values of type {type(value).__name__}")
+
+
+def _encode_int(value: int) -> bytes:
+    sign = b"\x01" if value < 0 else b"\x00"
+    magnitude = abs(value)
+    if magnitude == 0:
+        raw = b""
+    else:
+        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+    return b"I" + sign + _length(len(raw)) + raw
+
+
+def _length(n: int) -> bytes:
+    if n < 0 or n > 0xFFFFFFFF:
+        raise EncodingError("length out of range")
+    return n.to_bytes(4, "big")
+
+
+def decode(data: bytes):
+    """Decode bytes produced by :func:`encode`; rejects trailing garbage."""
+    value, offset = _decode_value(data, 0, 0)
+    if offset != len(data):
+        raise DecodingError("trailing bytes after decoded value")
+    return value
+
+
+def _decode_value(data: bytes, offset: int, depth: int):
+    if depth > _MAX_DEPTH:
+        raise DecodingError("value nesting too deep to decode")
+    if offset >= len(data):
+        raise DecodingError("unexpected end of input")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        if offset >= len(data):
+            raise DecodingError("truncated bool")
+        return data[offset] == 1, offset + 1
+    if tag == b"I":
+        if offset >= len(data):
+            raise DecodingError("truncated int sign")
+        negative = data[offset] == 1
+        offset += 1
+        length, offset = _read_length(data, offset)
+        raw = _read_bytes(data, offset, length)
+        offset += length
+        magnitude = int.from_bytes(raw, "big") if raw else 0
+        if magnitude == 0 and negative:
+            raise DecodingError("non-canonical negative zero")
+        if raw and raw[0] == 0:
+            raise DecodingError("non-canonical int with leading zero")
+        return (-magnitude if negative else magnitude), offset
+    if tag == b"B":
+        length, offset = _read_length(data, offset)
+        raw = _read_bytes(data, offset, length)
+        return raw, offset + length
+    if tag == b"S":
+        length, offset = _read_length(data, offset)
+        raw = _read_bytes(data, offset, length)
+        try:
+            return raw.decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise DecodingError("invalid UTF-8 in string") from exc
+    if tag == b"L":
+        count, offset = _read_length(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset, depth + 1)
+            items.append(item)
+        return items, offset
+    if tag == b"D":
+        count, offset = _read_length(data, offset)
+        result = {}
+        previous_key = None
+        for _ in range(count):
+            key_length, offset = _read_length(data, offset)
+            key_raw = _read_bytes(data, offset, key_length)
+            offset += key_length
+            try:
+                key = key_raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodingError("invalid UTF-8 in dict key") from exc
+            if previous_key is not None and key <= previous_key:
+                raise DecodingError("dict keys not in canonical order")
+            previous_key = key
+            value, offset = _decode_value(data, offset, depth + 1)
+            result[key] = value
+        return result, offset
+    raise DecodingError(f"unknown tag {tag!r}")
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    raw = _read_bytes(data, offset, 4)
+    return int.from_bytes(raw, "big"), offset + 4
+
+
+def _read_bytes(data: bytes, offset: int, length: int) -> bytes:
+    if offset + length > len(data):
+        raise DecodingError("truncated input")
+    return data[offset:offset + length]
+
+
+def canonical_digest(value) -> bytes:
+    """SHA-256 over the canonical encoding of ``value``.
+
+    This is how the framework computes code-package digests, update-manifest
+    digests, and the signed payloads of tree heads: the digest of a structure
+    is well-defined regardless of which party computes it.
+    """
+    return sha256(encode(value))

@@ -1,0 +1,63 @@
+"""Length-prefixed message framing for simulated byte streams.
+
+The vsock-style proxy between the host and the enclave (and the socket between
+the framework and the sandboxed application) carries a byte stream; framing
+turns that stream back into discrete messages. Each frame is ``length (4 bytes,
+big-endian) || payload``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+
+__all__ = ["frame_message", "split_frames", "FrameReader"]
+
+MAX_FRAME_SIZE = 16 * 1024 * 1024  # 16 MiB — ample for code packages
+
+
+def frame_message(payload: bytes) -> bytes:
+    """Wrap a payload in a length-prefixed frame."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise DecodingError("frame payload too large")
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def split_frames(data: bytes) -> list[bytes]:
+    """Split a byte string containing zero or more complete frames."""
+    reader = FrameReader()
+    frames = reader.feed(data)
+    if reader.pending_bytes:
+        raise DecodingError("trailing partial frame")
+    return frames
+
+
+class FrameReader:
+    """Incremental frame parser for streamed data.
+
+    Feed arbitrary chunks with :meth:`feed`; complete frames are returned as
+    they become available and partial data is buffered internally.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Number of buffered bytes that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Add a chunk of stream data; return any frames completed by it."""
+        self._buffer.extend(chunk)
+        frames = []
+        while True:
+            if len(self._buffer) < 4:
+                break
+            length = int.from_bytes(self._buffer[:4], "big")
+            if length > MAX_FRAME_SIZE:
+                raise DecodingError("incoming frame exceeds maximum size")
+            if len(self._buffer) < 4 + length:
+                break
+            frames.append(bytes(self._buffer[4:4 + length]))
+            del self._buffer[:4 + length]
+        return frames

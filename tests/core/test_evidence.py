@@ -1,0 +1,130 @@
+"""Unit tests for misbehavior-evidence objects in isolation."""
+
+import pytest
+
+from repro.core.evidence import (
+    AttestationFailureEvidence,
+    DigestMismatchEvidence,
+    LogMismatchEvidence,
+    MisbehaviorEvidence,
+)
+from repro.core.package import DeveloperIdentity
+from repro.core.trust_domain import TrustDomain, expected_framework_measurement
+from repro.enclave.attestation import AttestationVerifier
+from repro.enclave.tee import HardwareType
+from repro.enclave.vendor import HardwareVendor, VendorRegistry
+from repro.transparency.log import DigestLog
+
+
+def make_domain(domain_id="evidence-domain", hardware=HardwareType.NITRO):
+    developer = DeveloperIdentity("evidence-developer")
+    vendor = HardwareVendor("aws-nitro-sim" if hardware == HardwareType.NITRO else "intel-sgx-sim")
+    registry = VendorRegistry([vendor])
+    domain = TrustDomain(domain_id, hardware, developer.public_key, vendor=vendor)
+    return domain, AttestationVerifier(registry), developer
+
+
+class TestBaseEvidence:
+    def test_base_verify_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            MisbehaviorEvidence("kind", "desc").verify(None)
+
+
+class TestDigestMismatchEvidence:
+    def test_genuine_mismatch_verifies(self):
+        domain_a, verifier, developer = make_domain("a")
+        vendor_b = HardwareVendor("aws-nitro-sim")
+        domain_b = TrustDomain("b", HardwareType.NITRO, developer.public_key, vendor=vendor_b)
+
+        from repro.core.package import CodePackage
+        from repro.sandbox.programs import bls_share_source
+
+        package_a = CodePackage("app", "1.0.0", "wvm", bls_share_source())
+        package_b = CodePackage("app", "6.6.6", "wvm", bls_share_source() + "\n; evil")
+        domain_a.install_update(developer.sign_update(package_a, 0), package_a)
+        domain_b.install_update(developer.sign_update(package_b, 0), package_b)
+
+        first = domain_a.audit_response(b"n" * 32)
+        second = domain_b.audit_response(b"n" * 32)
+        evidence = DigestMismatchEvidence(
+            kind="digest-mismatch", description="test",
+            first_domain="a", second_domain="b",
+            first_response=first, second_response=second,
+        )
+        assert evidence.verify(verifier, expected_framework_measurement())
+
+    def test_matching_digests_do_not_verify_as_evidence(self):
+        domain, verifier, developer = make_domain()
+        from repro.core.package import CodePackage
+        from repro.sandbox.programs import bls_share_source
+
+        package = CodePackage("app", "1.0.0", "wvm", bls_share_source())
+        domain.install_update(developer.sign_update(package, 0), package)
+        response = domain.audit_response(b"n" * 32)
+        evidence = DigestMismatchEvidence(
+            kind="digest-mismatch", description="bogus",
+            first_domain="a", second_domain="a",
+            first_response=response, second_response=response,
+        )
+        assert not evidence.verify(verifier)
+
+    def test_missing_attestation_does_not_verify(self):
+        _, verifier, _ = make_domain()
+        evidence = DigestMismatchEvidence(
+            kind="digest-mismatch", description="no attestations",
+            first_response={}, second_response={},
+        )
+        assert not evidence.verify(verifier)
+
+
+class TestLogMismatchEvidence:
+    def test_inconsistent_export_verifies(self):
+        log = DigestLog("d")
+        log.append(b"\x01" * 32, "v1", 1.0)
+        exported = log.export()
+        exported[0]["code_digest"] = b"\x02" * 32
+        evidence = LogMismatchEvidence(
+            kind="log-mismatch", description="test",
+            domain_id="d", exported_log=exported, attested_head=log.head(),
+        )
+        assert evidence.verify(None)
+
+    def test_consistent_export_is_not_evidence(self):
+        log = DigestLog("d")
+        log.append(b"\x01" * 32, "v1", 1.0)
+        evidence = LogMismatchEvidence(
+            kind="log-mismatch", description="test",
+            domain_id="d", exported_log=log.export(), attested_head=log.head(),
+        )
+        assert not evidence.verify(None)
+
+
+class TestAttestationFailureEvidence:
+    def test_missing_attestation_counts_as_misbehavior(self):
+        _, verifier, _ = make_domain()
+        evidence = AttestationFailureEvidence(
+            kind="attestation-failure", description="refused",
+            domain_id="d", response={}, failure_reason="missing",
+        )
+        assert evidence.verify(verifier)
+
+    def test_invalid_attestation_still_fails_on_recheck(self):
+        domain, verifier, _ = make_domain()
+        response = domain.audit_response(b"original-nonce-0000000000000000")
+        # Record the response against a different nonce: replay evidence.
+        response["nonce"] = b"a different nonce..............."
+        evidence = AttestationFailureEvidence(
+            kind="attestation-failure", description="replay",
+            domain_id=domain.domain_id, response=response, failure_reason="nonce mismatch",
+        )
+        assert evidence.verify(verifier, expected_framework_measurement())
+
+    def test_valid_attestation_is_not_evidence(self):
+        domain, verifier, _ = make_domain()
+        nonce = b"n" * 32
+        response = domain.audit_response(nonce)
+        evidence = AttestationFailureEvidence(
+            kind="attestation-failure", description="bogus claim",
+            domain_id=domain.domain_id, response=response, failure_reason="none",
+        )
+        assert not evidence.verify(verifier, expected_framework_measurement())

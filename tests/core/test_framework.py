@@ -1,0 +1,197 @@
+"""Unit tests for the application-independent framework."""
+
+import pytest
+
+from repro.core.framework import TrustDomainFramework, framework_source
+from repro.core.package import CodePackage, DeveloperIdentity
+from repro.crypto.bilinear import BLS_SCALAR_ORDER
+from repro.errors import FrameworkError, UnauthorizedUpdateError, UpdateRejectedError
+from repro.sandbox.programs import bls_share_source
+
+PYTHON_APP_V1 = """
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"counter": 0}
+
+def handle(method, params, state):
+    if method == "bump":
+        state["counter"] = state["counter"] + 1
+        return state["counter"]
+    if method == "read":
+        return state["counter"]
+    raise ValueError("unknown method")
+"""
+
+PYTHON_APP_V2 = PYTHON_APP_V1.replace('"counter"] + 1', '"counter"] + 10')
+
+
+def make_framework():
+    developer = DeveloperIdentity("acme")
+    framework = TrustDomainFramework("domain-under-test", developer.public_key)
+    return developer, framework
+
+
+def wvm_package(version="1.0.0"):
+    return CodePackage("custody", version, "wvm", bls_share_source())
+
+
+def python_package(version="1.0.0", source=PYTHON_APP_V1):
+    return CodePackage("counter", version, "python", source)
+
+
+class TestInstallUpdate:
+    def test_install_first_version(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        result = framework.install_update(developer.sign_update(package, 0), package)
+        assert result["installed"] is True
+        assert framework.current_digest() == package.digest()
+        assert framework.state().sequence == 0
+        assert framework.state().log_length == 1
+
+    def test_unsigned_update_rejected(self):
+        developer, framework = make_framework()
+        impostor = DeveloperIdentity("impostor")
+        package = wvm_package()
+        with pytest.raises(UnauthorizedUpdateError):
+            framework.install_update(impostor.sign_update(package, 0), package)
+
+    def test_wrong_digest_rejected(self):
+        developer, framework = make_framework()
+        manifest = developer.sign_update(wvm_package(), 0)
+        different_package = wvm_package(version="9.9.9")
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(manifest, different_package)
+
+    def test_sequence_replay_rejected(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        manifest = developer.sign_update(package, 0)
+        framework.install_update(manifest, package)
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(manifest, package)
+
+    def test_sequence_gap_rejected(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(developer.sign_update(package, 5), package)
+
+    def test_rollback_rejected(self):
+        developer, framework = make_framework()
+        v1, v2 = wvm_package("1.0.0"), wvm_package("2.0.0")
+        framework.install_update(developer.sign_update(v1, 0), v1)
+        framework.install_update(developer.sign_update(v2, 1), v2)
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(developer.sign_update(v1, 0), v1)
+
+    def test_announcement_precedes_switch(self):
+        developer, framework = make_framework()
+        observed = []
+        framework.update_listeners.append(
+            lambda announcement: observed.append(
+                (announcement.version, framework.current_digest())
+            )
+        )
+        package = wvm_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        # At announcement time the old (empty) code was still current.
+        assert observed == [("1.0.0", b"")]
+
+    def test_every_version_logged(self):
+        developer, framework = make_framework()
+        versions = ["1.0.0", "1.1.0", "2.0.0"]
+        for sequence, version in enumerate(versions):
+            package = wvm_package(version)
+            framework.install_update(developer.sign_update(package, sequence), package)
+        log = framework.log_export()
+        assert [entry["version"] for entry in log] == versions
+        assert [a.version for a in framework.announcements()] == versions
+
+    def test_rejected_update_not_logged(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        impostor_package = wvm_package("6.6.6")
+        with pytest.raises(UnauthorizedUpdateError):
+            framework.install_update(
+                DeveloperIdentity("impostor").sign_update(impostor_package, 1), impostor_package
+            )
+        assert framework.state().log_length == 1
+        assert len(framework.announcements()) == 1
+
+
+class TestInvocation:
+    def test_wvm_invocation(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        result = framework.invoke_application("scalar_mul", [7, 9, BLS_SCALAR_ORDER])
+        assert result["value"] == 63
+        assert result["fuel_used"] > 0
+
+    def test_python_invocation(self):
+        developer, framework = make_framework()
+        package = python_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        assert framework.invoke_application("bump", {})["value"] == 1
+        assert framework.invoke_application("bump", {})["value"] == 2
+
+    def test_invoke_before_install_rejected(self):
+        _, framework = make_framework()
+        with pytest.raises(FrameworkError):
+            framework.invoke_application("anything", [])
+
+    def test_wvm_requires_list_arguments(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        with pytest.raises(FrameworkError):
+            framework.invoke_application("scalar_mul", {"a": 1})
+
+    def test_python_state_carried_across_update(self):
+        developer, framework = make_framework()
+        v1 = python_package("1.0.0", PYTHON_APP_V1)
+        framework.install_update(developer.sign_update(v1, 0), v1)
+        framework.invoke_application("bump", {})
+        framework.invoke_application("bump", {})
+        v2 = python_package("2.0.0", PYTHON_APP_V2)
+        framework.install_update(developer.sign_update(v2, 1), v2)
+        # Counter state survived the update; new code bumps by 10.
+        assert framework.invoke_application("read", {})["value"] == 2
+        assert framework.invoke_application("bump", {})["value"] == 12
+
+
+class TestAuditSurface:
+    def test_audit_user_data_binds_digest_and_log(self):
+        developer, framework = make_framework()
+        before = framework.audit_user_data()
+        package = wvm_package()
+        framework.install_update(developer.sign_update(package, 0), package)
+        after = framework.audit_user_data()
+        assert before != after
+
+    def test_dispatch_routes_methods(self):
+        developer, framework = make_framework()
+        package = wvm_package()
+        framework.dispatch("install_update", {
+            "manifest": developer.sign_update(package, 0).to_dict(),
+            "package": package.to_dict(),
+        })
+        state = framework.dispatch("get_state", {})
+        assert state["app_version"] == "1.0.0"
+        assert framework.dispatch("health", {})["ok"] is True
+        assert len(framework.dispatch("get_log", {})) == 1
+        assert len(framework.dispatch("get_announcements", {})) == 1
+
+    def test_dispatch_unknown_method(self):
+        _, framework = make_framework()
+        with pytest.raises(FrameworkError):
+            framework.dispatch("format_disk", {})
+
+    def test_framework_source_is_this_module(self):
+        source = framework_source()
+        assert "class TrustDomainFramework" in source
+        assert "install_update" in source

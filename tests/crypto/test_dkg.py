@@ -1,0 +1,80 @@
+"""Unit tests for the Pedersen-style distributed key generation."""
+
+import pytest
+
+from repro.crypto.bls import BlsThresholdScheme
+from repro.crypto.dkg import DistributedKeyGeneration, DkgDealing, DkgParticipant
+from repro.crypto.shamir import Share
+from repro.errors import CryptoError, SecretSharingError
+
+
+class TestDkgRun:
+    def test_run_produces_usable_threshold_key(self):
+        dkg = DistributedKeyGeneration(3, 5)
+        public_key, shares = dkg.run()
+        scheme = BlsThresholdScheme(3, 5)
+        partials = [scheme.sign_share(s, b"dkg-signed") for s in shares]
+        signature = scheme.combine(partials[:3])
+        assert scheme.verify(public_key, b"dkg-signed", signature)
+
+    def test_different_subsets_agree(self):
+        dkg = DistributedKeyGeneration(2, 4)
+        public_key, shares = dkg.run(seed=b"deterministic-dkg")
+        scheme = BlsThresholdScheme(2, 4)
+        partials = [scheme.sign_share(s, b"m") for s in shares]
+        assert scheme.combine(partials[:2]) == scheme.combine(partials[2:])
+
+    def test_share_indices_match_participants(self):
+        dkg = DistributedKeyGeneration(2, 4)
+        _, shares = dkg.run()
+        assert [s.index for s in shares] == [1, 2, 3, 4]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CryptoError):
+            DistributedKeyGeneration(0, 2)
+        with pytest.raises(CryptoError):
+            DistributedKeyGeneration(5, 2)
+
+    def test_deterministic_seeded_run(self):
+        key_a, _ = DistributedKeyGeneration(2, 3).run(seed=b"same-seed")
+        key_b, _ = DistributedKeyGeneration(2, 3).run(seed=b"same-seed")
+        assert key_a == key_b
+
+
+class TestDkgParticipant:
+    def test_dealing_verifies_for_all_recipients(self):
+        participant = DkgParticipant(1, 2, 4)
+        dealing = participant.deal(seed=b"x")
+        for recipient in range(1, 5):
+            assert dealing.verify_share_for(recipient)
+
+    def test_dealing_missing_recipient_fails(self):
+        participant = DkgParticipant(1, 2, 3)
+        dealing = participant.deal()
+        assert not dealing.verify_share_for(9)
+
+    def test_tampered_dealing_rejected(self):
+        dealer = DkgParticipant(1, 2, 3)
+        dealing = dealer.deal()
+        bad_shares = dict(dealing.shares)
+        victim = bad_shares[2]
+        bad_shares[2] = Share(victim.index, victim.value + 1)
+        tampered = DkgDealing(dealing.dealer_index, bad_shares, dealing.commitments)
+        receiver = DkgParticipant(2, 2, 3)
+        assert not receiver.receive(tampered)
+
+    def test_finalize_requires_all_qualified_dealings(self):
+        receiver = DkgParticipant(1, 2, 3)
+        with pytest.raises(SecretSharingError):
+            receiver.finalize({1, 2})
+
+    def test_group_public_key_requires_commitments(self):
+        receiver = DkgParticipant(1, 2, 3)
+        with pytest.raises(SecretSharingError):
+            receiver.group_public_key({2})
+
+    def test_index_bounds(self):
+        with pytest.raises(CryptoError):
+            DkgParticipant(0, 2, 3)
+        with pytest.raises(CryptoError):
+            DkgParticipant(4, 2, 3)

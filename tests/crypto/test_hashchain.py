@@ -1,0 +1,155 @@
+"""Unit tests for the per-TEE hash-chain log primitive."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashchain import GENESIS_HEAD, ChainEntry, HashChain
+from repro.errors import LogError
+
+
+class TestHashChainBasics:
+    def test_empty_chain_head_is_genesis(self):
+        assert HashChain().head() == GENESIS_HEAD
+
+    def test_append_changes_head(self):
+        chain = HashChain()
+        first_head = chain.head()
+        chain.append(b"digest-1")
+        assert chain.head() != first_head
+
+    def test_entries_link_correctly(self):
+        chain = HashChain()
+        for i in range(5):
+            chain.append(f"digest-{i}".encode())
+        entries = chain.entries()
+        assert HashChain.verify_entries(entries)
+        assert entries[0].previous_head == GENESIS_HEAD
+        for previous, current in zip(entries, entries[1:]):
+            assert current.previous_head == previous.head
+
+    def test_len_and_iteration(self):
+        chain = HashChain()
+        chain.append(b"a")
+        chain.append(b"b")
+        assert len(chain) == 2
+        assert [e.payload for e in chain] == [b"a", b"b"]
+
+    def test_entry_access(self):
+        chain = HashChain()
+        chain.append(b"a")
+        assert chain.entry(0).payload == b"a"
+        with pytest.raises(LogError):
+            chain.entry(5)
+
+    def test_entries_range(self):
+        chain = HashChain()
+        for i in range(4):
+            chain.append(bytes([i]))
+        assert [e.payload for e in chain.entries(1, 3)] == [b"\x01", b"\x02"]
+        with pytest.raises(LogError):
+            chain.entries(3, 1)
+
+    def test_payloads(self):
+        chain = HashChain()
+        chain.append(b"x")
+        chain.append(b"y")
+        assert chain.payloads() == [b"x", b"y"]
+
+
+class TestChainVerification:
+    def test_verify_entries_accepts_valid_chain(self):
+        chain = HashChain()
+        for i in range(10):
+            chain.append(bytes([i]))
+        assert HashChain.verify_entries(chain.entries())
+
+    def test_verify_entries_detects_tampered_payload(self):
+        chain = HashChain()
+        chain.append(b"good")
+        chain.append(b"also good")
+        entries = chain.entries()
+        tampered = [
+            ChainEntry(entries[0].index, b"evil", entries[0].previous_head, entries[0].head),
+            entries[1],
+        ]
+        assert not HashChain.verify_entries(tampered)
+
+    def test_verify_entries_detects_reordering(self):
+        chain = HashChain()
+        chain.append(b"a")
+        chain.append(b"b")
+        entries = list(reversed(chain.entries()))
+        assert not HashChain.verify_entries(entries)
+
+    def test_verify_entries_detects_removal(self):
+        chain = HashChain()
+        for i in range(3):
+            chain.append(bytes([i]))
+        entries = chain.entries()
+        assert not HashChain.verify_entries([entries[0], entries[2]])
+
+    def test_verify_entries_detects_wrong_genesis(self):
+        chain = HashChain()
+        chain.append(b"a")
+        assert not HashChain.verify_entries(chain.entries(), genesis=b"\x00" * 32)
+
+    def test_verify_extension_accepts_growth(self):
+        chain = HashChain()
+        chain.append(b"a")
+        old = chain.entries()
+        chain.append(b"b")
+        assert HashChain.verify_extension(old, chain.entries())
+
+    def test_verify_extension_detects_rewrite(self):
+        chain_a = HashChain()
+        chain_a.append(b"a")
+        chain_b = HashChain()
+        chain_b.append(b"rewritten")
+        chain_b.append(b"b")
+        assert not HashChain.verify_extension(chain_a.entries(), chain_b.entries())
+
+    def test_verify_extension_detects_truncation(self):
+        chain = HashChain()
+        chain.append(b"a")
+        chain.append(b"b")
+        long_view = chain.entries()
+        assert not HashChain.verify_extension(long_view, long_view[:1])
+
+    def test_entry_verify_link(self):
+        chain = HashChain()
+        entry = chain.append(b"payload")
+        assert entry.verify_link()
+        forged = ChainEntry(entry.index, b"other", entry.previous_head, entry.head)
+        assert not forged.verify_link()
+
+
+@settings(max_examples=30, deadline=None)
+@given(payloads=st.lists(st.binary(min_size=0, max_size=64), min_size=0, max_size=30))
+def test_property_chains_always_verify(payloads):
+    chain = HashChain()
+    for payload in payloads:
+        chain.append(payload)
+    assert HashChain.verify_entries(chain.entries())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payloads=st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=15),
+    data=st.data(),
+)
+def test_property_any_single_bit_tamper_detected(payloads, data):
+    chain = HashChain()
+    for payload in payloads:
+        chain.append(payload)
+    entries = chain.entries()
+    victim = data.draw(st.integers(min_value=0, max_value=len(entries) - 1))
+    byte_index = data.draw(st.integers(min_value=0, max_value=len(entries[victim].payload) - 1))
+    tampered_payload = bytearray(entries[victim].payload)
+    tampered_payload[byte_index] ^= 0x01
+    entries[victim] = ChainEntry(
+        entries[victim].index,
+        bytes(tampered_payload),
+        entries[victim].previous_head,
+        entries[victim].head,
+    )
+    assert not HashChain.verify_entries(entries)

@@ -1,0 +1,100 @@
+"""Unit tests for hashing helpers (SHA-256 wrappers, HKDF, tagged hashes)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashes import (
+    double_sha256,
+    hash_to_int,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    hmac_sha256,
+    sha256,
+    sha256_hex,
+    tagged_hash,
+)
+
+
+class TestSha256Wrappers:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_multi_part_concatenation(self):
+        assert sha256(b"ab", b"c") == sha256(b"abc")
+
+    def test_hex_form(self):
+        assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_double_sha256(self):
+        assert double_sha256(b"x") == sha256(sha256(b"x"))
+
+    def test_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+
+class TestHkdf:
+    def test_rfc5869_test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_empty_salt_defaults_to_zeros(self):
+        assert hkdf_extract(b"", b"ikm") == hmac_sha256(b"\x00" * 32, b"ikm")
+
+    def test_one_shot_matches_two_step(self):
+        assert hkdf(b"ikm", salt=b"salt", info=b"info", length=64) == hkdf_expand(
+            hkdf_extract(b"salt", b"ikm"), b"info", 64
+        )
+
+    def test_expand_length_limit(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_expand_lengths(self):
+        for length in (1, 16, 31, 32, 33, 64, 100):
+            assert len(hkdf(b"ikm", length=length)) == length
+
+
+class TestTaggedHash:
+    def test_domain_separation(self):
+        assert tagged_hash("a", b"data") != tagged_hash("b", b"data")
+
+    def test_deterministic(self):
+        assert tagged_hash("tag", b"x") == tagged_hash("tag", b"x")
+
+
+class TestHashToInt:
+    def test_in_range(self):
+        for modulus in (2, 17, 2**255 - 19, 10**30 + 57):
+            value = hash_to_int(b"input", modulus)
+            assert 0 <= value < modulus
+
+    def test_deterministic(self):
+        assert hash_to_int(b"x", 101) == hash_to_int(b"x", 101)
+
+    def test_tag_separates(self):
+        assert hash_to_int(b"x", 2**128, tag="a") != hash_to_int(b"x", 2**128, tag="b")
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_int(b"x", 1)
+
+
+@settings(max_examples=50)
+@given(data=st.binary(max_size=128), modulus=st.integers(min_value=2, max_value=2**256))
+def test_property_hash_to_int_in_range(data, modulus):
+    assert 0 <= hash_to_int(data, modulus) < modulus

@@ -1,0 +1,182 @@
+"""Unit and property tests for the RFC 6962-style Merkle tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashes import sha256
+from repro.crypto.merkle import (
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+)
+from repro.errors import InclusionProofError, LogConsistencyError
+
+
+def make_tree(n: int) -> MerkleTree:
+    return MerkleTree([f"entry-{i}".encode() for i in range(n)])
+
+
+class TestTreeStructure:
+    def test_empty_root_is_hash_of_empty_string(self):
+        assert MerkleTree().root() == sha256(b"")
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree([b"x"])
+        assert tree.root() == leaf_hash(b"x")
+
+    def test_two_leaf_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_three_leaf_root_structure(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        expected = node_hash(node_hash(leaf_hash(b"a"), leaf_hash(b"b")), leaf_hash(b"c"))
+        assert tree.root() == expected
+
+    def test_append_returns_index(self):
+        tree = MerkleTree()
+        assert tree.append(b"a") == 0
+        assert tree.append(b"b") == 1
+
+    def test_size_and_leaf_access(self):
+        tree = make_tree(5)
+        assert tree.size == 5
+        assert tree.leaf(3) == b"entry-3"
+        assert tree.leaves() == [f"entry-{i}".encode() for i in range(5)]
+
+    def test_partial_root_matches_prefix_tree(self):
+        tree = make_tree(9)
+        prefix = make_tree(4)
+        assert tree.root(4) == prefix.root()
+
+    def test_root_beyond_size_rejected(self):
+        with pytest.raises(InclusionProofError):
+            make_tree(3).root(5)
+
+    def test_extend(self):
+        tree = MerkleTree()
+        tree.extend([b"a", b"b", b"c"])
+        assert tree.size == 3
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_leaves_prove_inclusion(self, size):
+        tree = make_tree(size)
+        root = tree.root()
+        for index in range(size):
+            proof = tree.inclusion_proof(index)
+            assert proof.verify(tree.leaf(index), root)
+
+    def test_proof_for_historical_tree_size(self):
+        tree = make_tree(10)
+        proof = tree.inclusion_proof(2, tree_size=6)
+        assert proof.verify(tree.leaf(2), tree.root(6))
+
+    def test_wrong_leaf_fails(self):
+        tree = make_tree(8)
+        proof = tree.inclusion_proof(3)
+        assert not proof.verify(b"forged", tree.root())
+
+    def test_wrong_root_fails(self):
+        tree = make_tree(8)
+        proof = tree.inclusion_proof(3)
+        assert not proof.verify(tree.leaf(3), sha256(b"nope"))
+
+    def test_wrong_index_fails(self):
+        tree = make_tree(8)
+        proof = tree.inclusion_proof(3)
+        forged = InclusionProof(4, proof.tree_size, proof.audit_path)
+        assert not forged.verify(tree.leaf(3), tree.root())
+
+    def test_truncated_path_fails(self):
+        tree = make_tree(8)
+        proof = tree.inclusion_proof(3)
+        truncated = InclusionProof(3, 8, proof.audit_path[:-1])
+        assert not truncated.verify(tree.leaf(3), tree.root())
+
+    def test_out_of_range_request_rejected(self):
+        with pytest.raises(InclusionProofError):
+            make_tree(4).inclusion_proof(9)
+
+    def test_index_beyond_tree_size_fails_verification(self):
+        proof = InclusionProof(5, 4, tuple())
+        assert not proof.verify(b"x", sha256(b"y"))
+
+    def test_dict_round_trip(self):
+        tree = make_tree(6)
+        proof = tree.inclusion_proof(4)
+        restored = InclusionProof.from_dict(proof.to_dict())
+        assert restored == proof
+        assert restored.verify(tree.leaf(4), tree.root())
+
+
+class TestConsistencyProofs:
+    @pytest.mark.parametrize("new_size", [1, 2, 3, 5, 8, 12, 17, 32])
+    def test_all_prefixes_consistent(self, new_size):
+        tree = make_tree(new_size)
+        for old_size in range(0, new_size + 1):
+            proof = tree.consistency_proof(old_size, new_size)
+            assert proof.verify(tree.root(old_size), tree.root(new_size)), (old_size, new_size)
+
+    def test_rewritten_history_detected(self):
+        tree = make_tree(8)
+        other = MerkleTree([b"tampered"] + [f"entry-{i}".encode() for i in range(1, 8)])
+        proof = tree.consistency_proof(4, 8)
+        assert not proof.verify(other.root(4), tree.root(8))
+
+    def test_same_size_different_roots_fails(self):
+        proof = ConsistencyProof(4, 4, tuple())
+        assert not proof.verify(sha256(b"a"), sha256(b"b"))
+
+    def test_shrinking_log_rejected(self):
+        proof = ConsistencyProof(8, 4, tuple())
+        assert not proof.verify(sha256(b"a"), sha256(b"b"))
+
+    def test_empty_old_tree_always_consistent(self):
+        tree = make_tree(5)
+        proof = tree.consistency_proof(0, 5)
+        assert proof.verify(tree.root(0), tree.root())
+
+    def test_invalid_sizes_rejected_at_generation(self):
+        with pytest.raises(LogConsistencyError):
+            make_tree(4).consistency_proof(5, 4)
+
+    def test_dict_round_trip(self):
+        tree = make_tree(9)
+        proof = tree.consistency_proof(5, 9)
+        restored = ConsistencyProof.from_dict(proof.to_dict())
+        assert restored == proof
+        assert restored.verify(tree.root(5), tree.root(9))
+
+    def test_cross_tree_consistency_fails(self):
+        tree_a = make_tree(8)
+        tree_b = MerkleTree([f"other-{i}".encode() for i in range(8)])
+        proof = tree_a.consistency_proof(4, 8)
+        assert not proof.verify(tree_b.root(4), tree_b.root(8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    leaves=st.lists(st.binary(min_size=0, max_size=32), min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_property_inclusion_proofs_verify(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    proof = tree.inclusion_proof(index)
+    assert proof.verify(leaves[index], tree.root())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    leaves=st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_property_consistency_proofs_verify(leaves, data):
+    tree = MerkleTree(leaves)
+    old_size = data.draw(st.integers(min_value=0, max_value=len(leaves)))
+    proof = tree.consistency_proof(old_size)
+    assert proof.verify(tree.root(old_size), tree.root())

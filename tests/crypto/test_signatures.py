@@ -1,0 +1,163 @@
+"""Unit tests for Schnorr and ECDSA signatures and key handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ecdsa import EcdsaSignature, ecdsa_sign, ecdsa_verify
+from repro.crypto.keys import SigningKey, VerifyingKey, generate_keypair
+from repro.crypto.schnorr import SchnorrSignature, schnorr_sign, schnorr_verify
+from repro.errors import CryptoError
+
+
+class TestKeys:
+    def test_generate_keypair_round_trip(self):
+        sk, vk = generate_keypair()
+        assert sk.verifying_key() == vk
+
+    def test_signing_key_bytes_round_trip(self):
+        sk, _ = generate_keypair()
+        assert SigningKey.from_bytes(sk.to_bytes()) == sk
+
+    def test_verifying_key_bytes_round_trip(self):
+        _, vk = generate_keypair()
+        assert VerifyingKey.from_bytes(vk.to_bytes()) == vk
+
+    def test_from_seed_deterministic(self):
+        assert SigningKey.from_seed(b"seed") == SigningKey.from_seed(b"seed")
+        assert SigningKey.from_seed(b"seed") != SigningKey.from_seed(b"other")
+
+    def test_scalar_range_enforced(self):
+        with pytest.raises(CryptoError):
+            SigningKey(0)
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(CryptoError):
+            SigningKey.from_bytes(b"\x01" * 31)
+
+    def test_fingerprint_stable(self):
+        _, vk = generate_keypair()
+        assert vk.fingerprint() == vk.fingerprint()
+        assert len(vk.fingerprint()) == 16
+
+    def test_sign_verify_via_key_objects_schnorr(self):
+        sk, vk = generate_keypair()
+        signature = sk.sign(b"message")
+        assert vk.verify(b"message", signature)
+        assert not vk.verify(b"other", signature)
+
+    def test_sign_verify_via_key_objects_ecdsa(self):
+        sk, vk = generate_keypair()
+        signature = sk.sign(b"message", scheme="ecdsa")
+        assert vk.verify(b"message", signature, scheme="ecdsa")
+
+    def test_unknown_scheme_rejected(self):
+        sk, vk = generate_keypair()
+        with pytest.raises(CryptoError):
+            sk.sign(b"m", scheme="rsa")
+        with pytest.raises(CryptoError):
+            vk.verify(b"m", b"x" * 65, scheme="rsa")
+
+
+class TestSchnorr:
+    def test_sign_and_verify(self):
+        sk, vk = generate_keypair()
+        signature = schnorr_sign(sk, b"the quick brown fox")
+        assert schnorr_verify(vk, b"the quick brown fox", signature)
+
+    def test_wrong_message_fails(self):
+        sk, vk = generate_keypair()
+        signature = schnorr_sign(sk, b"a")
+        assert not schnorr_verify(vk, b"b", signature)
+
+    def test_wrong_key_fails(self):
+        sk, _ = generate_keypair()
+        _, other_vk = generate_keypair()
+        signature = schnorr_sign(sk, b"a")
+        assert not schnorr_verify(other_vk, b"a", signature)
+
+    def test_deterministic_signatures(self):
+        sk, _ = generate_keypair()
+        assert schnorr_sign(sk, b"m").to_bytes() == schnorr_sign(sk, b"m").to_bytes()
+
+    def test_serialization_round_trip(self):
+        sk, vk = generate_keypair()
+        signature = schnorr_sign(sk, b"m")
+        restored = SchnorrSignature.from_bytes(signature.to_bytes())
+        assert schnorr_verify(vk, b"m", restored)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CryptoError):
+            SchnorrSignature.from_bytes(b"\x00" * 10)
+
+    def test_tampered_signature_fails(self):
+        sk, vk = generate_keypair()
+        raw = bytearray(schnorr_sign(sk, b"m").to_bytes())
+        raw[40] ^= 0xFF
+        assert not schnorr_verify(vk, b"m", SchnorrSignature.from_bytes(bytes(raw)))
+
+    def test_garbage_r_bytes_fails_gracefully(self):
+        _, vk = generate_keypair()
+        signature = SchnorrSignature(b"\xff" * 33, 5)
+        assert not schnorr_verify(vk, b"m", signature)
+
+    def test_empty_message(self):
+        sk, vk = generate_keypair()
+        assert schnorr_verify(vk, b"", schnorr_sign(sk, b""))
+
+
+class TestEcdsa:
+    def test_sign_and_verify(self):
+        sk, vk = generate_keypair()
+        signature = ecdsa_sign(sk, b"transaction")
+        assert ecdsa_verify(vk, b"transaction", signature)
+
+    def test_wrong_message_fails(self):
+        sk, vk = generate_keypair()
+        assert not ecdsa_verify(vk, b"other", ecdsa_sign(sk, b"transaction"))
+
+    def test_wrong_key_fails(self):
+        sk, _ = generate_keypair()
+        _, other_vk = generate_keypair()
+        assert not ecdsa_verify(other_vk, b"m", ecdsa_sign(sk, b"m"))
+
+    def test_low_s_normalization(self):
+        from repro.crypto.secp256k1 import SECP256K1
+
+        sk, _ = generate_keypair()
+        for i in range(5):
+            signature = ecdsa_sign(sk, bytes([i]))
+            assert signature.s <= SECP256K1.n // 2
+
+    def test_serialization_round_trip(self):
+        sk, vk = generate_keypair()
+        signature = ecdsa_sign(sk, b"m")
+        assert ecdsa_verify(vk, b"m", EcdsaSignature.from_bytes(signature.to_bytes()))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CryptoError):
+            EcdsaSignature.from_bytes(b"\x00" * 63)
+
+    def test_zero_components_rejected(self):
+        _, vk = generate_keypair()
+        assert not ecdsa_verify(vk, b"m", EcdsaSignature(0, 1))
+        assert not ecdsa_verify(vk, b"m", EcdsaSignature(1, 0))
+
+    def test_deterministic(self):
+        sk, _ = generate_keypair()
+        assert ecdsa_sign(sk, b"m") == ecdsa_sign(sk, b"m")
+
+
+@settings(max_examples=15, deadline=None)
+@given(message=st.binary(min_size=0, max_size=256))
+def test_property_schnorr_round_trip(message):
+    sk = SigningKey.from_seed(b"property-test-key")
+    vk = sk.verifying_key()
+    assert schnorr_verify(vk, message, schnorr_sign(sk, message))
+
+
+@settings(max_examples=15, deadline=None)
+@given(message=st.binary(min_size=0, max_size=256))
+def test_property_ecdsa_round_trip(message):
+    sk = SigningKey.from_seed(b"property-test-key-2")
+    vk = sk.verifying_key()
+    assert ecdsa_verify(vk, message, ecdsa_sign(sk, message))

@@ -1,0 +1,161 @@
+"""Unit tests for attestation verification and exploit campaigns."""
+
+import pytest
+
+from repro.enclave.attestation import AttestationVerifier
+from repro.enclave.exploits import ExploitCampaign
+from repro.enclave.measurement import measure_code
+from repro.enclave.nitro import NitroAttestationDocument, NitroStyleEnclave
+from repro.enclave.sgx import SgxQuote, SgxStyleEnclave
+from repro.enclave.vendor import HardwareVendor, VendorRegistry
+from repro.errors import AttestationError
+
+FRAMEWORK_CODE = b"framework code v1"
+
+
+def setup_pair():
+    nitro_vendor = HardwareVendor("aws-nitro-sim")
+    sgx_vendor = HardwareVendor("intel-sgx-sim")
+    registry = VendorRegistry([nitro_vendor, sgx_vendor])
+    nitro = NitroStyleEnclave("nitro-0", nitro_vendor, FRAMEWORK_CODE, code_label="framework")
+    sgx = SgxStyleEnclave("sgx-0", sgx_vendor, FRAMEWORK_CODE, code_label="framework")
+    verifier = AttestationVerifier(registry)
+    return nitro, sgx, verifier
+
+
+class TestNitroVerification:
+    def test_valid_document_accepted(self):
+        nitro, _, verifier = setup_pair()
+        expected = measure_code(FRAMEWORK_CODE, "framework")
+        document = nitro.attest(b"challenge", user_data=b"state")
+        result = verifier.verify(document, b"challenge", expected, user_data=b"state")
+        assert result.valid
+        assert result.vendor_name == "aws-nitro-sim"
+        assert result.measurement_digest == expected.digest
+
+    def test_dict_form_accepted(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"challenge")
+        assert verifier.verify(document.to_dict(), b"challenge").valid
+
+    def test_wrong_nonce_rejected(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"challenge")
+        result = verifier.verify(document, b"other-challenge")
+        assert not result.valid
+        assert "nonce" in result.reason
+
+    def test_wrong_measurement_rejected(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"c")
+        expected = measure_code(b"some other code", "framework")
+        result = verifier.verify(document, b"c", expected)
+        assert not result.valid
+        assert "measurement" in result.reason
+
+    def test_wrong_user_data_rejected(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"c", user_data=b"claimed-state")
+        result = verifier.verify(document, b"c", user_data=b"different-state")
+        assert not result.valid
+
+    def test_untrusted_vendor_rejected(self):
+        rogue_vendor = HardwareVendor("rogue-cloud")
+        enclave = NitroStyleEnclave("rogue-0", rogue_vendor, FRAMEWORK_CODE)
+        _, _, verifier = setup_pair()
+        result = verifier.verify(enclave.attest(b"c"), b"c")
+        assert not result.valid
+
+    def test_tampered_signature_rejected(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"c")
+        forged = NitroAttestationDocument(
+            module_id=document.module_id,
+            pcrs=dict(document.pcrs, **{"0": b"\x00" * 32}),
+            nonce=document.nonce,
+            user_data=document.user_data,
+            certificate=document.certificate,
+            signature=document.signature,
+        )
+        result = verifier.verify(forged, b"c")
+        assert not result.valid
+        assert "signature" in result.reason
+
+    def test_verify_or_raise(self):
+        nitro, _, verifier = setup_pair()
+        document = nitro.attest(b"c")
+        assert verifier.verify_or_raise(document, b"c").valid
+        with pytest.raises(AttestationError):
+            verifier.verify_or_raise(document, b"wrong")
+
+
+class TestSgxVerification:
+    def test_valid_quote_accepted(self):
+        _, sgx, verifier = setup_pair()
+        expected = measure_code(FRAMEWORK_CODE, "framework")
+        quote = sgx.attest(b"nonce", user_data=b"state")
+        result = verifier.verify(quote, b"nonce", expected, user_data=b"state")
+        assert result.valid
+        assert result.vendor_name == "intel-sgx-sim"
+
+    def test_report_data_mismatch_rejected(self):
+        _, sgx, verifier = setup_pair()
+        quote = sgx.attest(b"nonce", user_data=b"actual")
+        result = verifier.verify(quote, b"nonce", user_data=b"claimed")
+        assert not result.valid
+        assert "report data" in result.reason
+
+    def test_dict_form_accepted(self):
+        _, sgx, verifier = setup_pair()
+        quote = sgx.attest(b"n")
+        assert verifier.verify(quote.to_dict(), b"n").valid
+
+    def test_unknown_format_rejected(self):
+        _, _, verifier = setup_pair()
+        with pytest.raises(AttestationError):
+            verifier.verify({"format": "tpm-quote"}, b"n")
+
+    def test_unsupported_evidence_type_rejected(self):
+        _, _, verifier = setup_pair()
+        assert not verifier.verify(object(), b"n").valid
+
+
+class TestExploitCampaign:
+    def _enclaves(self):
+        nitro_vendor = HardwareVendor("aws-nitro-sim")
+        sgx_vendor = HardwareVendor("intel-sgx-sim")
+        return [
+            NitroStyleEnclave("nitro-0", nitro_vendor, FRAMEWORK_CODE),
+            NitroStyleEnclave("nitro-1", nitro_vendor, FRAMEWORK_CODE),
+            SgxStyleEnclave("sgx-0", sgx_vendor, FRAMEWORK_CODE),
+        ]
+
+    def test_vendor_exploit_is_correlated(self):
+        enclaves = self._enclaves()
+        campaign = ExploitCampaign(enclaves)
+        report = campaign.exploit_vendor("aws-nitro-sim")
+        assert report.compromised_count == 2
+        assert report.unaffected_count == 1
+        assert campaign.surviving_fraction() == pytest.approx(1 / 3)
+
+    def test_heterogeneous_deployment_survives_single_vendor_exploit(self):
+        enclaves = self._enclaves()
+        campaign = ExploitCampaign(enclaves)
+        campaign.exploit_vendor("intel-sgx-sim")
+        # One honest (uncompromised) domain remains on the other vendor.
+        assert campaign.surviving_fraction() > 0
+
+    def test_single_exploit_affects_one_enclave(self):
+        enclaves = self._enclaves()
+        campaign = ExploitCampaign(enclaves)
+        report = campaign.exploit_single("sgx-0")
+        assert report.compromised_enclaves == ["sgx-0"]
+        assert report.unaffected_count == 2
+
+    def test_breaks_threshold(self):
+        # Application with 3 domains needing at least 1 honest domain.
+        assert not ExploitCampaign.breaks_threshold(3, 2, 1)
+        assert ExploitCampaign.breaks_threshold(3, 3, 1)
+
+    def test_surviving_fraction_empty(self):
+        assert ExploitCampaign([]).surviving_fraction() == 1.0

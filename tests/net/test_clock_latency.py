@@ -1,0 +1,87 @@
+"""Unit tests for the simulated clock and latency models."""
+
+import pytest
+
+from repro.net.clock import SimClock
+from repro.net.latency import (
+    ConstantLatency,
+    NoLatency,
+    UniformLatency,
+    lan_profile,
+    vsock_profile,
+    wan_profile,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_only_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 3.0
+
+    def test_wall_time_monotonic(self):
+        a = SimClock.wall_time()
+        b = SimClock.wall_time()
+        assert b >= a
+
+
+class TestLatencyModels:
+    def test_no_latency(self):
+        assert NoLatency().sample(10**6) == 0.0
+
+    def test_constant_latency_without_bandwidth(self):
+        assert ConstantLatency(0.010).sample(10**6) == pytest.approx(0.010)
+
+    def test_constant_latency_with_bandwidth(self):
+        model = ConstantLatency(0.001, bandwidth_bps=1000)
+        assert model.sample(500) == pytest.approx(0.001 + 0.5)
+
+    def test_constant_latency_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0, bandwidth_bps=0)
+
+    def test_uniform_latency_bounds(self):
+        model = UniformLatency(0.001, 0.002, seed=1)
+        for _ in range(100):
+            assert 0.001 <= model.sample(0) <= 0.002
+
+    def test_uniform_latency_reproducible(self):
+        a = UniformLatency(0.0, 1.0, seed=7)
+        b = UniformLatency(0.0, 1.0, seed=7)
+        assert [a.sample(0) for _ in range(5)] == [b.sample(0) for _ in range(5)]
+
+    def test_uniform_latency_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_profiles_ordering(self):
+        size = 10_000
+        assert vsock_profile().sample(size) < lan_profile().sample(size) < wan_profile().sample(size)
+
+    def test_latency_model_base_is_abstract(self):
+        from repro.net.latency import LatencyModel
+
+        with pytest.raises(NotImplementedError):
+            LatencyModel().sample(1)

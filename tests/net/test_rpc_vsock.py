@@ -1,0 +1,109 @@
+"""Unit tests for the RPC layer and vsock-style proxy chain."""
+
+import pytest
+
+from repro.errors import RpcError
+from repro.net.clock import SimClock
+from repro.net.rpc import RpcClient, RpcServer
+from repro.net.transport import Network
+from repro.net.vsock import SocketHop, VsockProxyChain
+
+
+def make_rpc_pair():
+    network = Network()
+    server_endpoint = network.endpoint("server")
+    client_endpoint = network.endpoint("client")
+    server = RpcServer(server_endpoint)
+    client = RpcClient(network, client_endpoint, "server")
+    return network, server, client
+
+
+class TestRpc:
+    def test_simple_call(self):
+        _, server, client = make_rpc_pair()
+        server.register("add", lambda params: params["a"] + params["b"])
+        assert client.call("add", {"a": 2, "b": 3}) == 5
+
+    def test_call_with_none_params(self):
+        _, server, client = make_rpc_pair()
+        server.register("ping", lambda params: "pong")
+        assert client.call("ping") == "pong"
+
+    def test_unknown_method(self):
+        _, server, client = make_rpc_pair()
+        with pytest.raises(RpcError):
+            client.call("missing")
+
+    def test_handler_exception_propagates_as_rpc_error(self):
+        _, server, client = make_rpc_pair()
+
+        def explode(params):
+            raise ValueError("boom")
+
+        server.register("explode", explode)
+        with pytest.raises(RpcError, match="boom"):
+            client.call("explode")
+
+    def test_multiple_sequential_calls(self):
+        _, server, client = make_rpc_pair()
+        server.register("echo", lambda params: params)
+        for i in range(10):
+            assert client.call("echo", {"i": i}) == {"i": i}
+        assert server.requests_served == 10
+
+    def test_binary_payloads(self):
+        _, server, client = make_rpc_pair()
+        server.register("rev", lambda params: params[::-1])
+        assert client.call("rev", b"\x01\x02\x03") == b"\x03\x02\x01"
+
+    def test_registered_methods_listing(self):
+        _, server, _ = make_rpc_pair()
+        server.register("b", lambda p: p)
+        server.register("a", lambda p: p)
+        assert server.registered_methods() == ["a", "b"]
+
+    def test_two_clients_one_server(self):
+        network = Network()
+        server_endpoint = network.endpoint("server")
+        server = RpcServer(server_endpoint)
+        server.register("whoami", lambda params: params["name"])
+        client_a = RpcClient(network, network.endpoint("a"), "server")
+        client_b = RpcClient(network, network.endpoint("b"), "server")
+        assert client_a.call("whoami", {"name": "a"}) == "a"
+        assert client_b.call("whoami", {"name": "b"}) == "b"
+
+
+class TestVsock:
+    def test_single_hop_round_trip(self):
+        hop = SocketHop("test-hop")
+        assert hop.forward(b"payload") == b"payload"
+        assert hop.stats.forwarded_messages == 1
+        assert hop.stats.forwarded_bytes == len(b"payload") + 4
+
+    def test_large_payload_forwarded_in_chunks(self):
+        hop = SocketHop("big")
+        payload = b"\xab" * 100_000
+        assert hop.forward(payload) == payload
+
+    def test_chain_request_and_response(self):
+        chain = VsockProxyChain.nitro_style()
+        assert chain.request(b"req") == b"req"
+        assert chain.respond(b"resp") == b"resp"
+        assert chain.total_forwarded_messages == 4
+
+    def test_round_trip_traverses_all_hops_twice(self):
+        chain = VsockProxyChain.nitro_style()
+        assert chain.round_trip(b"x") == b"x"
+        for hop in chain.hops:
+            assert hop.stats.forwarded_messages == 2
+
+    def test_latency_charged_to_clock(self):
+        clock = SimClock()
+        chain = VsockProxyChain.nitro_style(clock=clock)
+        chain.round_trip(b"x" * 1000)
+        assert clock.now() > 0
+        assert chain.total_simulated_latency == pytest.approx(clock.now())
+
+    def test_empty_payload(self):
+        hop = SocketHop("empty")
+        assert hop.forward(b"") == b""

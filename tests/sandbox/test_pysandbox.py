@@ -1,0 +1,134 @@
+"""Unit tests for the restricted Python sandbox."""
+
+import pytest
+
+from repro.errors import SandboxError, SandboxEscapeError
+from repro.sandbox.pysandbox import PythonSandbox, SandboxPolicy
+
+COUNTER_APP = """
+def init(config):
+    return {"count": config.get("start", 0)}
+
+def handle(method, params, state):
+    if method == "increment":
+        state["count"] = state["count"] + params.get("by", 1)
+        return state["count"]
+    if method == "read":
+        return state["count"]
+    raise ValueError("unknown method: " + method)
+"""
+
+KEY_STORE_APP = """
+def init(config):
+    return {"shares": {}}
+
+def handle(method, params, state):
+    if method == "store":
+        state["shares"][params["user"]] = params["share"]
+        return True
+    if method == "fetch":
+        return state["shares"].get(params["user"])
+    raise ValueError("unknown method")
+"""
+
+
+class TestLoading:
+    def test_loads_and_initializes(self):
+        sandbox = PythonSandbox(COUNTER_APP, config={"start": 5})
+        assert sandbox.invoke("read", {}) == 5
+
+    def test_missing_handle_rejected(self):
+        with pytest.raises(SandboxError):
+            PythonSandbox("x = 1")
+
+    def test_missing_init_defaults_to_empty_state(self):
+        sandbox = PythonSandbox("def handle(method, params, state):\n    return state")
+        assert sandbox.invoke("anything", {}) == {}
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(SandboxError):
+            PythonSandbox("def handle(method, params state):\n    return 1")
+
+    def test_init_failure_rejected(self):
+        source = "def init(config):\n    raise ValueError('nope')\ndef handle(m, p, s):\n    return 1"
+        with pytest.raises(SandboxError):
+            PythonSandbox(source)
+
+    def test_source_size_limit(self):
+        big = "# " + "x" * 1024 + "\ndef handle(m, p, s):\n    return 1"
+        with pytest.raises(SandboxError):
+            PythonSandbox(big, policy=SandboxPolicy(max_source_bytes=100))
+
+
+class TestContainment:
+    def test_import_statement_rejected(self):
+        with pytest.raises(SandboxEscapeError):
+            PythonSandbox("import os\ndef handle(m, p, s):\n    return 1")
+
+    def test_dunder_import_rejected(self):
+        with pytest.raises(SandboxEscapeError):
+            PythonSandbox("def handle(m, p, s):\n    return __import__('os').getcwd()")
+
+    def test_open_rejected(self):
+        with pytest.raises(SandboxEscapeError):
+            PythonSandbox("def handle(m, p, s):\n    return open('/etc/passwd').read()")
+
+    def test_eval_rejected(self):
+        with pytest.raises(SandboxEscapeError):
+            PythonSandbox("def handle(m, p, s):\n    return eval('1+1')")
+
+    def test_subclass_walk_rejected(self):
+        source = "def handle(m, p, s):\n    return ().__class__.__bases__[0].__subclasses__()"
+        with pytest.raises(SandboxEscapeError):
+            PythonSandbox(source)
+
+    def test_non_plain_data_result_rejected(self):
+        sandbox = PythonSandbox("def handle(m, p, s):\n    return lambda: 1")
+        with pytest.raises(SandboxEscapeError):
+            sandbox.invoke("x", {})
+
+    def test_result_size_limit(self):
+        sandbox = PythonSandbox(
+            "def handle(m, p, s):\n    return [0] * 100000",
+            policy=SandboxPolicy(max_result_bytes=1000),
+        )
+        with pytest.raises(SandboxError):
+            sandbox.invoke("x", {})
+
+    def test_parameters_must_be_plain_data(self):
+        sandbox = PythonSandbox(COUNTER_APP)
+        with pytest.raises(SandboxError):
+            sandbox.invoke("increment", {"by": object()})
+
+
+class TestInvocation:
+    def test_stateful_behaviour(self):
+        sandbox = PythonSandbox(COUNTER_APP)
+        assert sandbox.invoke("increment", {"by": 3}) == 3
+        assert sandbox.invoke("increment", {"by": 4}) == 7
+        assert sandbox.invoke("read", {}) == 7
+        assert sandbox.invocations == 3
+
+    def test_application_exception_wrapped(self):
+        sandbox = PythonSandbox(COUNTER_APP)
+        with pytest.raises(SandboxError, match="unknown method"):
+            sandbox.invoke("explode", {})
+
+    def test_key_store_round_trip(self):
+        sandbox = PythonSandbox(KEY_STORE_APP)
+        assert sandbox.invoke("store", {"user": "alice", "share": b"\x01\x02"}) is True
+        assert sandbox.invoke("fetch", {"user": "alice"}) == b"\x01\x02"
+        assert sandbox.invoke("fetch", {"user": "bob"}) is None
+
+    def test_parameter_isolation(self):
+        """Mutating the params inside the app must not affect the caller's object."""
+        source = """
+def handle(method, params, state):
+    params["mutated"] = True
+    return params
+"""
+        sandbox = PythonSandbox(source)
+        original = {"value": 1}
+        result = sandbox.invoke("x", original)
+        assert "mutated" not in original
+        assert result["mutated"] is True

@@ -1,0 +1,78 @@
+"""Smoke tests for the public API surface.
+
+These tests guard the package's import structure: everything advertised in the
+subpackage ``__all__`` lists must be importable from the documented location,
+so downstream users can rely on the paths README.md and the examples use.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.crypto",
+    "repro.wire",
+    "repro.net",
+    "repro.enclave",
+    "repro.sandbox",
+    "repro.transparency",
+    "repro.core",
+    "repro.apps",
+    "repro.sim",
+]
+
+
+class TestPackageMetadata:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} is missing a module docstring"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name}"
+
+
+class TestDocumentedEntryPoints:
+    def test_readme_quickstart_path(self):
+        """The exact imports used in README.md's quickstart must keep working."""
+        from repro.core.client import AuditingClient
+        from repro.core.deployment import Deployment, DeploymentConfig
+        from repro.core.package import CodePackage, DeveloperIdentity
+        from repro.sandbox.programs import bls_share_source
+
+        developer = DeveloperIdentity("readme")
+        deployment = Deployment("readme", developer, DeploymentConfig(num_domains=2))
+        package = CodePackage("bls-custody", "1.0.0", "wvm", bls_share_source())
+        deployment.publish_and_install(package)
+        assert AuditingClient(deployment.vendor_registry).audit_deployment(deployment).ok
+
+    def test_error_hierarchy_single_root(self):
+        from repro import errors
+
+        exception_types = [
+            getattr(errors, name) for name in errors.__all__
+            if isinstance(getattr(errors, name), type)
+        ]
+        assert all(issubclass(exc, errors.ReproError) for exc in exception_types)
+
+    def test_public_docstrings_on_core_classes(self):
+        from repro.core.client import AuditingClient
+        from repro.core.deployment import Deployment
+        from repro.core.framework import TrustDomainFramework
+        from repro.core.trust_domain import TrustDomain
+
+        for cls in (AuditingClient, Deployment, TrustDomainFramework, TrustDomain):
+            assert cls.__doc__
+            public_methods = [
+                attr for name, attr in vars(cls).items()
+                if callable(attr) and not name.startswith("_")
+            ]
+            assert all(method.__doc__ for method in public_methods), cls

@@ -1,0 +1,212 @@
+"""Unit tests for the CT-style public log, gossip, and monitors."""
+
+import pytest
+
+from repro.crypto.keys import SigningKey
+from repro.errors import LogError, SplitViewError
+from repro.transparency.ct_log import CtLog, SignedTreeHead
+from repro.transparency.gossip import GossipPool, SplitViewEvidence, check_views_consistent
+from repro.transparency.monitor import LogMonitor
+
+
+def make_log(n: int = 0, log_id: str = "releases") -> CtLog:
+    log = CtLog(log_id)
+    for i in range(n):
+        log.append(f"release-{i}".encode())
+    return log
+
+
+class TestCtLog:
+    def test_append_and_entry_access(self):
+        log = make_log(3)
+        assert log.size == 3
+        assert log.entry(1) == b"release-1"
+        assert log.entries() == [b"release-0", b"release-1", b"release-2"]
+        with pytest.raises(LogError):
+            log.entry(5)
+
+    def test_find(self):
+        log = make_log(4)
+        assert log.find(b"release-2") == 2
+        with pytest.raises(LogError):
+            log.find(b"never published")
+
+    def test_signed_tree_head_verifies(self):
+        log = make_log(5)
+        head = log.signed_tree_head()
+        assert head.tree_size == 5
+        assert head.verify(log.public_key)
+
+    def test_tree_head_signature_bound_to_contents(self):
+        log = make_log(5)
+        head = log.signed_tree_head()
+        forged = SignedTreeHead(
+            log_id=head.log_id,
+            tree_size=head.tree_size,
+            root_hash=b"\x00" * 32,
+            timestamp_us=head.timestamp_us,
+            signature=head.signature,
+        )
+        assert not forged.verify(log.public_key)
+
+    def test_wrong_key_rejected(self):
+        log = make_log(2)
+        other = SigningKey.from_seed(b"not the log key").verifying_key()
+        assert not log.signed_tree_head().verify(other)
+
+    def test_head_dict_round_trip(self):
+        head = make_log(3).signed_tree_head()
+        assert SignedTreeHead.from_dict(head.to_dict()) == head
+
+    def test_inclusion_proof_end_to_end(self):
+        log = make_log(9)
+        head = log.signed_tree_head()
+        for i in range(9):
+            proof = log.inclusion_proof(i)
+            assert CtLog.verify_inclusion(log.entry(i), proof, head, log.public_key)
+
+    def test_inclusion_proof_rejects_wrong_entry(self):
+        log = make_log(9)
+        head = log.signed_tree_head()
+        proof = log.inclusion_proof(4)
+        assert not CtLog.verify_inclusion(b"forged", proof, head, log.public_key)
+
+    def test_inclusion_proof_size_mismatch_rejected(self):
+        log = make_log(9)
+        proof = log.inclusion_proof(4, tree_size=8)
+        head = log.signed_tree_head()
+        assert not CtLog.verify_inclusion(log.entry(4), proof, head, log.public_key)
+
+    def test_consistency_proof_end_to_end(self):
+        log = make_log(4)
+        old_head = log.signed_tree_head()
+        for i in range(4, 11):
+            log.append(f"release-{i}".encode())
+        new_head = log.signed_tree_head()
+        proof = log.consistency_proof(old_head.tree_size, new_head.tree_size)
+        assert CtLog.verify_consistency(old_head, new_head, proof, log.public_key)
+
+    def test_consistency_size_mismatch_rejected(self):
+        log = make_log(6)
+        old_head = log.signed_tree_head(4)
+        new_head = log.signed_tree_head()
+        wrong_proof = log.consistency_proof(3, 6)
+        assert not CtLog.verify_consistency(old_head, new_head, wrong_proof, log.public_key)
+
+    def test_monotonic_timestamps_enforced(self):
+        log = CtLog("l")
+        log.append(b"a", timestamp_us=100)
+        with pytest.raises(LogError):
+            log.append(b"b", timestamp_us=50)
+
+    def test_deterministic_key_from_log_id(self):
+        assert CtLog("same-id").public_key == CtLog("same-id").public_key
+
+
+class TestGossip:
+    def test_consistent_views_produce_no_evidence(self):
+        log = make_log(5)
+        pool = GossipPool(log.public_key)
+        head = log.signed_tree_head()
+        assert pool.submit("client-a", head) == []
+        assert pool.submit("client-b", head) == []
+        assert pool.evidence == []
+        assert pool.observations == 2
+        assert pool.observers() == ["client-a", "client-b"]
+
+    def test_split_view_detected(self):
+        # Two logs sharing a key (same log_id) but different contents model an
+        # equivocating log operator.
+        log_a = make_log(3, log_id="equivocator")
+        log_b = CtLog("equivocator")
+        for i in range(3):
+            log_b.append(f"hidden-release-{i}".encode())
+        pool = GossipPool(log_a.public_key)
+        pool.submit("client-a", log_a.signed_tree_head())
+        evidence = pool.submit("client-b", log_b.signed_tree_head())
+        assert len(evidence) == 1
+        assert evidence[0].verify(log_a.public_key)
+
+    def test_invalid_gossiped_head_rejected(self):
+        log = make_log(2)
+        head = log.signed_tree_head()
+        forged = SignedTreeHead(head.log_id, head.tree_size, b"\x01" * 32,
+                                head.timestamp_us, head.signature)
+        pool = GossipPool(log.public_key)
+        with pytest.raises(SplitViewError):
+            pool.submit("client", forged)
+
+    def test_check_views_different_logs_ignored(self):
+        a = make_log(2, log_id="log-a").signed_tree_head()
+        b = make_log(2, log_id="log-b").signed_tree_head()
+        assert check_views_consistent(a, b) is None
+
+    def test_check_views_with_consistency_verifier(self):
+        log = make_log(4)
+        old_head = log.signed_tree_head()
+        log.append(b"release-4")
+        new_head = log.signed_tree_head()
+
+        def verifier(older, newer):
+            proof = log.consistency_proof(older.tree_size, newer.tree_size)
+            return proof.verify(older.root_hash, newer.root_hash)
+
+        assert check_views_consistent(old_head, new_head, verifier) is None
+
+    def test_check_views_verifier_failure_is_evidence(self):
+        log_a = make_log(3, log_id="x")
+        log_b = CtLog("x")
+        for i in range(5):
+            log_b.append(f"other-{i}".encode())
+        evidence = check_views_consistent(
+            log_a.signed_tree_head(), log_b.signed_tree_head(), lambda o, n: False
+        )
+        assert isinstance(evidence, SplitViewEvidence)
+
+    def test_evidence_requires_same_size_and_different_roots(self):
+        log = make_log(3)
+        head = log.signed_tree_head()
+        evidence = SplitViewEvidence(head, head)
+        assert not evidence.verify(log.public_key)
+
+
+class TestMonitor:
+    def test_healthy_log_produces_no_alerts(self):
+        log = make_log(2)
+        monitor = LogMonitor(log)
+        assert monitor.poll() == []
+        log.append(b"release-2")
+        log.append(b"release-3")
+        assert monitor.poll() == []
+        assert monitor.healthy
+        assert monitor.entries_seen == 4
+
+    def test_entry_inspector_flags_entries(self):
+        log = make_log(1)
+        monitor = LogMonitor(
+            log, entry_inspector=lambda e: "unannounced" if b"rogue" in e else None
+        )
+        monitor.poll()
+        log.append(b"rogue-release")
+        alerts = monitor.poll()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "suspicious-entry"
+        assert not monitor.healthy
+
+    def test_inconsistent_log_detected(self):
+        class MutatingLog(CtLog):
+            """A log that rewrites history between polls (for the test only)."""
+
+            def rewrite(self):
+                self._tree._leaves[0] = b"rewritten"
+                self._tree._leaf_hashes[0] = __import__("repro.crypto.merkle", fromlist=["leaf_hash"]).leaf_hash(b"rewritten")
+
+        log = MutatingLog("mutant")
+        log.append(b"original-0")
+        log.append(b"original-1")
+        monitor = LogMonitor(log)
+        monitor.poll()
+        log.rewrite()
+        log.append(b"original-2")
+        alerts = monitor.poll()
+        assert any(a.kind == "inconsistency" for a in alerts)

@@ -1,0 +1,155 @@
+"""Unit and property tests for the canonical binary codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.wire.codec import canonical_digest, decode, encode
+
+
+class TestEncodeDecodeRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**256,
+            -(2**256),
+            b"",
+            b"\x00\xff" * 10,
+            "",
+            "hello",
+            "ünïcode ✓",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", [1, [2]]],
+            {},
+            {"a": 1, "b": [2, 3], "c": {"nested": b"bytes"}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert decode(encode((1, 2, 3))) == [1, 2, 3]
+
+    def test_bytearray_encodes_as_bytes(self):
+        assert decode(encode(bytearray(b"xyz"))) == b"xyz"
+
+    def test_bool_not_confused_with_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert encode(True) != encode(1)
+
+
+class TestCanonicalness:
+    def test_dict_key_order_does_not_matter(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        b = {"z": 3, "y": 2, "x": 1}
+        assert encode(a) == encode(b)
+
+    def test_canonical_digest_stable(self):
+        value = {"method": "attest", "nonce": b"\x01" * 32}
+        assert canonical_digest(value) == canonical_digest(dict(reversed(value.items())))
+
+    def test_different_values_different_digests(self):
+        assert canonical_digest({"a": 1}) != canonical_digest({"a": 2})
+
+    def test_int_encoding_minimal(self):
+        # No leading zero bytes allowed: decoding a padded form must fail.
+        good = encode(255)
+        padded = good[:6] + b"\x00\x01" + b"\x00\xff"
+        # Construct explicitly: tag I, sign 0, length 2, bytes 00 ff
+        padded = b"I\x00" + (2).to_bytes(4, "big") + b"\x00\xff"
+        with pytest.raises(DecodingError):
+            decode(padded)
+        assert decode(good) == 255
+
+    def test_negative_zero_rejected(self):
+        bogus = b"I\x01" + (0).to_bytes(4, "big")
+        with pytest.raises(DecodingError):
+            decode(bogus)
+
+    def test_unsorted_dict_keys_rejected(self):
+        # Hand-craft a dict encoding with keys out of order.
+        key_b = b"b"
+        key_a = b"a"
+        body = (
+            b"D" + (2).to_bytes(4, "big")
+            + len(key_b).to_bytes(4, "big") + key_b + b"N"
+            + len(key_a).to_bytes(4, "big") + key_a + b"N"
+        )
+        with pytest.raises(DecodingError):
+            decode(body)
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(3.14)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            encode({1: "x"})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(b"Z")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(encode(b"hello")[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(encode(1) + b"\x00")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(b"")
+
+    def test_invalid_utf8_rejected(self):
+        bogus = b"S" + (2).to_bytes(4, "big") + b"\xff\xfe"
+        with pytest.raises(DecodingError):
+            decode(bogus)
+
+    def test_deep_nesting_rejected(self):
+        value = []
+        for _ in range(100):
+            value = [value]
+        with pytest.raises(EncodingError):
+            encode(value)
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**128), max_value=2**128),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=8), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=150)
+@given(value=_values)
+def test_property_round_trip(value):
+    assert decode(encode(value)) == value
+
+
+@settings(max_examples=75)
+@given(value=_values)
+def test_property_encoding_deterministic(value):
+    assert encode(value) == encode(value)

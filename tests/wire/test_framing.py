@@ -1,0 +1,65 @@
+"""Unit tests for length-prefixed framing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError
+from repro.wire.framing import FrameReader, frame_message, split_frames
+
+
+class TestFraming:
+    def test_frame_and_split(self):
+        data = frame_message(b"hello") + frame_message(b"") + frame_message(b"world")
+        assert split_frames(data) == [b"hello", b"", b"world"]
+
+    def test_partial_frame_rejected_by_split(self):
+        with pytest.raises(DecodingError):
+            split_frames(frame_message(b"hello")[:-1])
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(DecodingError):
+            frame_message(b"\x00" * (16 * 1024 * 1024 + 1))
+
+    def test_oversized_incoming_length_rejected(self):
+        reader = FrameReader()
+        with pytest.raises(DecodingError):
+            reader.feed((17 * 1024 * 1024).to_bytes(4, "big"))
+
+
+class TestFrameReader:
+    def test_incremental_feed(self):
+        reader = FrameReader()
+        data = frame_message(b"abcdef")
+        assert reader.feed(data[:3]) == []
+        assert reader.pending_bytes == 3
+        assert reader.feed(data[3:]) == [b"abcdef"]
+        assert reader.pending_bytes == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        reader = FrameReader()
+        data = frame_message(b"a") + frame_message(b"bb")
+        assert reader.feed(data) == [b"a", b"bb"]
+
+    def test_frame_spanning_chunks_plus_new_frame(self):
+        reader = FrameReader()
+        data = frame_message(b"abc") + frame_message(b"de")
+        assert reader.feed(data[:5]) == []
+        assert reader.feed(data[5:]) == [b"abc", b"de"]
+
+    def test_empty_feed(self):
+        assert FrameReader().feed(b"") == []
+
+
+@settings(max_examples=50)
+@given(payloads=st.lists(st.binary(max_size=128), max_size=10), data=st.data())
+def test_property_reassembly_from_arbitrary_chunking(payloads, data):
+    stream = b"".join(frame_message(p) for p in payloads)
+    reader = FrameReader()
+    received = []
+    position = 0
+    while position < len(stream):
+        step = data.draw(st.integers(min_value=1, max_value=max(1, len(stream) - position)))
+        received.extend(reader.feed(stream[position:position + step]))
+        position += step
+    assert received == payloads
+    assert reader.pending_bytes == 0
