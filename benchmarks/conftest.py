@@ -8,6 +8,8 @@ paper's Table 3 does.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.package import CodePackage, DeveloperIdentity
@@ -21,6 +23,14 @@ from repro.sandbox.wvm_executor import WvmExecutor
 # environments process the identical request.
 TABLE3_MESSAGE = b"transfer 10 BTC to cold storage"
 TABLE3_SHARE = 0x1F3A5C7E9B2D4F6081A3C5E7092B4D6F81A3C5E7092B4D6F81A3C5E7092B4D6F
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow`` so ``-m "not slow"`` skips the heavy paths."""
+    benchmarks_dir = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(benchmarks_dir):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,46 @@
+"""Ablation F — cost of tolerating a faulty network.
+
+The scenario engine shows the applications *survive* adversarial networks;
+this ablation quantifies what that tolerance costs. It runs the same seeded
+key-backup workload over the simulated network at increasing message-loss
+rates and reports wall-clock cost plus the retransmission amplification
+(retries and extra bytes) the at-most-once RPC layer pays to mask the loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.faults import DropFault
+from repro.sim.scenarios import Scenario, ScenarioRunner
+
+
+def lossy_scenario(drop_probability: float) -> Scenario:
+    rules = (DropFault(probability=drop_probability),) if drop_probability > 0 else ()
+    return Scenario(
+        name=f"bench-keybackup-drop-{int(drop_probability * 100)}",
+        app="keybackup", ops=4, seed=2022, rules=rules, rpc_attempts=5,
+        min_success_rate=0.5,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-fault-overhead")
+@pytest.mark.parametrize("drop_pct", [0, 5, 15])
+def test_workload_cost_vs_message_loss(benchmark, drop_pct):
+    """Wall-clock cost of the key-backup workload as message loss grows."""
+    scenario = lossy_scenario(drop_pct / 100)
+    report = benchmark(lambda: ScenarioRunner(scenario).run())
+    assert report.all_invariants_ok
+    if drop_pct == 0:
+        assert report.retries == 0 and report.messages_dropped == 0
+    else:
+        assert report.messages_dropped > 0
+
+
+def test_retry_amplification_bounded():
+    """Retransmissions stay proportionate: masking 15% loss must not double traffic."""
+    clean = ScenarioRunner(lossy_scenario(0.0)).run()
+    lossy = ScenarioRunner(lossy_scenario(0.15)).run()
+    assert clean.succeeded == lossy.succeeded == 4
+    amplification = lossy.messages_sent / clean.messages_sent
+    assert 1.0 < amplification < 2.0, f"amplification {amplification:.2f}"

@@ -1,0 +1,48 @@
+"""Run the full fault-injection scenario matrix and print per-scenario reports.
+
+Every application is driven end to end under adversarial network conditions —
+message loss, delay, reordering, duplication, partitions, crashes, TEE
+compromise, and unannounced updates — and the paper's safety invariants are
+checked after each run. The sweep is fully seeded: two runs with the same seed
+print byte-identical reports.
+
+Usage::
+
+    PYTHONPATH=src python examples/scenario_sweep.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sim.scenarios import ScenarioRunner, default_matrix
+
+
+def main(seed: int = 2022) -> int:
+    """Run the matrix; returns 0 when every invariant and liveness floor held."""
+    print(f"fault-injection scenario sweep (seed={seed})")
+    print("=" * 64)
+    reports = []
+    for scenario in default_matrix(seed):
+        report = ScenarioRunner(scenario).run()
+        reports.append(report)
+        print(report.format())
+        print("-" * 64)
+
+    invariants_checked = sum(len(report.invariants) for report in reports)
+    invariants_failed = sum(
+        1 for report in reports for result in report.invariants if not result.ok
+    )
+    liveness_misses = [r.scenario.name for r in reports if not r.liveness_ok]
+    apps = sorted({report.scenario.app for report in reports})
+    print(f"scenarios: {len(reports)} across apps: {', '.join(apps)}")
+    print(f"invariants: {invariants_checked} checked, {invariants_failed} failed")
+    if liveness_misses:
+        print(f"liveness floors missed: {', '.join(liveness_misses)}")
+    verdict = "ALL SAFETY INVARIANTS HELD" if invariants_failed == 0 else "INVARIANT FAILURES"
+    print(verdict)
+    return 0 if invariants_failed == 0 and not liveness_misses else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 2022))

@@ -19,7 +19,7 @@ from repro.core.client import AuditingClient
 from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.shamir import Share, ShamirSecretSharing
-from repro.errors import ApplicationError, MisbehaviorDetected
+from repro.errors import ApplicationError, MisbehaviorDetected, ReproError
 from repro.sim.adversary import DeveloperCompromise
 
 __all__ = ["KEY_BACKUP_APP_SOURCE", "KeyBackupDeployment", "KeyBackupClient"]
@@ -157,6 +157,34 @@ class KeyBackupClient:
                 raise ApplicationError(f"domain {domain_index} has no share for {user_id!r}")
             shares.append(Share(response["index"], response["value"]))
         return self.sharing.reconstruct(shares)
+
+    def recover_key_any(self, user_id: str) -> int:
+        """Recover the key from whichever ``threshold`` domains are reachable.
+
+        Tries every trust domain in order and reconstructs from the first
+        ``threshold`` that answer with a share, so recovery survives crashed,
+        partitioned, or compromised domains as long as a threshold remains.
+
+        Raises:
+            ApplicationError: fewer than ``threshold`` domains produced a share.
+        """
+        if self.audit_before_use:
+            self.audit()
+        shares = []
+        for domain_index in range(self.service.num_domains):
+            try:
+                response = self.service.deployment.invoke(domain_index, "fetch_share",
+                                                          {"user": user_id})["value"]
+            except ReproError:
+                continue  # unreachable or refusing domain; try the next one
+            if response["found"]:
+                shares.append(Share(response["index"], response["value"]))
+            if len(shares) == self.service.threshold:
+                return self.sharing.reconstruct(shares)
+        raise ApplicationError(
+            f"only {len(shares)} of the required {self.service.threshold} domains "
+            f"produced a share for {user_id!r}"
+        )
 
     def recover_key_bytes(self, user_id: str, length: int = 32) -> bytes:
         """Recover the key and return it as fixed-length bytes."""

@@ -178,6 +178,18 @@ class ObliviousDnsDeployment:
         """What the proxy saw (counts only — it never sees names)."""
         return self.deployment.invoke(PROXY_DOMAIN, "stats", {})["value"]
 
+    def proxy_view(self) -> list:
+        """Everything the proxy application recorded about forwarded queries.
+
+        Returns the proxy's ``seen_queries`` list — ciphertext *lengths* only.
+        The scenario engine's privacy invariant checks that no query name ever
+        appears here, no matter what the network does to the traffic.
+        """
+        state = self.deployment.domains[PROXY_DOMAIN].framework.application_state()
+        if state is None:
+            return []
+        return list(state.get("seen_queries", []))
+
     def resolver_observations(self) -> dict:
         """What the resolver saw (query counts; it never sees client identity)."""
         return self.deployment.invoke(RESOLVER_DOMAIN, "stats", {})["value"]

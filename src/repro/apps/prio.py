@@ -21,9 +21,28 @@ from dataclasses import dataclass
 from repro.core.client import AuditingClient
 from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
-from repro.errors import ApplicationError
+from repro.errors import ApplicationError, ReproError
 
-__all__ = ["PRIO_APP_SOURCE", "PrivateAggregationDeployment", "PrivateAggregationClient"]
+__all__ = [
+    "PRIO_APP_SOURCE",
+    "PartialSubmissionError",
+    "PrivateAggregationDeployment",
+    "PrivateAggregationClient",
+]
+
+
+class PartialSubmissionError(ApplicationError):
+    """A submission reached some servers but not all of them.
+
+    A torn submission leaves the servers disagreeing on their submission
+    counts, which :meth:`PrivateAggregationDeployment.aggregate` detects and
+    refuses to sum over. The scenario engine uses :attr:`accepted_servers` to
+    distinguish clean failures (no server took the share) from torn ones.
+    """
+
+    def __init__(self, message: str, accepted_servers: list[int]):
+        super().__init__(message)
+        self.accepted_servers = list(accepted_servers)
 
 # All shares live in a prime field large enough that sums never wrap.
 FIELD_MODULUS = 2**61 - 1
@@ -130,11 +149,23 @@ class PrivateAggregationClient:
         if self.audit_before_use and not self._audited:
             self.audit()
         shares = self._additive_shares(value, self.service.num_servers)
+        accepted: list[int] = []
         for index, share in enumerate(shares):
-            response = self.service.deployment.invoke(index, "submit_share",
-                                                      {"share": share})["value"]
+            try:
+                response = self.service.deployment.invoke(index, "submit_share",
+                                                          {"share": share})["value"]
+            except ApplicationError:
+                raise
+            except ReproError as exc:
+                if accepted:
+                    raise PartialSubmissionError(
+                        f"submission torn: servers {accepted} accepted a share but "
+                        f"server {index} was unreachable", accepted,
+                    ) from exc
+                raise
             if not response["accepted"]:
                 raise ApplicationError(f"server {index} rejected the share")
+            accepted.append(index)
 
     @staticmethod
     def _additive_shares(value: int, count: int) -> list[int]:

@@ -22,7 +22,7 @@ from repro.crypto.bilinear import BLS_SCALAR_ORDER, G1Element, G2Element
 from repro.crypto.bls import BlsSignature, BlsSignatureShare, BlsThresholdScheme
 from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.shamir import Share
-from repro.errors import ApplicationError
+from repro.errors import ApplicationError, ReproError
 from repro.sandbox.programs import bls_share_source
 
 __all__ = ["CustodyDeployment", "CustodyClient", "SignedTransaction"]
@@ -144,6 +144,44 @@ class CustodyClient:
             signature=signature,
             signer_indices=tuple(signer_indices[: self.service.threshold]),
         )
+
+    def sign_transaction_failover(self, message: bytes,
+                                  candidate_signers: list[int] | None = None) -> SignedTransaction:
+        """Collect ``t`` shares from whichever signers answer, then combine.
+
+        Walks ``candidate_signers`` (all signers by default) in order, skipping
+        any that are unreachable or refuse, until ``t`` signature shares are in
+        hand — the distributed-trust property in action: signing survives
+        crashed or compromised domains as long as a threshold remains honest
+        and reachable.
+
+        Raises:
+            ApplicationError: fewer than ``t`` signers produced a share.
+        """
+        if self.audit_before_use:
+            self.audit()
+        if candidate_signers is None:
+            candidate_signers = list(range(1, self.service.num_signers + 1))
+        partials = []
+        used = []
+        for index in candidate_signers:
+            try:
+                partials.append(self.service.sign_share_on_domain(index, message))
+            except ReproError:
+                continue  # crashed, partitioned, or compromised signer
+            used.append(index)
+            if len(partials) == self.service.threshold:
+                break
+        if len(partials) < self.service.threshold:
+            raise ApplicationError(
+                f"only {len(partials)} of the required {self.service.threshold} "
+                "signers produced a signature share"
+            )
+        signature = self.service.scheme.combine(partials)
+        if not self.service.scheme.verify(self.service.group_public_key, message, signature):
+            raise ApplicationError("combined threshold signature failed verification")
+        return SignedTransaction(message=message, signature=signature,
+                                 signer_indices=tuple(used))
 
     def verify(self, transaction: SignedTransaction) -> bool:
         """Verify a signed transaction under the custody service's public key."""

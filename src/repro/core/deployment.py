@@ -27,7 +27,7 @@ from repro.enclave.tee import HardwareType
 from repro.enclave.vendor import HardwareVendor, VendorRegistry
 from repro.errors import DeploymentError
 from repro.net.clock import SimClock
-from repro.net.rpc import RpcServer
+from repro.net.rpc import RpcClient, RpcServer
 from repro.net.transport import Network
 from repro.transparency.ct_log import CtLog
 from repro.wire.codec import encode
@@ -82,6 +82,10 @@ class Deployment:
         self.release_log = CtLog(f"{name}-releases")
         self.domains: list[TrustDomain] = []
         self._sequence = -1
+        self._rpc_clients: list[RpcClient] | None = None
+        self._rpc_attempts = 1
+        self._route_cache: tuple | None = None
+        self.client_address: str | None = None
         self._build_domains()
 
     # ------------------------------------------------------------------
@@ -145,7 +149,17 @@ class Deployment:
     # Application access
     # ------------------------------------------------------------------
     def invoke(self, domain_index: int, entry: str, params) -> dict:
-        """Invoke the application on one specific trust domain."""
+        """Invoke the application on one specific trust domain.
+
+        When :meth:`route_via_network` is active the request travels over the
+        simulated network as framed RPC bytes (and is therefore subject to any
+        injected faults); otherwise the domain is called directly.
+        """
+        if self._rpc_clients is not None:
+            return self._rpc_clients[domain_index].call_with_retry(
+                "invoke", {"entry": entry, "params": params},
+                attempts=self._rpc_attempts,
+            )
         return self.domains[domain_index].invoke_application(entry, params)
 
     def invoke_all(self, entry: str, params) -> list[dict]:
@@ -187,3 +201,48 @@ class Deployment:
             domain.register_rpc(server)
             servers[domain.domain_id] = server
         return servers
+
+    def route_via_network(self, network: Network, client_address: str | None = None,
+                          attempts: int = 3) -> dict[str, RpcServer]:
+        """Route every :meth:`invoke` through RPC over ``network``.
+
+        Attaches the domains as RPC servers, creates one shared client
+        endpoint, and rebinds the application invocation path so that requests
+        cross the simulated wire — this is what exposes application traffic to
+        injected faults. Returns the domain RPC servers.
+
+        Calling this again with the same network (e.g. after :meth:`unroute`)
+        reuses the endpoints and clients created the first time; attaching to
+        a *different* network requires a fresh deployment, since endpoint
+        addresses are already registered on the old one.
+
+        Args:
+            client_address: address for the shared client endpoint (defaults
+                to ``"<deployment-name>-client"``).
+            attempts: per-request send attempts used by the retrying RPC path.
+        """
+        if self._route_cache is not None and self._route_cache[0] is network:
+            _, clients, servers, address = self._route_cache
+            self._rpc_clients = clients
+        else:
+            servers = self.attach_to_network(network)
+            address = client_address or f"{self.name}-client"
+            endpoint = network.endpoint(address)
+            self._rpc_clients = [
+                RpcClient(network, endpoint, domain.domain_id) for domain in self.domains
+            ]
+            self._route_cache = (network, self._rpc_clients, servers, address)
+        self._rpc_attempts = attempts
+        self.client_address = address
+        return servers
+
+    def unroute(self) -> None:
+        """Restore direct (in-process) invocation after :meth:`route_via_network`."""
+        self._rpc_clients = None
+        self._rpc_attempts = 1
+
+    def rpc_retry_total(self) -> int:
+        """Total RPC retransmissions performed while routed (0 if never routed)."""
+        if self._route_cache is None:
+            return 0
+        return sum(client.retries for client in self._route_cache[1])

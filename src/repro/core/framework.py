@@ -222,6 +222,23 @@ class TrustDomainFramework:
             return b""
         return self._current_package.digest()
 
+    @property
+    def current_package(self) -> CodePackage | None:
+        """The application package currently running (``None`` before install)."""
+        return self._current_package
+
+    def application_state(self):
+        """The sandboxed application's live state (``None`` for WVM apps).
+
+        This models *host-level* visibility into the domain and exists for the
+        simulation's probes — adversary memory extraction and the scenario
+        engine's privacy invariants. Remote clients can never call it; it is
+        deliberately not exposed through :meth:`dispatch`.
+        """
+        if self._python_sandbox is None:
+            return None
+        return self._python_sandbox.state
+
     def log_export(self) -> list[dict]:
         """The full digest history, for clients and auditors."""
         return self._log.export()

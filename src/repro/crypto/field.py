@@ -99,6 +99,8 @@ class FieldElement:
         return FieldElement((-self.value) % self.field.modulus, self.field)
 
     def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0 and self.value == 0:
+            raise CryptoError("zero has no multiplicative inverse")
         return FieldElement(pow(self.value, exponent, self.field.modulus), self.field)
 
     def __eq__(self, other) -> bool:

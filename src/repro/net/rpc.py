@@ -5,14 +5,21 @@ update, invoke application) as named RPC methods; clients and auditors call
 them through :class:`RpcClient`. Requests and responses are encoded with the
 canonical codec and framed, so the bytes on the simulated wire look like the
 bytes a real deployment would exchange.
+
+The layer is hardened for adversarial networks: servers give at-most-once
+semantics (a retransmitted request is answered from a response cache instead
+of being re-executed, so retries cannot double-apply state changes), and
+:meth:`RpcClient.call_with_retry` retransmits the *same* request bytes after a
+timeout, which is what makes that dedup effective.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Callable
 
-from repro.errors import RpcError, TimeoutError
+from repro.errors import DecodingError, RpcError, TimeoutError
 from repro.net.transport import Endpoint, Message, Network
 from repro.wire.codec import decode, encode
 from repro.wire.framing import frame_message, split_frames
@@ -25,13 +32,24 @@ class RpcServer:
 
     Handlers take the decoded ``params`` value and return an encodable result;
     exceptions they raise are reported to the caller as :class:`RpcError`.
+
+    Args:
+        at_most_once: cache responses by ``(source, request id)`` and answer
+            retransmissions from the cache instead of re-executing the handler.
+        cache_size: number of cached responses kept for deduplication.
     """
 
-    def __init__(self, endpoint: Endpoint, name: str | None = None):
+    def __init__(self, endpoint: Endpoint, name: str | None = None,
+                 at_most_once: bool = True, cache_size: int = 1024):
         self.endpoint = endpoint
         self.name = name or endpoint.address
         self._handlers: dict[str, Callable] = {}
         self.requests_served = 0
+        self.duplicates_answered = 0
+        self.malformed_frames = 0
+        self._at_most_once = at_most_once
+        self._cache_size = cache_size
+        self._response_cache: OrderedDict[tuple, bytes] = OrderedDict()
         endpoint.on_message = self._handle_message
 
     def register(self, method: str, handler: Callable) -> None:
@@ -43,10 +61,33 @@ class RpcServer:
         return sorted(self._handlers)
 
     def _handle_message(self, message: Message) -> None:
-        for frame in split_frames(message.payload):
-            request = decode(frame)
-            response = self._dispatch(request)
-            self.endpoint.send(message.source, frame_message(encode(response)))
+        try:
+            frames = split_frames(message.payload)
+        except DecodingError:
+            self.malformed_frames += 1
+            return
+        for frame in frames:
+            try:
+                request = decode(frame)
+            except DecodingError:
+                # A corrupted request has no recoverable id to answer; drop it
+                # and let the client's retransmission carry the day.
+                self.malformed_frames += 1
+                continue
+            key = None
+            if self._at_most_once and isinstance(request, dict) and "id" in request:
+                key = (message.source, request["id"])
+                cached = self._response_cache.get(key)
+                if cached is not None:
+                    self.duplicates_answered += 1
+                    self.endpoint.send(message.source, cached)
+                    continue
+            response = frame_message(encode(self._dispatch(request)))
+            if key is not None:
+                self._response_cache[key] = response
+                while len(self._response_cache) > self._cache_size:
+                    self._response_cache.popitem(last=False)
+            self.endpoint.send(message.source, response)
 
     def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "method" not in request or "id" not in request:
@@ -73,6 +114,13 @@ class RpcClient:
         self.network = network
         self.endpoint = endpoint
         self.server_address = server_address
+        self.retries = 0
+        # Completed request ids are shared across every client on this
+        # endpoint, so any of them can discard a stale duplicate response no
+        # matter which client originally issued the request.
+        if not hasattr(endpoint, "rpc_completed_ids"):
+            endpoint.rpc_completed_ids = set()
+        self._completed: set[int] = endpoint.rpc_completed_ids
 
     def call(self, method: str, params=None):
         """Call ``method`` with ``params`` and return the decoded result.
@@ -81,14 +129,42 @@ class RpcClient:
             RpcError: the server reported an application-level error.
             TimeoutError: no response arrived after the network went idle.
         """
+        return self.call_with_retry(method, params, attempts=1)
+
+    def call_with_retry(self, method: str, params=None, attempts: int = 3):
+        """Call ``method``, retransmitting after timeouts up to ``attempts`` times.
+
+        Every attempt resends the *same* request id and bytes, so an
+        at-most-once server deduplicates re-deliveries and the handler runs at
+        most one time no matter how lossy the network is.
+
+        Raises:
+            RpcError: the server reported an application-level error.
+            TimeoutError: every attempt timed out.
+        """
         request_id = next(self._ids)
-        request = {"id": request_id, "method": method, "params": params}
-        self.endpoint.send(self.server_address, frame_message(encode(request)))
-        self.network.run_until_idle()
-        response = self._await_response(request_id)
-        if "error" in response and response["error"] is not None:
-            raise RpcError(f"{method} failed: {response['error']}")
-        return response.get("result")
+        request_bytes = frame_message(encode(
+            {"id": request_id, "method": method, "params": params}
+        ))
+        last_timeout = None
+        for attempt in range(max(1, attempts)):
+            if attempt > 0:
+                self.retries += 1
+            self.endpoint.send(self.server_address, request_bytes)
+            self.network.run_until_idle()
+            try:
+                response = self._await_response(request_id)
+            except TimeoutError as exc:
+                last_timeout = exc
+                continue
+            self._completed.add(request_id)
+            if "error" in response and response["error"] is not None:
+                raise RpcError(f"{method} failed: {response['error']}")
+            return response.get("result")
+        self._completed.add(request_id)
+        raise last_timeout or TimeoutError(
+            f"no response to request {request_id} from {self.server_address}"
+        )
 
     def _await_response(self, request_id: int) -> dict:
         unrelated = []
@@ -99,10 +175,22 @@ class RpcClient:
                     raise TimeoutError(
                         f"no response to request {request_id} from {self.server_address}"
                     )
-                for frame in split_frames(message.payload):
-                    response = decode(frame)
+                try:
+                    frames = split_frames(message.payload)
+                except DecodingError:
+                    continue  # corrupted response; the retry path handles it
+                for frame in frames:
+                    try:
+                        response = decode(frame)
+                    except DecodingError:
+                        continue
                     if isinstance(response, dict) and response.get("id") == request_id:
                         return response
+                    if (isinstance(response, dict)
+                            and response.get("id") in self._completed):
+                        # A duplicate of an already-answered request; discard
+                        # instead of letting it pile up in the inbox forever.
+                        continue
                     unrelated.append(message)
         finally:
             # Preserve unrelated messages for other callers sharing the endpoint.

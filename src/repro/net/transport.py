@@ -1,23 +1,37 @@
 """An in-memory simulated network of addressable endpoints.
 
 The network is synchronous and single-threaded: sends enqueue messages, and
-:meth:`Network.run_until_idle` drains the queue, invoking receiver handlers (or
-parking messages in inboxes for endpoints that poll). Latency is charged to a
-:class:`~repro.net.clock.SimClock` per link, and per-endpoint statistics are
-collected for the benchmark harness.
+:meth:`Network.run_until_idle` drains the queue in delivery-time order,
+invoking receiver handlers (or parking messages in inboxes for endpoints that
+poll). Latency is charged to a :class:`~repro.net.clock.SimClock` per link, and
+per-endpoint statistics are collected for the benchmark harness.
+
+Adversarial network conditions are injected through two mechanisms:
+
+* *fault hooks* (:meth:`Network.add_fault_hook`) inspect every message at send
+  time and return a :class:`FaultDecision` — drop it, delay it (which, under
+  delivery-time ordering, reorders it past later traffic), or duplicate it;
+* *crashed endpoints* (:meth:`Network.crash` / :meth:`Network.recover`) model a
+  party that is down: traffic addressed to it while down is dropped at
+  delivery time, exactly as a real peer would simply never read it.
+
+The scenario engine (:mod:`repro.sim.faults`) builds its fault plans on top of
+these hooks.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.errors import NetworkError, TransportClosedError
 from repro.net.clock import SimClock
 from repro.net.latency import LatencyModel, NoLatency
 
-__all__ = ["Message", "NetworkStats", "Endpoint", "Network"]
+__all__ = ["Message", "FaultDecision", "NetworkStats", "Endpoint", "Network"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +45,23 @@ class Message:
     deliver_at: float
 
 
+@dataclass(frozen=True)
+class FaultDecision:
+    """What a fault hook wants done with one message.
+
+    Attributes:
+        drop: discard the message instead of delivering it.
+        extra_delay: additional delivery delay in seconds (on top of the link
+            latency); under delivery-time ordering a delayed message is
+            reordered past anything that overtakes it.
+        duplicates: number of extra copies to enqueue.
+    """
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    duplicates: int = 0
+
+
 @dataclass
 class NetworkStats:
     """Aggregate statistics the benchmarks and ablations report."""
@@ -38,6 +69,8 @@ class NetworkStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
     total_latency: float = 0.0
     per_link: dict = field(default_factory=dict)
 
@@ -54,6 +87,10 @@ class NetworkStats:
     def record_delivery(self) -> None:
         """Record one successful delivery."""
         self.messages_delivered += 1
+
+    def record_drop(self) -> None:
+        """Record one message lost to a partition, fault, or crashed endpoint."""
+        self.messages_dropped += 1
 
 
 class Endpoint:
@@ -109,8 +146,14 @@ class Network:
         self.stats = NetworkStats()
         self._endpoints: dict[str, Endpoint] = {}
         self._link_latency: dict[tuple[str, str], LatencyModel] = {}
-        self._queue: deque[Message] = deque()
+        # A heap of (deliver_at, sequence, message): messages are delivered in
+        # timestamp order with FIFO tie-breaking, so equal-latency traffic
+        # behaves exactly as the original FIFO queue did.
+        self._queue: list[tuple[float, int, Message]] = []
+        self._sequence = itertools.count()
         self._partitions: set[tuple[str, str]] = set()
+        self._fault_hooks: list[Callable[[Message], Optional[FaultDecision]]] = []
+        self._down: set[str] = set()
 
     # ------------------------------------------------------------------
     # Topology
@@ -150,6 +193,48 @@ class Network:
         return sorted(self._endpoints)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def add_fault_hook(self, hook: Callable[[Message], Optional[FaultDecision]]) -> None:
+        """Install a hook consulted on every send.
+
+        The hook receives the in-flight :class:`Message` and returns a
+        :class:`FaultDecision` (or ``None`` for "no opinion"). Decisions from
+        multiple hooks compose: any drop wins, delays add, duplicates add.
+        """
+        self._fault_hooks.append(hook)
+
+    def remove_fault_hook(self, hook: Callable) -> None:
+        """Remove a previously installed fault hook (no-op if absent)."""
+        if hook in self._fault_hooks:
+            self._fault_hooks.remove(hook)
+
+    def crash(self, address: str) -> None:
+        """Take an endpoint down: traffic addressed to it is dropped on delivery."""
+        self._down.add(address)
+
+    def recover(self, address: str) -> None:
+        """Bring a crashed endpoint back; messages sent from now on are delivered."""
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        """Whether :meth:`crash` has marked this address down."""
+        return address in self._down
+
+    def _consult_faults(self, message: Message) -> FaultDecision:
+        drop = False
+        extra_delay = 0.0
+        duplicates = 0
+        for hook in self._fault_hooks:
+            decision = hook(message)
+            if decision is None:
+                continue
+            drop = drop or decision.drop
+            extra_delay += decision.extra_delay
+            duplicates += decision.duplicates
+        return FaultDecision(drop=drop, extra_delay=extra_delay, duplicates=duplicates)
+
+    # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
     def send(self, source: str, destination: str, payload: bytes) -> None:
@@ -158,6 +243,7 @@ class Network:
             raise NetworkError(f"no endpoint registered at {destination!r}")
         if (source, destination) in self._partitions:
             # Partitioned links silently drop traffic, as a real network would.
+            self.stats.record_drop()
             return
         model = self._link_latency.get((source, destination), self.default_latency)
         latency = model.sample(len(payload))
@@ -168,8 +254,21 @@ class Network:
             sent_at=self.clock.now(),
             deliver_at=self.clock.now() + latency,
         )
+        decision = self._consult_faults(message) if self._fault_hooks else None
         self.stats.record_send(source, destination, len(payload), latency)
-        self._queue.append(message)
+        if decision is not None and decision.drop:
+            self.stats.record_drop()
+            return
+        if decision is not None and decision.extra_delay > 0:
+            message = replace(message, deliver_at=message.deliver_at + decision.extra_delay)
+        self._enqueue(message)
+        if decision is not None and decision.duplicates > 0:
+            for _ in range(decision.duplicates):
+                self._enqueue(message)
+                self.stats.messages_duplicated += 1
+
+    def _enqueue(self, message: Message) -> None:
+        heapq.heappush(self._queue, (message.deliver_at, next(self._sequence), message))
 
     def run_until_idle(self, max_steps: int = 100_000) -> int:
         """Deliver queued messages until the queue is empty; returns deliveries made."""
@@ -179,9 +278,13 @@ class Network:
             steps += 1
             if steps > max_steps:
                 raise NetworkError("network did not quiesce (possible message loop)")
-            message = self._queue.popleft()
+            _, _, message = heapq.heappop(self._queue)
             endpoint = self._endpoints.get(message.destination)
             if endpoint is None or endpoint.closed:
+                continue
+            if message.destination in self._down:
+                # A crashed party never reads the bytes; they are simply lost.
+                self.stats.record_drop()
                 continue
             self.clock.advance_to(message.deliver_at)
             self.stats.record_delivery()

@@ -1,20 +1,50 @@
-"""Simulation support: workload generators, adversary scenarios, and metrics.
+"""Simulation support: workloads, adversaries, faults, metrics, and scenarios.
 
 These helpers keep the examples and the benchmark harness small: workloads are
 seeded and reproducible, adversary scenarios encode the paper's threat model
-(a compromised application developer, an exploited TEE vendor), and the
-metrics module turns raw latency samples into the summary statistics the
-experiment write-ups report.
+(a compromised application developer, an exploited TEE vendor, schedule-driven
+TEE compromise), fault plans inject adversarial network conditions into the
+simulated transport, and the metrics module turns raw latency samples into the
+summary statistics the experiment write-ups report. The
+:mod:`repro.sim.scenarios` package composes all of it into the fault-injection
+scenario engine that drives every application end to end; it is imported
+explicitly (``from repro.sim.scenarios import ...``) rather than re-exported
+here, because the engine depends on :mod:`repro.apps` while the applications
+themselves depend on this package's adversary helpers.
 """
 
 from repro.sim.metrics import LatencyStats, summarize
 from repro.sim.workload import WorkloadGenerator
-from repro.sim.adversary import DeveloperCompromise, VendorExploit
-
+from repro.sim.adversary import DeveloperCompromise, ScheduledCompromise, VendorExploit
+from repro.sim.faults import (
+    CompromiseDomain,
+    CrashParty,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    HealLink,
+    PartitionLink,
+    RecoverParty,
+    ReorderFault,
+    UnannouncedUpdate,
+)
 __all__ = [
     "LatencyStats",
     "summarize",
     "WorkloadGenerator",
     "DeveloperCompromise",
+    "ScheduledCompromise",
     "VendorExploit",
+    "FaultPlan",
+    "DropFault",
+    "DelayFault",
+    "ReorderFault",
+    "DuplicateFault",
+    "PartitionLink",
+    "HealLink",
+    "CrashParty",
+    "RecoverParty",
+    "CompromiseDomain",
+    "UnannouncedUpdate",
 ]

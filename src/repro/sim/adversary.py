@@ -13,6 +13,12 @@ Two attacks recur throughout the paper's argument:
 Both scenarios operate on a real :class:`~repro.core.deployment.Deployment`
 and report what the attacker could actually extract, so the examples and the
 Figure 1 experiment run them rather than merely asserting the conclusion.
+
+:class:`ScheduledCompromise` generalizes both into *schedule-driven*
+compromise for the scenario engine: individual TEEs fall at chosen points in a
+workload (up to, but in safe scenarios never reaching, the application's
+threshold), and the attacker's cumulative power is evaluated with the same
+memory-extraction machinery the static scenarios use.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from repro.core.deployment import Deployment
 from repro.enclave.exploits import ExploitCampaign
 from repro.errors import SandboxEscapeError
 
-__all__ = ["DeveloperCompromise", "VendorExploit"]
+__all__ = ["DeveloperCompromise", "VendorExploit", "ScheduledCompromise"]
 
 
 @dataclass
@@ -82,11 +88,7 @@ class DeveloperCompromise:
 
     @staticmethod
     def _developer_domain_state(domain):
-        framework = domain.framework
-        sandbox = getattr(framework, "_python_sandbox", None)
-        if sandbox is not None:
-            return sandbox.state
-        return None
+        return domain.framework.application_state()
 
     def can_recover_secret(self, threshold: int) -> bool:
         """Whether the attacker breached enough domains to defeat a t-of-n secret."""
@@ -115,3 +117,42 @@ class VendorExploit:
         outcome = self.exploit(vendor_name)
         total = len(self.deployment.domains)
         return (total - outcome.breached_count) < honest_required
+
+
+class ScheduledCompromise:
+    """Schedule-driven compromise of individual TEEs during a workload.
+
+    The scenario runner calls :meth:`compromise` as its fault plan dictates;
+    afterwards, :meth:`outcome` reports the attacker's cumulative reach using
+    the same memory-extraction probe as :class:`DeveloperCompromise` (the
+    compromised developer plus every fallen TEE).
+    """
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+        self.history: list[tuple[int, str]] = []
+
+    def compromise(self, domain_index: int, at_op: int = -1) -> str:
+        """Exploit the TEE of domain ``domain_index``; returns the domain id."""
+        domain = self.deployment.domains[domain_index]
+        domain.compromise()
+        self.history.append((at_op, domain.domain_id))
+        return domain.domain_id
+
+    @property
+    def compromised_domain_ids(self) -> list[str]:
+        """Domain ids compromised so far, in schedule order."""
+        return [domain_id for _, domain_id in self.history]
+
+    def outcome(self, keys: list[str] | None = None) -> CompromiseOutcome:
+        """What a developer-credential attacker plus the fallen TEEs can read now."""
+        probe = DeveloperCompromise(self.deployment)
+        return probe.attempt_memory_extraction(keys or [])
+
+    def breached_count(self) -> int:
+        """Number of trust domains whose application memory is readable."""
+        return self.outcome().breached_count
+
+    def below_threshold(self, threshold: int) -> bool:
+        """Whether the attacker still holds fewer than ``threshold`` domains."""
+        return self.breached_count() < threshold

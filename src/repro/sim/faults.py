@@ -1,0 +1,242 @@
+"""Composable fault plans for the scenario engine.
+
+A :class:`FaultPlan` bundles the two kinds of adversarial network behavior the
+scenario engine injects:
+
+* **probabilistic rules** — seeded, per-message decisions (drop, delay,
+  reorder, duplicate) installed as a fault hook on the simulated
+  :class:`~repro.net.transport.Network`'s send path;
+* **scheduled events** — point-in-time actions applied at operation
+  boundaries by the :class:`~repro.sim.scenarios.runner.ScenarioRunner`: link
+  partitions and heals, party crash and recovery, TEE compromise, and a
+  malicious developer pushing an unannounced update.
+
+Everything is driven by a single seed so a scenario replays identically,
+faults included.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.transport import FaultDecision, Message, Network
+
+__all__ = [
+    "FaultRule",
+    "DropFault",
+    "DelayFault",
+    "ReorderFault",
+    "DuplicateFault",
+    "ScheduledEvent",
+    "PartitionLink",
+    "HealLink",
+    "CrashParty",
+    "RecoverParty",
+    "CompromiseDomain",
+    "UnannouncedUpdate",
+    "FaultPlan",
+]
+
+
+def _link_matches(message: Message, source: str | None, destination: str | None) -> bool:
+    if source is not None and message.source != source:
+        return False
+    if destination is not None and message.destination != destination:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Base class for probabilistic per-message fault rules.
+
+    Attributes:
+        probability: chance in ``[0, 1]`` that the rule fires for a message.
+        source / destination: optional exact-match link filter; ``None``
+            matches any address.
+    """
+
+    probability: float = 1.0
+    source: str | None = None
+    destination: str | None = None
+
+    def decide(self, message: Message, rng: random.Random) -> FaultDecision | None:
+        """Return the decision for ``message``, or ``None`` when not firing.
+
+        The RNG draw happens for every matching message regardless of outcome,
+        which keeps the random stream (and therefore the whole scenario)
+        deterministic under a fixed seed.
+        """
+        if not _link_matches(message, self.source, self.destination):
+            return None
+        if rng.random() >= self.probability:
+            return None
+        return self._fire(rng)
+
+    def _fire(self, rng: random.Random) -> FaultDecision:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DropFault(FaultRule):
+    """Lose matching messages with the given probability."""
+
+    def _fire(self, rng: random.Random) -> FaultDecision:
+        return FaultDecision(drop=True)
+
+
+@dataclass(frozen=True)
+class DelayFault(FaultRule):
+    """Add a fixed extra delay (plus optional uniform jitter) to matching messages."""
+
+    delay_s: float = 0.01
+    jitter_s: float = 0.0
+
+    def _fire(self, rng: random.Random) -> FaultDecision:
+        extra = self.delay_s
+        if self.jitter_s > 0:
+            extra += rng.uniform(0.0, self.jitter_s)
+        return FaultDecision(extra_delay=extra)
+
+
+@dataclass(frozen=True)
+class ReorderFault(FaultRule):
+    """Reorder matching messages by delaying them a random amount.
+
+    Under the transport's delivery-time ordering, a message pushed up to
+    ``max_delay_s`` into the future is overtaken by everything lighter — the
+    classic adversarial reordering.
+    """
+
+    max_delay_s: float = 0.05
+
+    def _fire(self, rng: random.Random) -> FaultDecision:
+        return FaultDecision(extra_delay=rng.uniform(0.0, self.max_delay_s))
+
+
+@dataclass(frozen=True)
+class DuplicateFault(FaultRule):
+    """Deliver matching messages more than once."""
+
+    copies: int = 1
+
+    def _fire(self, rng: random.Random) -> FaultDecision:
+        return FaultDecision(duplicates=self.copies)
+
+
+# ---------------------------------------------------------------------------
+# Scheduled events
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """Base class for events applied at an operation boundary.
+
+    Attributes:
+        at_op: zero-based workload operation index *before* which the event
+            fires.
+    """
+
+    at_op: int = 0
+
+    def apply(self, ctx) -> None:
+        """Apply the event to a scenario context (see ``ScenarioContext``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PartitionLink(ScheduledEvent):
+    """Cut the (symmetric) link between two parties.
+
+    Parties are named either ``"client"`` or ``"domain:<index>"``.
+    """
+
+    a: str = "client"
+    b: str = "domain:0"
+
+    def apply(self, ctx) -> None:
+        ctx.network.partition(ctx.resolve(self.a), ctx.resolve(self.b))
+
+
+@dataclass(frozen=True)
+class HealLink(ScheduledEvent):
+    """Remove a previously installed partition."""
+
+    a: str = "client"
+    b: str = "domain:0"
+
+    def apply(self, ctx) -> None:
+        ctx.network.heal(ctx.resolve(self.a), ctx.resolve(self.b))
+
+
+@dataclass(frozen=True)
+class CrashParty(ScheduledEvent):
+    """Crash a party: traffic addressed to it is lost until it recovers."""
+
+    party: str = "domain:0"
+
+    def apply(self, ctx) -> None:
+        ctx.network.crash(ctx.resolve(self.party))
+
+
+@dataclass(frozen=True)
+class RecoverParty(ScheduledEvent):
+    """Bring a crashed party back online."""
+
+    party: str = "domain:0"
+
+    def apply(self, ctx) -> None:
+        ctx.network.recover(ctx.resolve(self.party))
+
+
+@dataclass(frozen=True)
+class CompromiseDomain(ScheduledEvent):
+    """Exploit one trust domain's TEE (schedule-driven compromise)."""
+
+    domain_index: int = 1
+
+    def apply(self, ctx) -> None:
+        ctx.compromise(self.domain_index)
+
+
+@dataclass(frozen=True)
+class UnannouncedUpdate(ScheduledEvent):
+    """A malicious developer pushes a signed but unpublished update to one domain.
+
+    The update is correctly signed (the attacker holds the developer key) and
+    carries the next sequence number, so the framework accepts it — but its
+    source never appears in the public registry or release log, which is
+    exactly what auditors must catch.
+    """
+
+    domain_index: int = 1
+    version_suffix: str = "+unannounced"
+
+    def apply(self, ctx) -> None:
+        ctx.push_unannounced_update(self.domain_index, self.version_suffix)
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+class FaultPlan:
+    """A seeded composition of probabilistic rules and scheduled events."""
+
+    def __init__(self, rules: tuple | list = (), events: tuple | list = (),
+                 seed: int = 0):
+        self.rules = tuple(rules)
+        self.events = tuple(sorted(events, key=lambda e: e.at_op))
+        self._rng = random.Random(seed)
+
+    def install(self, network: Network) -> None:
+        """Install one fault hook per rule; the network composes their decisions."""
+        for rule in self.rules:
+            network.add_fault_hook(
+                lambda message, _rule=rule: _rule.decide(message, self._rng)
+            )
+
+    def events_at(self, op_index: int) -> list[ScheduledEvent]:
+        """The scheduled events that fire before operation ``op_index``."""
+        return [event for event in self.events if event.at_op == op_index]

@@ -24,11 +24,27 @@ class LatencyStats:
         """Mean in milliseconds (what the paper's Table 3 reports)."""
         return self.mean * 1000.0
 
+    def p95_ms(self) -> float:
+        """95th percentile in milliseconds (what the scenario reports quote)."""
+        return self.p95 * 1000.0
+
     def overhead_vs(self, baseline: "LatencyStats") -> float:
         """Percentage increase of this mean over a baseline mean."""
         if baseline.mean == 0:
             return float("inf")
         return (self.mean - baseline.mean) / baseline.mean * 100.0
+
+    def to_dict(self) -> dict:
+        """Plain-data form for scenario reports and experiment write-ups."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "stddev": self.stddev,
+        }
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:

@@ -1,0 +1,308 @@
+"""Application drivers: one end-to-end workload adapter per app.
+
+A driver builds its application's deployment, executes one seeded workload
+operation at a time through the *public client API* (so requests traverse the
+full framework → enclave → sandbox path, over the simulated network once the
+runner routes it), and checks the application-specific safety invariants at
+the end of the run.
+"""
+
+from __future__ import annotations
+
+from repro.apps.keybackup import KeyBackupClient, KeyBackupDeployment
+from repro.apps.odoh import ObliviousDnsClient, ObliviousDnsDeployment
+from repro.apps.prio import (
+    FIELD_MODULUS,
+    PartialSubmissionError,
+    PrivateAggregationClient,
+    PrivateAggregationDeployment,
+)
+from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
+from repro.core.client import AuditingClient
+from repro.crypto.bls import BlsThresholdScheme
+from repro.crypto.shamir import Share
+from repro.errors import ApplicationError, ThresholdError
+from repro.sim.scenarios.spec import InvariantResult
+from repro.sim.workload import WorkloadGenerator
+
+__all__ = [
+    "ScenarioDriver",
+    "KeyBackupDriver",
+    "ThresholdSignDriver",
+    "PrioDriver",
+    "OdohDriver",
+    "make_driver",
+]
+
+
+class ScenarioDriver:
+    """Base class: builds a deployment and drives one operation at a time."""
+
+    app_name = "?"
+
+    def __init__(self, seed: int, ops: int):
+        self.seed = seed
+        self.ops = ops
+        self.workload = WorkloadGenerator(seed)
+        self.deployment = None  # set by subclasses
+
+    def step(self, op_index: int) -> None:
+        """Run workload operation ``op_index``; raises ``ReproError`` on failure."""
+        raise NotImplementedError
+
+    def finish(self, ctx) -> list[InvariantResult]:
+        """Application-specific safety invariants, checked after the workload."""
+        raise NotImplementedError
+
+    def audit_outcome(self):
+        """Run a full client audit; returns ``(ok, evidence kinds)``.
+
+        The default audits the whole deployment the way any end user would —
+        attestation against vendor roots, digest-log verification, cross-domain
+        agreement, and the release-registry cross-check.
+        """
+        client = AuditingClient(self.deployment.vendor_registry)
+        report = client.audit_deployment(self.deployment)
+        kinds = {evidence.kind for evidence in report.evidence}
+        return report.ok, kinds
+
+
+class KeyBackupDriver(ScenarioDriver):
+    """Back up a fresh user key each op, then recover and compare it."""
+
+    app_name = "keybackup"
+
+    def __init__(self, seed: int, ops: int, num_domains: int = 4, threshold: int = 3):
+        super().__init__(seed, ops)
+        self.service = KeyBackupDeployment(num_domains=num_domains, threshold=threshold)
+        self.deployment = self.service.deployment
+        self.client = KeyBackupClient(self.service, audit_before_use=False)
+        self._users = self.workload.user_ids(ops)
+        self._secrets = self.workload.secrets(ops, bits=248)
+
+    def step(self, op_index: int) -> None:
+        user = self._users[op_index]
+        secret = self._secrets[op_index]
+        self.client.backup_key(user, secret)
+        recovered = self.client.recover_key_any(user)
+        if recovered != secret:
+            raise ApplicationError(f"recovered key for {user!r} does not match the original")
+
+    def finish(self, ctx) -> list[InvariantResult]:
+        summary = self.service.simulate_developer_compromise()
+        breached = summary["shares_recoverable"]
+        ok = breached < self.service.threshold and not summary["key_recoverable"]
+        return [InvariantResult(
+            "key-stays-secret-below-threshold", ok,
+            f"attacker reads {breached} of {self.service.num_domains} shares, "
+            f"threshold is {self.service.threshold}",
+        )]
+
+
+class ThresholdSignDriver(ScenarioDriver):
+    """Sign one transaction per op with failover across signers."""
+
+    app_name = "threshold_sign"
+
+    def __init__(self, seed: int, ops: int, threshold: int = 2, num_signers: int = 3):
+        super().__init__(seed, ops)
+        self.service = CustodyDeployment(threshold=threshold, num_signers=num_signers,
+                                         keygen_seed=seed.to_bytes(8, "big"))
+        self.deployment = self.service.deployment
+        self.client = CustodyClient(self.service, audit_before_use=False)
+        self._messages = self.workload.messages(ops)
+
+    def step(self, op_index: int) -> None:
+        transaction = self.client.sign_transaction_failover(self._messages[op_index])
+        if not self.client.verify(transaction):
+            raise ApplicationError("threshold signature did not verify")
+
+    def finish(self, ctx) -> list[InvariantResult]:
+        # Steal every key share the fallen TEEs expose and try to sign with
+        # them alone: below the threshold the forgery must be impossible.
+        stolen = []
+        for domain in self.deployment.domains[1:]:
+            if domain.enclave is not None and domain.enclave.memory.breached:
+                signer_index = self.deployment.domains.index(domain)
+                stolen.append(Share(signer_index, domain.enclave.memory.host_read("bls_key_share")))
+        scheme = BlsThresholdScheme(self.service.threshold, self.service.num_signers)
+        if len(stolen) >= self.service.threshold:
+            ok = False
+            detail = f"{len(stolen)} shares stolen — at or above threshold {self.service.threshold}"
+        else:
+            message = b"forged transfer of all funds"
+            partials = [scheme.sign_share(share, message) for share in stolen]
+            try:
+                scheme.combine(partials)
+            except ThresholdError:
+                ok = True
+            else:
+                ok = False
+            detail = (f"attacker holds {len(stolen)} of the {self.service.threshold} "
+                      "shares needed; forgery attempt rejected" if ok else
+                      "forgery with sub-threshold shares unexpectedly combined")
+        return [InvariantResult("stolen-shares-cannot-sign-below-threshold", ok, detail)]
+
+
+class PrioDriver(ScenarioDriver):
+    """Submit one telemetry value per op; verify the aggregate at the end."""
+
+    app_name = "prio"
+
+    def __init__(self, seed: int, ops: int, num_servers: int = 3, max_value: int = 100):
+        super().__init__(seed, ops)
+        self.service = PrivateAggregationDeployment(num_servers=num_servers,
+                                                    max_value=max_value)
+        self.deployment = self.service.deployment
+        self.client = PrivateAggregationClient(self.service, audit_before_use=False)
+        self._values = self.workload.telemetry_values(ops, 0, max_value)
+        self.accepted_values: list[int] = []
+        self.torn_submissions = 0
+        self.failed_submissions = 0
+
+    def step(self, op_index: int) -> None:
+        value = self._values[op_index]
+        try:
+            self.client.submit(value)
+        except PartialSubmissionError:
+            self.torn_submissions += 1
+            raise
+        except Exception:
+            # A "clean" failure from the client's view — but a server may
+            # still have accepted a share whose response was lost in flight.
+            self.failed_submissions += 1
+            raise
+        self.accepted_values.append(value)
+
+    def finish(self, ctx) -> list[InvariantResult]:
+        invariants = []
+        if self.torn_submissions == 0 and self.failed_submissions == 0:
+            result = self.service.aggregate()
+            expected = sum(self.accepted_values) % FIELD_MODULUS
+            ok = result["sum"] == expected and result["submissions"] == len(self.accepted_values)
+            invariants.append(InvariantResult(
+                "aggregate-matches-accepted-submissions", ok,
+                f"{len(self.accepted_values)} submissions aggregated exactly",
+            ))
+        elif self.torn_submissions == 0:
+            # Failed submissions may or may not have reached individual
+            # servers (a lost response looks like a clean failure to the
+            # client); either the servers still agree and the aggregate is
+            # exact, or they disagree and aggregation must refuse.
+            expected = sum(self.accepted_values) % FIELD_MODULUS
+            try:
+                result = self.service.aggregate()
+            except ApplicationError:
+                invariants.append(InvariantResult(
+                    "aggregate-matches-accepted-submissions", True,
+                    f"{self.failed_submissions} failed submissions left the "
+                    "servers disagreeing and aggregation refused to answer",
+                ))
+            else:
+                ok = (result["sum"] == expected
+                      and result["submissions"] == len(self.accepted_values))
+                invariants.append(InvariantResult(
+                    "aggregate-matches-accepted-submissions", ok,
+                    f"{len(self.accepted_values)} submissions aggregated exactly",
+                ))
+        else:
+            # Torn submissions leave the servers disagreeing; the operator
+            # must detect that instead of publishing a silently wrong sum.
+            try:
+                self.service.aggregate()
+            except ApplicationError:
+                invariants.append(InvariantResult(
+                    "torn-submissions-detected", True,
+                    f"{self.torn_submissions} torn submissions made the servers "
+                    "disagree and aggregation refused to proceed",
+                ))
+            else:
+                invariants.append(InvariantResult(
+                    "torn-submissions-detected", False,
+                    "servers disagreed on submissions but aggregation succeeded",
+                ))
+        total = self.service.num_servers
+        breached = sum(
+            1 for domain in self.deployment.domains
+            if domain.enclave is not None and domain.enclave.memory.breached
+        )
+        invariants.append(InvariantResult(
+            "no-single-server-learns-values", breached < total,
+            f"{breached} of {total} aggregation servers readable by the attacker; "
+            "individual values stay hidden while any server remains honest",
+        ))
+        return invariants
+
+
+class OdohDriver(ScenarioDriver):
+    """Resolve one name per op through the proxy/resolver split."""
+
+    app_name = "odoh"
+
+    def __init__(self, seed: int, ops: int):
+        super().__init__(seed, ops)
+        self._names = self.workload.dns_queries(ops)
+        self.records = {
+            name: f"10.{i // 250}.{i % 250}.7" for i, name in enumerate(self._names)
+        }
+        self.service = ObliviousDnsDeployment(records=self.records)
+        self.deployment = self.service.deployment
+        self.client = ObliviousDnsClient(self.service, audit_before_use=False)
+        self.resolved = 0
+
+    def step(self, op_index: int) -> None:
+        name = self._names[op_index]
+        response = self.client.resolve(name)
+        if not response.found or response.address != self.records[name]:
+            raise ApplicationError(f"wrong answer for {name!r}")
+        self.resolved += 1
+
+    def finish(self, ctx) -> list[InvariantResult]:
+        view = self.service.proxy_view()
+        leaked = [item for item in view if not isinstance(item, int)]
+        names_seen = [item for item in view if item in self.records]
+        # The view must actually cover the traffic: an empty recording would
+        # make this invariant vacuous, not satisfied.
+        ok = not leaked and not names_seen and len(view) >= self.resolved
+        return [InvariantResult(
+            "proxy-never-sees-query-names", ok,
+            f"proxy recorded {len(view)} ciphertext lengths and zero names "
+            f"across {self.resolved} resolutions",
+        )]
+
+    def audit_outcome(self):
+        """Audit proxy and resolver individually (they run different apps)."""
+        client = AuditingClient(self.deployment.vendor_registry,
+                                require_attestation_from_all_enclaves=True)
+        kinds = set()
+        ok = True
+        for domain in self.deployment.domains:
+            report = client.audit_domains([domain])
+            ok = ok and report.ok
+            kinds.update(evidence.kind for evidence in report.evidence)
+        # The cross-registry check audit_deployment would normally do: every
+        # digest a domain has ever run must be a published release.
+        published = set(self.deployment.registry.digests())
+        for domain in self.deployment.domains:
+            for entry in domain.framework.log_export():
+                if bytes(entry["code_digest"]) not in published:
+                    ok = False
+                    kinds.add("unpublished-code")
+        return ok, kinds
+
+
+_DRIVERS = {
+    "keybackup": KeyBackupDriver,
+    "threshold_sign": ThresholdSignDriver,
+    "prio": PrioDriver,
+    "odoh": OdohDriver,
+}
+
+
+def make_driver(app: str, seed: int, ops: int) -> ScenarioDriver:
+    """Instantiate the driver for ``app`` with a seeded workload of ``ops`` operations."""
+    try:
+        factory = _DRIVERS[app]
+    except KeyError:
+        raise ValueError(f"no scenario driver for app {app!r}") from None
+    return factory(seed, ops)

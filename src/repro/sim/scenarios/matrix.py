@@ -1,0 +1,125 @@
+"""The default scenario matrix.
+
+Fourteen scenarios spanning all four applications and the whole fault
+taxonomy: message loss, delay, reordering, duplication, link partitions,
+party crash-and-recovery, scheduled TEE compromise (always below the
+application threshold), and a malicious developer pushing unannounced
+updates. ``examples/scenario_sweep.py`` runs the matrix and prints one
+report per scenario; ``tests/sim/test_scenarios.py`` asserts every safety
+invariant over the same matrix.
+"""
+
+from __future__ import annotations
+
+from repro.sim.faults import (
+    CompromiseDomain,
+    CrashParty,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    HealLink,
+    PartitionLink,
+    RecoverParty,
+    ReorderFault,
+    UnannouncedUpdate,
+)
+from repro.sim.scenarios.spec import Scenario
+
+__all__ = ["default_matrix"]
+
+
+def default_matrix(seed: int = 2022) -> list[Scenario]:
+    """The standard sweep: every app under every class of adversarial condition."""
+    return [
+        # --- key backup -------------------------------------------------
+        Scenario(
+            name="keybackup-baseline", app="keybackup", ops=8, seed=seed,
+            description="control run: no faults, every backup and recovery succeeds",
+        ),
+        Scenario(
+            name="keybackup-lossy-network", app="keybackup", ops=8, seed=seed + 1,
+            rules=(DropFault(probability=0.08),), rpc_attempts=4,
+            min_success_rate=0.85,
+            description="8% message loss; at-most-once retries absorb the drops",
+        ),
+        Scenario(
+            name="keybackup-partition-heal", app="keybackup", ops=8, seed=seed + 2,
+            events=(PartitionLink(at_op=2, a="client", b="domain:2"),
+                    HealLink(at_op=5, a="client", b="domain:2")),
+            min_success_rate=0.6,
+            description="client partitioned from one share holder for ops 2-4, then healed",
+        ),
+        Scenario(
+            name="keybackup-compromise-below-threshold", app="keybackup",
+            ops=8, seed=seed + 3,
+            events=(CompromiseDomain(at_op=6, domain_index=1),),
+            min_success_rate=0.7, expect_audit_ok=False,
+            expect_detection_kinds=("attestation-failure",),
+            description="one TEE falls late in the run; the key still needs 3 of 4 shares",
+        ),
+        Scenario(
+            name="keybackup-unannounced-update", app="keybackup", ops=8, seed=seed + 4,
+            events=(UnannouncedUpdate(at_op=4, domain_index=2),),
+            expect_audit_ok=False, expect_detection_kinds=("unpublished-code",),
+            description="the developer key pushes an unpublished build to one domain",
+        ),
+        # --- threshold signing ------------------------------------------
+        Scenario(
+            name="sign-crash-recover", app="threshold_sign", ops=6, seed=seed + 5,
+            events=(CrashParty(at_op=2, party="domain:1"),
+                    RecoverParty(at_op=5, party="domain:1")),
+            description="one signer crashes mid-run; failover signs with the remaining quorum",
+        ),
+        Scenario(
+            name="sign-compromised-signer", app="threshold_sign", ops=6, seed=seed + 6,
+            events=(CompromiseDomain(at_op=3, domain_index=2),),
+            expect_audit_ok=False, expect_detection_kinds=("attestation-failure",),
+            description="an exploited signer is skipped; its stolen share cannot forge alone",
+        ),
+        Scenario(
+            name="sign-duplicate-storm", app="threshold_sign", ops=6, seed=seed + 7,
+            rules=(DuplicateFault(probability=0.3, copies=2),
+                   DelayFault(probability=0.2, delay_s=0.005, jitter_s=0.005)),
+            description="heavy duplication and jitter; dedup keeps every request at-most-once",
+        ),
+        # --- Prio-style aggregation -------------------------------------
+        Scenario(
+            name="prio-lossy-retry", app="prio", ops=12, seed=seed + 8,
+            rules=(DropFault(probability=0.1),), rpc_attempts=4,
+            min_success_rate=0.9,
+            description="10% loss on share submissions; the aggregate stays exact",
+        ),
+        Scenario(
+            name="prio-reorder-jitter", app="prio", ops=12, seed=seed + 9,
+            rules=(ReorderFault(probability=0.5, max_delay_s=0.02),),
+            description="half of all messages reordered; sums are order-independent",
+        ),
+        Scenario(
+            name="prio-partition-window", app="prio", ops=12, seed=seed + 10,
+            events=(PartitionLink(at_op=3, a="client", b="domain:1"),
+                    HealLink(at_op=6, a="client", b="domain:1")),
+            min_success_rate=0.7,
+            description="a server unreachable for ops 3-5 tears submissions; "
+                        "aggregation detects the disagreement",
+        ),
+        # --- oblivious DNS ----------------------------------------------
+        Scenario(
+            name="odoh-delay-reorder", app="odoh", ops=6, seed=seed + 11,
+            rules=(DelayFault(probability=0.4, delay_s=0.01, jitter_s=0.02),
+                   ReorderFault(probability=0.3, max_delay_s=0.03)),
+            description="jittered, reordered traffic; the proxy still learns only lengths",
+        ),
+        Scenario(
+            name="odoh-proxy-crash-recover", app="odoh", ops=8, seed=seed + 12,
+            events=(CrashParty(at_op=2, party="domain:0"),
+                    RecoverParty(at_op=5, party="domain:0")),
+            min_success_rate=0.6,
+            description="the proxy is down for ops 2-4; resolution resumes after recovery",
+        ),
+        Scenario(
+            name="odoh-unannounced-resolver-update", app="odoh", ops=6, seed=seed + 13,
+            events=(UnannouncedUpdate(at_op=3, domain_index=1),),
+            expect_audit_ok=False, expect_detection_kinds=("unpublished-code",),
+            description="the resolver silently swaps code; per-domain audits catch it",
+        ),
+    ]

@@ -1,0 +1,204 @@
+"""The scenario runner: faults in, metrics and invariant verdicts out.
+
+The runner composes everything the engine needs for one scenario:
+
+1. build the application deployment through its normal (fault-free) setup path;
+2. attach every trust domain to a simulated network and *route all application
+   traffic over it* (framed RPC bytes, at-most-once servers, client retries);
+3. install the scenario's probabilistic fault rules on the network send path;
+4. drive the seeded workload one operation at a time, applying scheduled
+   events (partitions, crashes, compromises, malicious updates) at operation
+   boundaries and recording per-operation simulated latency;
+5. check the safety invariants: digest logs stayed append-only, audits end in
+   the expected verdict (detecting every unannounced update and compromised
+   TEE), and the application-specific secrecy properties held.
+"""
+
+from __future__ import annotations
+
+from repro.core.package import CodePackage
+from repro.errors import ReproError
+from repro.net.latency import lan_profile
+from repro.net.transport import Network
+from repro.sim.adversary import ScheduledCompromise
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import summarize
+from repro.sim.scenarios.apps import make_driver
+from repro.sim.scenarios.spec import InvariantResult, Scenario, ScenarioReport
+from repro.transparency.log import DigestLog
+
+__all__ = ["ScenarioContext", "ScenarioRunner"]
+
+
+class ScenarioContext:
+    """Mutable state scheduled events act on during a run."""
+
+    def __init__(self, network: Network, deployment, driver,
+                 compromise_schedule: ScheduledCompromise, client_address: str):
+        self.network = network
+        self.deployment = deployment
+        self.driver = driver
+        self.compromise_schedule = compromise_schedule
+        self.client_address = client_address
+        self.current_op = 0
+        self.unannounced_digests: list[bytes] = []
+
+    def resolve(self, party: str) -> str:
+        """Map a scenario party name to a network address.
+
+        ``"client"`` is the shared client endpoint; ``"domain:<i>"`` is trust
+        domain ``i``'s RPC address.
+        """
+        if party == "client":
+            return self.client_address
+        if party.startswith("domain:"):
+            return self.deployment.domains[int(party.split(":", 1)[1])].domain_id
+        raise ValueError(f"unknown scenario party {party!r}")
+
+    def compromise(self, domain_index: int) -> None:
+        """Exploit one domain's TEE at the current operation boundary."""
+        self.compromise_schedule.compromise(domain_index, at_op=self.current_op)
+
+    def push_unannounced_update(self, domain_index: int, version_suffix: str) -> None:
+        """Sign and install an update on one domain without publishing it.
+
+        The manifest is genuine (the attacker holds the developer key) and the
+        framework accepts it — announcing it and logging its digest as the
+        design requires — but the source never reaches the public registry or
+        release log, so auditors must flag the deployment.
+        """
+        domain = self.deployment.domains[domain_index]
+        current = domain.framework.current_package
+        if current is None:
+            raise ValueError("cannot push an update before any code is installed")
+        evil = CodePackage(current.name, current.version + version_suffix,
+                           current.language, current.source)
+        sequence = domain.framework.state().sequence + 1
+        manifest = self.deployment.developer.sign_update(evil, sequence)
+        self.deployment.install_on_domain(domain_index, manifest, evil)
+        self.unannounced_digests.append(evil.digest())
+
+
+class ScenarioRunner:
+    """Runs one :class:`~repro.sim.scenarios.spec.Scenario` end to end."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+
+    def run(self) -> ScenarioReport:
+        """Execute the scenario and return its report."""
+        scenario = self.scenario
+        driver = make_driver(scenario.app, scenario.seed, scenario.ops)
+        deployment = driver.deployment
+        network = Network(clock=deployment.clock, default_latency=lan_profile())
+        servers = deployment.route_via_network(network, attempts=scenario.rpc_attempts)
+        plan = FaultPlan(scenario.rules, scenario.events, seed=scenario.seed + 1)
+        plan.install(network)
+        ctx = ScenarioContext(network, deployment, driver,
+                              ScheduledCompromise(deployment), deployment.client_address)
+
+        log_baseline = {
+            domain.domain_id: domain.framework.log_export()
+            for domain in deployment.domains
+        }
+        report = ScenarioReport(scenario=scenario)
+        latencies: list[float] = []
+        started_at = network.clock.now()
+
+        for op_index in range(scenario.ops):
+            ctx.current_op = op_index
+            for event in plan.events_at(op_index):
+                event.apply(ctx)
+            op_started = network.clock.now()
+            try:
+                driver.step(op_index)
+            except ReproError as exc:
+                report.failed += 1
+                report.failures.append((op_index, type(exc).__name__))
+            else:
+                report.succeeded += 1
+            latencies.append(network.clock.now() - op_started)
+
+        report.retries = deployment.rpc_retry_total()
+        deployment.unroute()
+
+        stats = network.stats
+        report.messages_sent = stats.messages_sent
+        report.messages_delivered = stats.messages_delivered
+        report.messages_dropped = stats.messages_dropped
+        report.messages_duplicated = stats.messages_duplicated
+        report.duplicates_answered = sum(s.duplicates_answered for s in servers.values())
+        report.sim_elapsed_s = network.clock.now() - started_at
+        report.latency = summarize(latencies) if latencies else None
+
+        report.audit_ok, kinds = driver.audit_outcome()
+        report.detected_kinds = tuple(sorted(kinds))
+        report.invariants = self._generic_invariants(ctx, report, log_baseline)
+        report.invariants.extend(driver.finish(ctx))
+        return report
+
+    # ------------------------------------------------------------------
+    # Generic invariants (checked for every app)
+    # ------------------------------------------------------------------
+    def _generic_invariants(self, ctx: ScenarioContext, report: ScenarioReport,
+                            log_baseline: dict) -> list[InvariantResult]:
+        invariants = [self._append_only_invariant(ctx, log_baseline),
+                      self._audit_invariant(report)]
+        if ctx.unannounced_digests:
+            invariants.append(self._unannounced_update_invariant(ctx, report))
+        return invariants
+
+    def _append_only_invariant(self, ctx: ScenarioContext, baseline: dict) -> InvariantResult:
+        """No domain's digest log lost or rewrote history during the run."""
+        for domain in ctx.deployment.domains:
+            exported = domain.framework.log_export()
+            before = baseline[domain.domain_id]
+            if len(exported) < len(before):
+                return InvariantResult("digest-log-append-only", False,
+                                       f"{domain.domain_id} truncated its log")
+            if not DigestLog.views_consistent(before, exported):
+                return InvariantResult("digest-log-append-only", False,
+                                       f"{domain.domain_id} rewrote logged history")
+            try:
+                DigestLog.verify_export(exported, domain.framework.log_head())
+            except ReproError as exc:
+                return InvariantResult("digest-log-append-only", False,
+                                       f"{domain.domain_id}: {exc}")
+        return InvariantResult("digest-log-append-only", True,
+                               f"{len(ctx.deployment.domains)} domain logs verified "
+                               "against their attested heads")
+
+    def _audit_invariant(self, report: ScenarioReport) -> InvariantResult:
+        scenario = self.scenario
+        if report.audit_ok != scenario.expect_audit_ok:
+            expected = "pass" if scenario.expect_audit_ok else "fail"
+            return InvariantResult("audit-ends-as-expected", False,
+                                   f"audit was expected to {expected} but did not")
+        missing = set(scenario.expect_detection_kinds) - set(report.detected_kinds)
+        if missing:
+            return InvariantResult("audit-ends-as-expected", False,
+                                   f"audit produced no {sorted(missing)} evidence")
+        detail = ("clean deployment passed its audit" if scenario.expect_audit_ok
+                  else "misbehavior was detected with verifiable evidence")
+        return InvariantResult("audit-ends-as-expected", True, detail)
+
+    def _unannounced_update_invariant(self, ctx: ScenarioContext,
+                                      report: ScenarioReport) -> InvariantResult:
+        """Every unannounced update left evidence and failed the audit."""
+        if report.audit_ok:
+            return InvariantResult("unannounced-update-detected", False,
+                                   "audit passed despite an unpublished update")
+        logged = {
+            bytes(entry["code_digest"])
+            for domain in ctx.deployment.domains
+            for entry in domain.framework.log_export()
+        }
+        missing = [digest for digest in ctx.unannounced_digests if digest not in logged]
+        if missing:
+            return InvariantResult("unannounced-update-detected", False,
+                                   "an installed update left no digest-log entry")
+        return InvariantResult(
+            "unannounced-update-detected", True,
+            f"{len(ctx.unannounced_digests)} unpublished update(s) appear in the "
+            "tamper-evident logs and failed the audit",
+        )

@@ -1,0 +1,160 @@
+"""Scenario declarations and per-scenario reports.
+
+A :class:`Scenario` is declarative: it names an application, a workload size,
+a seed, a fault plan (rules + events), and the expected outcome (how much
+liveness may be lost, whether the end-of-run audit should pass, which kinds of
+misbehavior evidence it must produce). The runner turns it into a
+:class:`ScenarioReport` of liveness/latency metrics and safety-invariant
+verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.metrics import LatencyStats
+
+__all__ = ["Scenario", "InvariantResult", "ScenarioReport"]
+
+APPS = ("keybackup", "threshold_sign", "prio", "odoh")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative fault-injection scenario.
+
+    Attributes:
+        name: unique scenario identifier (used in reports and test ids).
+        app: one of ``keybackup``, ``threshold_sign``, ``prio``, ``odoh``.
+        ops: number of workload operations to drive.
+        seed: master seed for workload and fault randomness.
+        rules: probabilistic :class:`~repro.sim.faults.FaultRule` instances.
+        events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
+        rpc_attempts: send attempts per RPC (retransmissions ride on
+            at-most-once servers, so retries are safe).
+        min_success_rate: the liveness floor the scenario must still reach.
+        expect_audit_ok: whether the end-of-run audit should pass.
+        expect_detection_kinds: evidence kinds the audit must produce (e.g.
+            ``("unpublished-code",)`` for a malicious-update scenario).
+        description: one line for reports and the docs.
+    """
+
+    name: str
+    app: str
+    ops: int = 10
+    seed: int = 2022
+    rules: tuple = ()
+    events: tuple = ()
+    rpc_attempts: int = 3
+    min_success_rate: float = 1.0
+    expect_audit_ok: bool = True
+    expect_detection_kinds: tuple = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if self.app not in APPS:
+            raise ValueError(f"unknown scenario app {self.app!r} (expected one of {APPS})")
+        if self.ops < 1:
+            raise ValueError("a scenario needs at least one operation")
+        if not 0.0 <= self.min_success_rate <= 1.0:
+            raise ValueError("min_success_rate must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Verdict for one safety invariant checked after a scenario run."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    succeeded: int = 0
+    failed: int = 0
+    failures: list = field(default_factory=list)  # (op_index, error type name)
+    retries: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    duplicates_answered: int = 0
+    sim_elapsed_s: float = 0.0
+    latency: LatencyStats | None = None
+    audit_ok: bool = True
+    detected_kinds: tuple = ()
+    invariants: list = field(default_factory=list)
+
+    @property
+    def ops(self) -> int:
+        """Total operations attempted."""
+        return self.succeeded + self.failed
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of workload operations that completed end to end."""
+        if self.ops == 0:
+            return 0.0
+        return self.succeeded / self.ops
+
+    @property
+    def all_invariants_ok(self) -> bool:
+        """Whether every checked safety invariant held."""
+        return all(result.ok for result in self.invariants)
+
+    @property
+    def liveness_ok(self) -> bool:
+        """Whether the success rate met the scenario's declared floor."""
+        return self.success_rate >= self.scenario.min_success_rate - 1e-9
+
+    def format(self) -> str:
+        """A deterministic multi-line text report (what the sweep prints)."""
+        lines = [f"scenario {self.scenario.name} [{self.scenario.app}]"]
+        if self.scenario.description:
+            lines.append(f"  {self.scenario.description}")
+        lines.append(
+            f"  ops: {self.ops} ok={self.succeeded} failed={self.failed} "
+            f"success={self.success_rate * 100:.1f}% (floor {self.scenario.min_success_rate * 100:.1f}%) "
+            f"retries={self.retries}"
+        )
+        lines.append(
+            f"  network: sent={self.messages_sent} delivered={self.messages_delivered} "
+            f"dropped={self.messages_dropped} duplicated={self.messages_duplicated} "
+            f"dedup-answers={self.duplicates_answered}"
+        )
+        if self.latency is not None:
+            lines.append(
+                f"  latency: mean={self.latency.mean_ms():.3f} ms "
+                f"p95={self.latency.p95_ms():.3f} ms "
+                f"sim-elapsed={self.sim_elapsed_s * 1000:.1f} ms"
+            )
+        audit_text = "ok" if self.audit_ok else "FAILED (misbehavior flagged)"
+        detected = ", ".join(sorted(self.detected_kinds)) or "none"
+        lines.append(f"  audit: {audit_text}; evidence kinds: {detected}")
+        for result in self.invariants:
+            verdict = "PASS" if result.ok else "FAIL"
+            suffix = f" — {result.detail}" if result.detail else ""
+            lines.append(f"  invariant {result.name}: {verdict}{suffix}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for experiment write-ups."""
+        return {
+            "name": self.scenario.name,
+            "app": self.scenario.app,
+            "ops": self.ops,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "retries": self.retries,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "audit_ok": self.audit_ok,
+            "detected_kinds": sorted(self.detected_kinds),
+            "invariants": {result.name: result.ok for result in self.invariants},
+        }

@@ -1,0 +1,113 @@
+"""Negative-path tests for the update framework.
+
+Replays, forged manifests, and rollbacks are the moves a compromised network
+or developer key would actually try. Every one of them must be rejected *and*
+leave no trace: the append-only digest log (and its attested head) must be
+exactly what it was before the attempt.
+"""
+
+import pytest
+
+from repro.core.framework import TrustDomainFramework
+from repro.core.package import CodePackage, DeveloperIdentity, UpdateManifest
+from repro.errors import UnauthorizedUpdateError, UpdateRejectedError
+
+APP_V1 = "def init(config):\n    return {}\ndef handle(method, params, state):\n    return {'v': 1}\n"
+APP_V2 = "def init(config):\n    return {}\ndef handle(method, params, state):\n    return {'v': 2}\n"
+
+
+def make_framework(developer: DeveloperIdentity) -> TrustDomainFramework:
+    return TrustDomainFramework("negative-test-domain", developer.public_key)
+
+
+def snapshot(framework: TrustDomainFramework):
+    """The observable log state an auditor would compare before/after."""
+    return (framework.log_head(), len(framework.log_export()),
+            [a.to_dict() for a in framework.announcements()], framework.current_digest())
+
+
+class TestReplayAndRollback:
+    def test_replayed_manifest_rejected_and_log_unchanged(self):
+        developer = DeveloperIdentity("dev")
+        framework = make_framework(developer)
+        package = CodePackage("app", "1.0.0", "python", APP_V1)
+        manifest = developer.sign_update(package, 0)
+        framework.install_update(manifest, package)
+        before = snapshot(framework)
+        with pytest.raises(UpdateRejectedError, match="replay or rollback"):
+            framework.install_update(manifest, package)
+        assert snapshot(framework) == before
+
+    def test_update_then_rollback_rejected(self):
+        """Re-signing the old version with a stale sequence must not roll back."""
+        developer = DeveloperIdentity("dev")
+        framework = make_framework(developer)
+        v1 = CodePackage("app", "1.0.0", "python", APP_V1)
+        v2 = CodePackage("app", "2.0.0", "python", APP_V2)
+        framework.install_update(developer.sign_update(v1, 0), v1)
+        framework.install_update(developer.sign_update(v2, 1), v2)
+        before = snapshot(framework)
+        for stale_sequence in (0, 1):
+            with pytest.raises(UpdateRejectedError):
+                framework.install_update(developer.sign_update(v1, stale_sequence), v1)
+        assert snapshot(framework) == before
+        assert framework.current_package.version == "2.0.0"
+
+    def test_skipped_sequence_rejected(self):
+        developer = DeveloperIdentity("dev")
+        framework = make_framework(developer)
+        package = CodePackage("app", "1.0.0", "python", APP_V1)
+        before = snapshot(framework)
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(developer.sign_update(package, 5), package)
+        assert snapshot(framework) == before
+
+
+class TestForgedManifests:
+    def test_wrong_developer_key_rejected_and_log_unchanged(self):
+        developer = DeveloperIdentity("real-dev")
+        impostor = DeveloperIdentity("impostor")
+        framework = make_framework(developer)
+        package = CodePackage("app", "1.0.0", "python", APP_V1)
+        before = snapshot(framework)
+        with pytest.raises(UnauthorizedUpdateError):
+            framework.install_update(impostor.sign_update(package, 0), package)
+        assert snapshot(framework) == before
+        assert framework.current_package is None
+
+    def test_digest_mismatch_rejected(self):
+        """A signed manifest must not install a *different* package's code."""
+        developer = DeveloperIdentity("dev")
+        framework = make_framework(developer)
+        announced = CodePackage("app", "1.0.0", "python", APP_V1)
+        swapped = CodePackage("app", "1.0.0", "python", APP_V2)
+        before = snapshot(framework)
+        with pytest.raises(UpdateRejectedError, match="digest"):
+            framework.install_update(developer.sign_update(announced, 0), swapped)
+        assert snapshot(framework) == before
+
+    def test_metadata_mismatch_rejected(self):
+        developer = DeveloperIdentity("dev")
+        framework = make_framework(developer)
+        package = CodePackage("app", "1.0.0", "python", APP_V1)
+        good = developer.sign_update(package, 0)
+        tampered = UpdateManifest(
+            package_name=good.package_name, version="9.9.9", sequence=good.sequence,
+            package_digest=good.package_digest, signature=good.signature,
+        )
+        before = snapshot(framework)
+        with pytest.raises(UpdateRejectedError):
+            framework.install_update(tampered, package)
+        assert snapshot(framework) == before
+
+    def test_failed_update_makes_no_announcement(self):
+        """Announcements only happen for updates that will actually be logged."""
+        developer = DeveloperIdentity("dev")
+        impostor = DeveloperIdentity("impostor")
+        framework = make_framework(developer)
+        package = CodePackage("app", "1.0.0", "python", APP_V1)
+        heard = []
+        framework.update_listeners.append(heard.append)
+        with pytest.raises(UnauthorizedUpdateError):
+            framework.install_update(impostor.sign_update(package, 0), package)
+        assert heard == []

@@ -1,0 +1,126 @@
+"""Seeded property-based round-trip tests for the codec and framing layers.
+
+A seeded generator produces random values from the codec's full type lattice
+(including deep nesting and adversarial string/byte content) and asserts the
+two properties the rest of the system depends on:
+
+* ``decode(encode(v)) == v`` for every encodable value, and the encoding is
+  canonical (re-encoding the decoded value is byte-identical);
+* every strict prefix of a valid encoding raises ``DecodingError`` — the
+  codec never mistakes truncated input for a complete value.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DecodingError
+from repro.wire.codec import decode, encode
+from repro.wire.framing import MAX_FRAME_SIZE, FrameReader, frame_message, split_frames
+
+ROUNDS = 60
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """One random value from the codec's supported type lattice."""
+    choices = ["none", "bool", "int", "bytes", "str"]
+    if depth < 4:
+        choices += ["list", "dict"]
+    kind = rng.choice(choices)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        magnitude = rng.choice([0, 1, 255, 2**31, 2**64, rng.getrandbits(200)])
+        return magnitude if rng.random() < 0.5 else -magnitude
+    if kind == "bytes":
+        return rng.randbytes(rng.randrange(0, 40))
+    if kind == "str":
+        alphabet = "abc\x00é€\U0001f511 "
+        return "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 20)))
+    if kind == "list":
+        return [random_value(rng, depth + 1) for _ in range(rng.randrange(0, 5))]
+    keys = {f"k{rng.randrange(100)}" for _ in range(rng.randrange(0, 5))}
+    return {key: random_value(rng, depth + 1) for key in keys}
+
+
+class TestCodecProperties:
+    def test_round_trip_and_canonical(self):
+        rng = random.Random(0xC0DEC)
+        for _ in range(ROUNDS):
+            value = random_value(rng)
+            blob = encode(value)
+            decoded = decode(blob)
+            assert decoded == value
+            assert encode(decoded) == blob  # canonical: one encoding per value
+
+    def test_every_strict_prefix_raises(self):
+        rng = random.Random(0xBADC0DE)
+        for _ in range(ROUNDS // 3):
+            blob = encode(random_value(rng))
+            for cut in range(len(blob)):
+                with pytest.raises(DecodingError):
+                    decode(blob[:cut])
+
+    def test_trailing_garbage_raises(self):
+        rng = random.Random(3)
+        for _ in range(ROUNDS // 3):
+            blob = encode(random_value(rng))
+            with pytest.raises(DecodingError):
+                decode(blob + b"\x00")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(DecodingError, match="unknown tag"):
+            decode(b"Zjunk")
+
+    def test_non_canonical_int_encodings_rejected(self):
+        # Leading-zero magnitude and negative zero both have canonical forms.
+        with pytest.raises(DecodingError):
+            decode(b"I\x00" + (2).to_bytes(4, "big") + b"\x00\x01")
+        with pytest.raises(DecodingError):
+            decode(b"I\x01" + (0).to_bytes(4, "big"))
+
+    def test_unsorted_dict_keys_rejected(self):
+        blob = bytearray(b"D" + (2).to_bytes(4, "big"))
+        for key in ("b", "a"):  # wrong order on the wire
+            raw = key.encode()
+            blob += len(raw).to_bytes(4, "big") + raw + b"N"
+        with pytest.raises(DecodingError, match="canonical order"):
+            decode(bytes(blob))
+
+
+class TestFramingProperties:
+    def test_frame_stream_round_trip_arbitrary_chunking(self):
+        rng = random.Random(0xF4A3)
+        for _ in range(ROUNDS // 3):
+            payloads = [rng.randbytes(rng.randrange(0, 200))
+                        for _ in range(rng.randrange(1, 8))]
+            stream = b"".join(frame_message(p) for p in payloads)
+            assert split_frames(stream) == payloads
+
+            reader = FrameReader()
+            received = []
+            position = 0
+            while position < len(stream):
+                step = rng.randrange(1, 17)
+                received.extend(reader.feed(stream[position:position + step]))
+                position += step
+            assert received == payloads
+            assert reader.pending_bytes == 0
+
+    def test_truncated_stream_reports_partial_frame(self):
+        rng = random.Random(5)
+        for _ in range(ROUNDS // 3):
+            payload = rng.randbytes(rng.randrange(1, 64))
+            stream = frame_message(payload)
+            cut = rng.randrange(1, len(stream))
+            with pytest.raises(DecodingError, match="partial"):
+                split_frames(stream[:cut])
+
+    def test_oversized_frame_rejected_on_both_sides(self):
+        with pytest.raises(DecodingError):
+            frame_message(b"x" * (MAX_FRAME_SIZE + 1))
+        oversized_header = (MAX_FRAME_SIZE + 1).to_bytes(4, "big")
+        with pytest.raises(DecodingError, match="maximum"):
+            FrameReader().feed(oversized_header)
