@@ -1,0 +1,114 @@
+"""Throughput baseline: the batched request pipeline vs the unbatched seed path.
+
+Every app is driven by the multi-client workload harness twice — once issuing
+one RPC round trip per operation (the seed behavior) and once through the
+batched pipeline (``call_many`` + ``invoke_many`` + the EC fast path) — and
+the resulting ops/sec land in ``BENCH_throughput.json`` at the repository
+root, so future performance work has a trajectory to beat.
+
+Each measurement is the best of ``REPEATS`` runs (standard practice for
+throughput numbers: the minimum-interference run is the one that reflects the
+code, not the machine). Set ``THROUGHPUT_SMOKE=1`` for a seconds-fast smoke
+run with small operation counts — CI uses this mode to publish the JSON as a
+workflow artifact without slowing the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sim import MultiClientWorkload
+
+SMOKE = os.environ.get("THROUGHPUT_SMOKE") == "1"
+REPEATS = 2 if SMOKE else 3
+BATCH_SIZE = 128
+
+# Operations per mode per app. threshold_sign is WVM-bound (every signature
+# share runs the BLS program in the sandboxed VM), so it gets a small count.
+OPS = (
+    {"keybackup": 60, "prio": 150, "threshold_sign": 6, "odoh": 30}
+    if SMOKE else
+    {"keybackup": 500, "prio": 1000, "threshold_sign": 24, "odoh": 150}
+)
+
+OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "BENCH_throughput.json")
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _measure(app: str, batched: bool) -> dict:
+    best = None
+    for repeat in range(REPEATS):
+        report = MultiClientWorkload(
+            app, num_clients=OPS[app], ops_per_client=1, seed=2022 + repeat,
+            batched=batched, batch_size=BATCH_SIZE, rpc_attempts=1,
+        ).run()
+        assert report.succeeded == report.ops, (
+            f"{app} ({'batched' if batched else 'unbatched'}): "
+            f"{report.failed} operations failed: {report.failures[:3]}"
+        )
+        assert report.consistent, report.consistency_issues
+        if best is None or report.ops_per_sec > best.ops_per_sec:
+            best = report
+    return {
+        "ops": best.ops,
+        "ops_per_sec": round(best.ops_per_sec, 1),
+        "wall_seconds": round(best.wall_seconds, 4),
+        "messages_sent": best.messages_sent,
+        "sim_seconds": round(best.sim_seconds, 6),
+    }
+
+
+@pytest.mark.parametrize("app", list(OPS))
+def test_throughput_app(app):
+    """Measure one app in both modes; the batched pipeline must never lose."""
+    unbatched = _measure(app, batched=False)
+    batched = _measure(app, batched=True)
+    speedup = batched["ops_per_sec"] / unbatched["ops_per_sec"]
+    _RESULTS[app] = {
+        "unbatched": unbatched,
+        "batched": batched,
+        "speedup": round(speedup, 2),
+    }
+    # Batching must collapse message counts: that is its mechanism, and the
+    # check is deterministic (safe for the smoke-mode CI run).
+    assert batched["messages_sent"] < unbatched["messages_sent"]
+    if not SMOKE:
+        # With full operation counts, the pipeline must also help in
+        # wall-clock terms (or at worst roughly tie, for the crypto/VM-bound
+        # apps). Smoke mode skips this: tiny counts make ratios noise-bound.
+        assert speedup > 0.7, (
+            f"{app}: batched pipeline slower than seed path ({speedup:.2f}x)"
+        )
+
+
+def test_write_throughput_baseline():
+    """Aggregate the per-app results into BENCH_throughput.json."""
+    missing = [app for app in OPS if app not in _RESULTS]
+    if missing:
+        pytest.skip(f"per-app measurements did not run for {missing}")
+    fast_apps = sorted(app for app, result in _RESULTS.items()
+                       if result["speedup"] >= 5.0)
+    baseline = {
+        "benchmark": "throughput",
+        "smoke": SMOKE,
+        "repeats_best_of": REPEATS,
+        "batch_size": BATCH_SIZE,
+        "rpc_attempts": 1,
+        "apps": _RESULTS,
+        "apps_with_5x_speedup": fast_apps,
+    }
+    with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if not SMOKE:
+        # The acceptance bar for the batched pipeline: at least two of the
+        # four applications clear 5x over the unbatched seed path.
+        assert len(fast_apps) >= 2, (
+            f"only {fast_apps} reached a 5x batched speedup: "
+            f"{ {app: result['speedup'] for app, result in _RESULTS.items()} }"
+        )

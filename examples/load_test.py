@@ -1,0 +1,49 @@
+"""Multi-client load runs: the batched pipeline vs the seed path, with faults.
+
+Drives every application with the multi-client workload harness and prints a
+throughput report per mode, then composes a load run with fault rules from the
+PR-1 scenario taxonomy to show that volume and adversarial conditions stack.
+
+Run with::
+
+    PYTHONPATH=src python examples/load_test.py
+"""
+
+from repro.sim import MultiClientWorkload
+from repro.sim.faults import DropFault, DuplicateFault, ReorderFault
+
+# Small enough to finish in seconds; BENCH_throughput.json is the real
+# baseline (benchmarks/test_throughput.py measures with bigger counts).
+OPS = {"keybackup": 100, "prio": 200, "threshold_sign": 6, "odoh": 40}
+
+
+def main() -> None:
+    print("=" * 64)
+    print("multi-client load: batched pipeline vs one-RPC-per-op seed path")
+    print("=" * 64)
+    for app, ops in OPS.items():
+        reports = {}
+        for batched in (False, True):
+            reports[batched] = MultiClientWorkload(
+                app, num_clients=ops, ops_per_client=1,
+                batched=batched, rpc_attempts=1,
+            ).run()
+        speedup = reports[True].ops_per_sec / max(reports[False].ops_per_sec, 1e-9)
+        for report in reports.values():
+            print(report.format())
+        print(f"  => batched speedup: {speedup:.2f}x")
+        print("-" * 64)
+
+    print("load + faults: 5% loss, duplication, reordering, 300 prio clients")
+    faulty = MultiClientWorkload(
+        "prio", num_clients=300, ops_per_client=1, batched=True,
+        rules=(DropFault(probability=0.05),
+               DuplicateFault(probability=0.2, copies=1),
+               ReorderFault(probability=0.3, max_delay_s=0.01)),
+        rpc_attempts=5,
+    ).run()
+    print(faulty.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -186,6 +186,102 @@ class KeyBackupClient:
             f"produced a share for {user_id!r}"
         )
 
+    # ------------------------------------------------------------------
+    # Batch backup / recovery (the high-throughput pipeline)
+    # ------------------------------------------------------------------
+    def backup_keys(self, items: list[tuple[str, int | bytes]]) -> list:
+        """Back up many ``(user_id, secret_key)`` pairs in one batched sweep.
+
+        All secrets are split in one Horner sweep per polynomial, and each
+        trust domain receives its shares as a single batched request instead
+        of one round trip per user. Returns one outcome per item, in order:
+        a :class:`BackupReceipt`, or an :class:`ApplicationError` instance
+        for a user whose share could not be stored everywhere (failures are
+        isolated per user, not per batch).
+        """
+        if self.audit_before_use:
+            self.audit()
+        if not items:
+            return []
+        share_lists = self.sharing.split_many([secret for _, secret in items])
+        failures: dict[int, ApplicationError] = {}
+        for domain_index in range(self.service.num_domains):
+            calls = [
+                ("store_share", {
+                    "user": user_id,
+                    "index": shares[domain_index].index,
+                    "value": shares[domain_index].value,
+                })
+                for (user_id, _), shares in zip(items, share_lists)
+            ]
+            results = self.service.deployment.invoke_batch(domain_index, calls)
+            for position, result in enumerate(results):
+                if position in failures:
+                    continue
+                if isinstance(result, Exception):
+                    failures[position] = ApplicationError(
+                        f"domain {domain_index} failed to store a share for "
+                        f"{items[position][0]!r}: {result}"
+                    )
+                elif not result["value"]["stored"]:
+                    failures[position] = ApplicationError(
+                        f"domain {domain_index} refused to store a share for "
+                        f"{items[position][0]!r}"
+                    )
+        outcomes = []
+        for position, (user_id, _) in enumerate(items):
+            outcomes.append(failures.get(position) or BackupReceipt(
+                user_id=user_id, threshold=self.service.threshold,
+                num_domains=self.service.num_domains,
+            ))
+        return outcomes
+
+    def recover_keys(self, user_ids: list[str]) -> list:
+        """Recover many users' keys with one batched request per trust domain.
+
+        Walks the domains in order, asking each — in a single batch — only
+        for the users that still lack a threshold of shares, so the happy
+        path costs ``threshold`` batched round trips total. Returns one
+        outcome per user, in order: the recovered integer key, or an
+        :class:`ApplicationError` instance when fewer than ``threshold``
+        domains produced a share.
+        """
+        if self.audit_before_use:
+            self.audit()
+        shares_per_user: list[list[Share]] = [[] for _ in user_ids]
+        remaining = list(range(len(user_ids)))
+        for domain_index in range(self.service.num_domains):
+            if not remaining:
+                break
+            calls = [("fetch_share", {"user": user_ids[position]})
+                     for position in remaining]
+            results = self.service.deployment.invoke_batch(domain_index, calls)
+            still_short = []
+            for position, result in zip(remaining, results):
+                if not isinstance(result, Exception) and result["value"]["found"]:
+                    shares_per_user[position].append(
+                        Share(result["value"]["index"], result["value"]["value"])
+                    )
+                if len(shares_per_user[position]) < self.service.threshold:
+                    still_short.append(position)
+            remaining = still_short
+        outcomes = []
+        for position, user_id in enumerate(user_ids):
+            shares = shares_per_user[position]
+            if len(shares) < self.service.threshold:
+                outcomes.append(ApplicationError(
+                    f"only {len(shares)} of the required {self.service.threshold} "
+                    f"domains produced a share for {user_id!r}"
+                ))
+                continue
+            try:
+                outcomes.append(self.sharing.reconstruct(shares[: self.service.threshold]))
+            except ReproError as exc:
+                outcomes.append(ApplicationError(
+                    f"reconstruction failed for {user_id!r}: {exc}"
+                ))
+        return outcomes
+
     def recover_key_bytes(self, user_id: str, length: int = 32) -> bytes:
         """Recover the key and return it as fixed-length bytes."""
         return self.recover_key(user_id).to_bytes(length, "big")

@@ -15,6 +15,7 @@ construction), so the proxy forwards only opaque ciphertext.
 from __future__ import annotations
 
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.common import constant_time_equal
@@ -24,7 +25,7 @@ from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.hashes import hkdf, hmac_sha256
 from repro.crypto.keys import SigningKey, VerifyingKey
 from repro.crypto.secp256k1 import SECP256K1
-from repro.errors import ApplicationError
+from repro.errors import ApplicationError, ReproError
 from repro.wire.codec import decode, encode
 
 __all__ = ["ObliviousDnsDeployment", "ObliviousDnsClient", "PROXY_APP_SOURCE", "RESOLVER_APP_SOURCE"]
@@ -117,6 +118,12 @@ class ObliviousDnsDeployment:
         self.deployment.install_on_domain(RESOLVER_DOMAIN, resolver_manifest, resolver_package)
 
         self._resolver_key = SigningKey.generate()
+        # One ECDH per query, not per direction: the decrypt and encrypt side
+        # of a round trip reuse the derived key, and a batched query's key is
+        # looked up instead of recomputed. Bounded so traffic cannot leak
+        # memory through the cache.
+        self._shared_key_cache: OrderedDict[bytes, bytes] = OrderedDict()
+        self._shared_key_cache_size = 4096
         if records:
             self.load_records(records)
 
@@ -149,10 +156,55 @@ class ObliviousDnsDeployment:
                                         {"name": name})["value"]
         return self._encrypt_response(relayed, answer)
 
+    def handle_query_batch(self, envelopes: list[dict]) -> list:
+        """Carry many encrypted queries through the proxy and resolver at once.
+
+        The proxy forwards the whole batch in one request, and so does the
+        resolver, preserving the role split (the proxy still sees only
+        ciphertext, the resolver only names). Returns one outcome per
+        envelope, in order: the encrypted response dict, or an exception
+        instance for a query that failed at either hop.
+        """
+        outcomes: list = [None] * len(envelopes)
+        forwarded = self.deployment.invoke_batch(
+            PROXY_DOMAIN, [("forward", envelope) for envelope in envelopes]
+        )
+        resolvable: list[tuple[int, dict, str]] = []
+        for position, result in enumerate(forwarded):
+            if isinstance(result, Exception):
+                outcomes[position] = result
+                continue
+            relayed = result["value"]
+            try:
+                resolvable.append((position, relayed, self._decrypt_query(relayed)))
+            except (ReproError, KeyError, TypeError) as exc:
+                # A malformed envelope (bad point, missing field, wrong type —
+                # e.g. from a compromised proxy) fails only its own query, not
+                # the whole batch.
+                outcomes[position] = (exc if isinstance(exc, ReproError) else
+                                      ApplicationError(f"malformed envelope: {exc!r}"))
+        answers = self.deployment.invoke_batch(
+            RESOLVER_DOMAIN,
+            [("resolve_plaintext", {"name": name}) for _, _, name in resolvable],
+        )
+        for (position, relayed, _), answer in zip(resolvable, answers):
+            if isinstance(answer, Exception):
+                outcomes[position] = answer
+            else:
+                outcomes[position] = self._encrypt_response(relayed, answer["value"])
+        return outcomes
+
     def _shared_key(self, ephemeral_public: bytes) -> bytes:
+        key = self._shared_key_cache.get(ephemeral_public)
+        if key is not None:
+            return key
         point = SECP256K1.decode_point(ephemeral_public)
         shared_point = SECP256K1.multiply(point, self._resolver_key.scalar)
-        return hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
+        key = hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
+        self._shared_key_cache[ephemeral_public] = key
+        while len(self._shared_key_cache) > self._shared_key_cache_size:
+            self._shared_key_cache.popitem(last=False)
+        return key
 
     def _decrypt_query(self, envelope: dict) -> str:
         key = self._shared_key(bytes(envelope["ephemeral_key"]))
@@ -206,6 +258,9 @@ class ObliviousDnsClient:
         )
         self.audit_before_use = audit_before_use
         self._audited = False
+        # The resolver's public key is multiplied once per query; a fixed-base
+        # window table makes that a handful of additions per resolution.
+        self._resolver_table = SECP256K1.precompute(service.resolver_public_key.point)
 
     def audit(self):
         """Audit both the proxy and resolver domains.
@@ -223,12 +278,10 @@ class ObliviousDnsClient:
         self._audited = True
         return report, report_resolver
 
-    def resolve(self, name: str) -> DnsResponse:
-        """Resolve ``name`` without the proxy learning it."""
-        if self.audit_before_use and not self._audited:
-            self.audit()
+    def _encrypt_query(self, name: str) -> tuple[dict, bytes]:
+        """Build one encrypted query envelope; returns it with the shared key."""
         ephemeral = SigningKey.generate()
-        shared_point = SECP256K1.multiply(self.service.resolver_public_key.point, ephemeral.scalar)
+        shared_point = self._resolver_table.multiply(ephemeral.scalar)
         key = hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
         plaintext = encode({"name": name, "padding": secrets.token_bytes(16)})
         stream = hkdf(key, info=b"repro/odoh/query-stream", length=len(plaintext))
@@ -238,13 +291,46 @@ class ObliviousDnsClient:
             "ephemeral_key": ephemeral.verifying_key().to_bytes(),
             "tag": hmac_sha256(key, ciphertext),
         }
-        encrypted_response = self.service.handle_query(envelope)
-        response_stream = hkdf(key, info=b"repro/odoh/response-stream",
-                               length=len(encrypted_response["ciphertext"]))
-        expected_tag = hmac_sha256(key, encrypted_response["ciphertext"])
-        if not constant_time_equal(expected_tag, encrypted_response["tag"]):
+        return envelope, key
+
+    def _decrypt_response(self, name: str, key: bytes, encrypted_response: dict) -> DnsResponse:
+        """Authenticate and decrypt one response envelope."""
+        ciphertext = bytes(encrypted_response["ciphertext"])
+        expected_tag = hmac_sha256(key, ciphertext)
+        if not constant_time_equal(expected_tag, bytes(encrypted_response["tag"])):
             raise ApplicationError("response failed authentication at the client")
-        answer = decode(bytes(
-            c ^ s for c, s in zip(encrypted_response["ciphertext"], response_stream)
-        ))
+        response_stream = hkdf(key, info=b"repro/odoh/response-stream",
+                               length=len(ciphertext))
+        answer = decode(bytes(c ^ s for c, s in zip(ciphertext, response_stream)))
         return DnsResponse(name=name, found=answer["found"], address=answer["address"])
+
+    def resolve(self, name: str) -> DnsResponse:
+        """Resolve ``name`` without the proxy learning it."""
+        if self.audit_before_use and not self._audited:
+            self.audit()
+        envelope, key = self._encrypt_query(name)
+        encrypted_response = self.service.handle_query(envelope)
+        return self._decrypt_response(name, key, encrypted_response)
+
+    def resolve_many(self, names: list[str]) -> list:
+        """Resolve many names in one batched sweep through proxy and resolver.
+
+        Returns one outcome per name, in order: a :class:`DnsResponse`, or an
+        exception instance for a query that failed in flight — failures are
+        isolated per query, so one lost query cannot mask the rest.
+        """
+        if self.audit_before_use and not self._audited:
+            self.audit()
+        encrypted = [self._encrypt_query(name) for name in names]
+        results = self.service.handle_query_batch([envelope for envelope, _ in encrypted])
+        outcomes = []
+        for name, (_, key), result in zip(names, encrypted, results):
+            if isinstance(result, Exception):
+                outcomes.append(result)
+                continue
+            try:
+                outcomes.append(self._decrypt_response(name, key, result))
+            except (ReproError, KeyError, TypeError) as exc:
+                outcomes.append(exc if isinstance(exc, ReproError) else
+                                ApplicationError(f"malformed response: {exc!r}"))
+        return outcomes

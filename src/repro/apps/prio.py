@@ -167,6 +167,57 @@ class PrivateAggregationClient:
                 raise ApplicationError(f"server {index} rejected the share")
             accepted.append(index)
 
+    def submit_many(self, values: list[int]) -> list:
+        """Submit many telemetry values with one batched request per server.
+
+        Each value is additively shared exactly as :meth:`submit` does; all of
+        one server's shares travel in a single batch. Returns one outcome per
+        value, in order: ``True`` for a fully accepted submission, or an
+        exception instance — :class:`ApplicationError` for an out-of-range or
+        rejected value, :class:`PartialSubmissionError` when only some servers
+        accepted the value's share (a torn submission the aggregate check will
+        catch).
+        """
+        if self.audit_before_use and not self._audited:
+            self.audit()
+        outcomes: list = [None] * len(values)
+        share_rows: dict[int, list[int]] = {}
+        for position, value in enumerate(values):
+            if not 0 <= value <= self.service.max_value:
+                outcomes[position] = ApplicationError(
+                    f"value {value} outside the allowed range "
+                    f"[0, {self.service.max_value}]"
+                )
+                continue
+            share_rows[position] = self._additive_shares(value, self.service.num_servers)
+        positions = sorted(share_rows)
+        accepted: dict[int, list[int]] = {position: [] for position in positions}
+        errors: dict[int, Exception] = {}
+        for server_index in range(self.service.num_servers):
+            calls = [("submit_share", {"share": share_rows[position][server_index]})
+                     for position in positions]
+            results = self.service.deployment.invoke_batch(server_index, calls)
+            for position, result in zip(positions, results):
+                if isinstance(result, Exception):
+                    errors.setdefault(position, result)
+                elif not result["value"]["accepted"]:
+                    errors.setdefault(position, ApplicationError(
+                        f"server {server_index} rejected the share"
+                    ))
+                else:
+                    accepted[position].append(server_index)
+        for position in positions:
+            if position not in errors:
+                outcomes[position] = True
+            elif accepted[position]:
+                outcomes[position] = PartialSubmissionError(
+                    f"submission torn: servers {accepted[position]} accepted a share "
+                    "but another server did not", accepted[position],
+                )
+            else:
+                outcomes[position] = errors[position]
+        return outcomes
+
     @staticmethod
     def _additive_shares(value: int, count: int) -> list[int]:
         shares = [secrets.randbelow(FIELD_MODULUS) for _ in range(count - 1)]

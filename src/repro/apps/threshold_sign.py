@@ -109,6 +109,27 @@ class CustodyDeployment:
         )
         return BlsSignatureShare(signer_index, BlsSignature(G1Element(result["value"])))
 
+    def sign_shares_on_domain(self, signer_index: int, messages: list[bytes]) -> list:
+        """Ask one trust domain for signature shares on many messages at once.
+
+        All of the domain's WVM invocations ride in one batched request.
+        Returns one outcome per message, in order: a
+        :class:`BlsSignatureShare`, or the exception instance for a message
+        whose share the domain failed to produce.
+        """
+        share = self.share_for_signer(signer_index)
+        calls = []
+        for message in messages:
+            message_int = int.from_bytes(message, "big") if message else 0
+            calls.append(("bls_share",
+                          [message_int, len(message), share.value, BLS_SCALAR_ORDER]))
+        results = self.deployment.invoke_batch(signer_index, calls)
+        return [
+            result if isinstance(result, Exception)
+            else BlsSignatureShare(signer_index, BlsSignature(G1Element(result["value"])))
+            for result in results
+        ]
+
 
 class CustodyClient:
     """The asset owner's side: audit, request shares, combine, verify."""
@@ -182,6 +203,54 @@ class CustodyClient:
             raise ApplicationError("combined threshold signature failed verification")
         return SignedTransaction(message=message, signature=signature,
                                  signer_indices=tuple(used))
+
+    def sign_transactions(self, messages: list[bytes],
+                          signer_indices: list[int] | None = None) -> list:
+        """Sign many transactions, collecting each signer's shares in one batch.
+
+        Every signer produces its shares for the whole batch in a single
+        request; shares are then combined and verified per message. Returns
+        one outcome per message, in order: a :class:`SignedTransaction`, or
+        an :class:`ApplicationError` instance when fewer than ``t`` signers
+        produced a share for that message (failures are isolated per
+        message, not per batch).
+        """
+        if self.audit_before_use:
+            self.audit()
+        if signer_indices is None:
+            signer_indices = list(range(1, self.service.threshold + 1))
+        if len(signer_indices) < self.service.threshold:
+            raise ApplicationError(
+                f"need at least {self.service.threshold} signers, got {len(signer_indices)}"
+            )
+        per_signer = [
+            self.service.sign_shares_on_domain(signer_index, messages)
+            for signer_index in signer_indices
+        ]
+        outcomes = []
+        for message_index, message in enumerate(messages):
+            partials = [
+                shares[message_index] for shares in per_signer
+                if not isinstance(shares[message_index], Exception)
+            ][: self.service.threshold]
+            if len(partials) < self.service.threshold:
+                outcomes.append(ApplicationError(
+                    f"only {len(partials)} of the required {self.service.threshold} "
+                    "signers produced a signature share"
+                ))
+                continue
+            signature = self.service.scheme.combine(partials)
+            if not self.service.scheme.verify(self.service.group_public_key, message,
+                                              signature):
+                outcomes.append(ApplicationError(
+                    "combined threshold signature failed verification"
+                ))
+                continue
+            outcomes.append(SignedTransaction(
+                message=message, signature=signature,
+                signer_indices=tuple(p.signer_index for p in partials),
+            ))
+        return outcomes
 
     def verify(self, transaction: SignedTransaction) -> bool:
         """Verify a signed transaction under the custody service's public key."""

@@ -90,6 +90,52 @@ class FeldmanVSS:
             return False
         return left == right
 
+    def verify_shares(self, shares: list[FeldmanShare]) -> list[bool]:
+        """Verify many shares against one commitment vector in a single pass.
+
+        All shares of one dealing carry the same commitments, so the batch
+        path decodes each commitment point once and — when the batch is large
+        enough to amortize the setup — precomputes a fixed-base window table
+        per commitment, turning every per-share term into table lookups.
+        Returns one verdict per share, in order.
+
+        Raises:
+            SecretSharingError: the shares do not all carry the same
+                commitment vector (they cannot be from one dealing).
+        """
+        if not shares:
+            return []
+        commitments_bytes = shares[0].commitments
+        if any(s.commitments != commitments_bytes for s in shares[1:]):
+            raise SecretSharingError("batch verification needs shares from one dealing")
+        if not commitments_bytes:
+            return [False] * len(shares)
+        points = [SECP256K1.decode_point(b) for b in commitments_bytes]
+        # A window table costs roughly four plain multiplications to build and
+        # each commitment is multiplied once per share, so precomputation pays
+        # for itself once the batch is bigger than that. All per-share terms
+        # are accumulated in Jacobian coordinates — one field inversion per
+        # share, instead of one per addition.
+        if len(shares) >= 8:
+            tables = [SECP256K1.precompute(point, window=4) for point in points]
+            multipliers = [table.multiply_jacobian for table in tables]
+        else:
+            multipliers = [
+                (lambda exponent, _p=point: SECP256K1._to_jacobian(
+                    SECP256K1.multiply(_p, exponent)))
+                for point in points
+            ]
+        verdicts = []
+        for feldman_share in shares:
+            share = feldman_share.share
+            left = SECP256K1.generator_multiply(share.value)
+            right = (0, 1, 0)
+            for j, multiply in enumerate(multipliers):
+                right = SECP256K1._jacobian_add(right, multiply(pow(share.index, j,
+                                                                    SECP256K1.n)))
+            verdicts.append(left == SECP256K1._from_jacobian(right))
+        return verdicts
+
     def reconstruct(self, shares: list[FeldmanShare], verify: bool = True) -> int:
         """Reconstruct the secret, optionally verifying every share first."""
         if verify:

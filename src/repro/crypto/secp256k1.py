@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.errors import CryptoError, InvalidPointError
 
-__all__ = ["Secp256k1", "Point", "SECP256K1"]
+__all__ = ["Secp256k1", "Point", "FixedBaseTable", "SECP256K1"]
 
 # Standard secp256k1 domain parameters (SEC 2).
 _P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -51,6 +51,67 @@ class Point:
 INFINITY = Point(None, None)
 
 
+class FixedBaseTable:
+    """Windowed precomputation table for repeated scalar multiplication of one point.
+
+    Splits a scalar into ``ceil(256 / window)`` digits of ``window`` bits and
+    precomputes ``digit * 2^(window*i) * P`` for every window position ``i``
+    and digit value, so each multiplication costs one Jacobian addition per
+    non-zero digit — no doublings at all — instead of the ~256 doublings plus
+    ~128 additions of textbook double-and-add. Build the table once for a
+    point that is multiplied many times (the curve generator, a server's
+    long-lived public key) and amortize the one-time setup across calls.
+    """
+
+    def __init__(self, curve: "Secp256k1", point: Point, window: int = 4):
+        if not 1 <= window <= 8:
+            raise CryptoError("window width must be between 1 and 8 bits")
+        if point.is_infinity:
+            raise CryptoError("cannot precompute a table for the point at infinity")
+        self.curve = curve
+        self.point = point
+        self.window = window
+        self._mask = (1 << window) - 1
+        bits = curve.n.bit_length()
+        self._num_windows = (bits + window - 1) // window
+        # _rows[i][d] = (d << (window * i)) * point in Jacobian coordinates,
+        # for digits d in 1 .. 2^window - 1 (index 0 is unused: a zero digit
+        # contributes nothing).
+        self._rows: list[list[tuple[int, int, int]]] = []
+        base = curve._to_jacobian(point)
+        for _ in range(self._num_windows):
+            accumulator = base
+            row = [None, accumulator]
+            for _ in range(self._mask - 1):
+                accumulator = curve._jacobian_add(accumulator, base)
+                row.append(accumulator)
+            self._rows.append(row)
+            for _ in range(window):
+                base = curve._jacobian_double(base)
+
+    def multiply(self, scalar: int) -> Point:
+        """Return ``scalar * point`` using only table lookups and additions."""
+        return self.curve._from_jacobian(self.multiply_jacobian(scalar))
+
+    def multiply_jacobian(self, scalar: int) -> tuple[int, int, int]:
+        """Like :meth:`multiply` but return Jacobian coordinates.
+
+        Skips the final inversion, for callers that keep accumulating (e.g.
+        batch Feldman verification sums many table multiplications before
+        converting once).
+        """
+        scalar %= self.curve.n
+        result = (0, 1, 0)
+        window_index = 0
+        while scalar:
+            digit = scalar & self._mask
+            if digit:
+                result = self.curve._jacobian_add(result, self._rows[window_index][digit])
+            scalar >>= self.window
+            window_index += 1
+        return result
+
+
 class Secp256k1:
     """Group operations on the secp256k1 curve."""
 
@@ -60,6 +121,7 @@ class Secp256k1:
         self.a = _A
         self.b = _B
         self.generator = Point(_GX, _GY)
+        self._generator_table: FixedBaseTable | None = None
         if not self.is_on_curve(self.generator):
             raise CryptoError("secp256k1 generator failed curve-equation check")
 
@@ -169,9 +231,20 @@ class Secp256k1:
             scalar >>= 1
         return self._from_jacobian(result)
 
+    def precompute(self, point: Point, window: int = 4) -> FixedBaseTable:
+        """Build a :class:`FixedBaseTable` for a point that is multiplied often."""
+        return FixedBaseTable(self, point, window=window)
+
     def generator_multiply(self, scalar: int) -> Point:
-        """Multiply the standard generator by ``scalar``."""
-        return self.multiply(self.generator, scalar)
+        """Multiply the standard generator by ``scalar``.
+
+        Uses a lazily built fixed-base window table, so every caller of the
+        hot fixed-base path (key generation, Schnorr/ECDSA signing, Feldman
+        commitments) shares one precomputation.
+        """
+        if self._generator_table is None:
+            self._generator_table = FixedBaseTable(self, self.generator)
+        return self._generator_table.multiply(scalar)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -12,10 +12,46 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
-from repro.crypto.field import FieldElement, PrimeField, lagrange_interpolate_at_zero
+from repro.crypto.field import FieldElement, PrimeField
 from repro.errors import SecretSharingError, ThresholdError
 
-__all__ = ["Share", "ShamirSecretSharing"]
+__all__ = ["Share", "ShamirSecretSharing", "horner_evaluate_many"]
+
+
+def _lagrange_at_zero_int(points: list[tuple[int, int]], modulus: int) -> int:
+    """Lagrange interpolation at zero on raw integers (the reconstruction hot path).
+
+    Equivalent to :func:`repro.crypto.field.lagrange_interpolate_at_zero` but
+    without per-operation :class:`FieldElement` allocations, which dominate
+    reconstruction cost when recovering thousands of keys.
+    """
+    total = 0
+    for i, (x_i, y_i) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = numerator * x_j % modulus
+            denominator = denominator * (x_j - x_i) % modulus
+        total = (total + y_i * numerator % modulus
+                 * pow(denominator, -1, modulus)) % modulus
+    return total
+
+
+def horner_evaluate_many(coefficients: list[int], xs: list[int], modulus: int) -> list[int]:
+    """Evaluate one polynomial at many points with a single Horner sweep.
+
+    Operates on raw integers (no :class:`FieldElement` wrappers), so the inner
+    loop is one multiply-add-reduce per (coefficient, point) pair. This is the
+    hot path when a dealer issues shares to many clients at once: one sweep
+    over the coefficients covers every client index.
+    """
+    results = [0] * len(xs)
+    for coefficient in reversed(coefficients):
+        for position, x in enumerate(xs):
+            results[position] = (results[position] * x + coefficient) % modulus
+    return results
 
 # A 256-bit prime (the secp256k1 group order) works well as a default share field:
 # secrets up to 32 bytes embed directly.
@@ -30,8 +66,18 @@ class Share:
     value: int
 
     def to_bytes(self, byte_length: int = 32) -> bytes:
-        """Serialize as ``index (4 bytes) || value (byte_length bytes)``."""
-        return self.index.to_bytes(4, "big") + self.value.to_bytes(byte_length, "big")
+        """Serialize as ``index (4 bytes) || value (byte_length bytes)``.
+
+        Raises:
+            SecretSharingError: the index or value does not fit the encoding.
+        """
+        try:
+            return self.index.to_bytes(4, "big") + self.value.to_bytes(byte_length, "big")
+        except OverflowError as exc:
+            raise SecretSharingError(
+                f"share ({self.index}, value of {self.value.bit_length()} bits) "
+                f"does not fit a {byte_length}-byte encoding"
+            ) from exc
 
     @classmethod
     def from_bytes(cls, data: bytes, byte_length: int = 32) -> "Share":
@@ -79,26 +125,29 @@ class ShamirSecretSharing:
 
     def split(self, secret: int | bytes) -> list[Share]:
         """Split ``secret`` into ``n`` shares, any ``t`` of which reconstruct it."""
-        secret_element = self._coerce_secret(secret)
-        coefficients = self._random_polynomial(secret_element)
-        shares = []
-        for index in range(1, self.num_shares + 1):
-            value = self._evaluate(coefficients, self.field(index))
-            shares.append(Share(index, value.value))
-        return shares
+        return self.split_with_polynomial(secret)[0]
 
     def split_with_polynomial(self, secret: int | bytes) -> tuple[list[Share], list[int]]:
         """Like :meth:`split`, but also return the polynomial coefficients.
 
         Feldman VSS and the DKG need the coefficients to publish commitments.
+        All ``n`` share values come from one Horner sweep over the
+        coefficients (see :func:`horner_evaluate_many`).
         """
         secret_element = self._coerce_secret(secret)
-        coefficients = self._random_polynomial(secret_element)
-        shares = []
-        for index in range(1, self.num_shares + 1):
-            value = self._evaluate(coefficients, self.field(index))
-            shares.append(Share(index, value.value))
-        return shares, [c.value for c in coefficients]
+        coefficients = [c.value for c in self._random_polynomial(secret_element)]
+        indices = list(range(1, self.num_shares + 1))
+        values = horner_evaluate_many(coefficients, indices, self.field.modulus)
+        return [Share(index, value) for index, value in zip(indices, values)], coefficients
+
+    def split_many(self, secrets: list[int | bytes]) -> list[list[Share]]:
+        """Split many secrets at once; returns one share list per secret.
+
+        Each secret gets its own fresh random polynomial (shares of different
+        secrets must stay independent); the batch form exists so callers
+        sharing thousands of client keys go through one call.
+        """
+        return [self.split(secret) for secret in secrets]
 
     # ------------------------------------------------------------------
     # Reconstruction
@@ -117,18 +166,19 @@ class ShamirSecretSharing:
             if not 1 <= share.index <= self.num_shares:
                 raise SecretSharingError(f"share index {share.index} out of range")
             seen.add(share.index)
-            points.append((self.field(share.index), self.field(share.value)))
+            points.append((share.index, share.value % self.field.modulus))
         # Only the first t shares are needed; extra shares are accepted but ignored
         # after a consistency check against the interpolated polynomial.
-        secret = lagrange_interpolate_at_zero(points[: self.threshold])
+        secret = _lagrange_at_zero_int(points[: self.threshold], self.field.modulus)
         if len(points) > self.threshold:
-            expected = self._interpolate_full(points[: self.threshold])
-            for x, y in points[self.threshold:]:
+            element_points = [(self.field(x), self.field(y)) for x, y in points]
+            expected = self._interpolate_full(element_points[: self.threshold])
+            for x, y in element_points[self.threshold:]:
                 if self._evaluate(expected, x) != y:
                     raise SecretSharingError(
                         "extra shares are inconsistent with the reconstruction"
                     )
-        return secret.value
+        return secret
 
     def reconstruct_bytes(self, shares: list[Share], length: int = 32) -> bytes:
         """Reconstruct and return the secret as a fixed-length byte string."""

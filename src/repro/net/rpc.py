@@ -11,12 +11,19 @@ semantics (a retransmitted request is answered from a response cache instead
 of being re-executed, so retries cannot double-apply state changes), and
 :meth:`RpcClient.call_with_retry` retransmits the *same* request bytes after a
 timeout, which is what makes that dedup effective.
+
+For throughput, the layer also supports batching: :meth:`RpcClient.call_many`
+packs many requests into one framed payload (the server's frame loop already
+handles multi-frame payloads), matches responses out of order, and after a
+timeout retransmits only the still-unanswered requests. The server batches
+its responses per source payload, so a request batch costs one message each
+way instead of one round trip per request.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Callable
 
 from repro.errors import DecodingError, RpcError, TimeoutError
@@ -24,7 +31,45 @@ from repro.net.transport import Endpoint, Message, Network
 from repro.wire.codec import decode, encode
 from repro.wire.framing import frame_message, split_frames
 
-__all__ = ["RpcServer", "RpcClient"]
+__all__ = ["RpcServer", "RpcClient", "BoundedIdSet"]
+
+# How many completed request ids each endpoint remembers for duplicate-response
+# filtering. Old duplicates beyond this window are indistinguishable from
+# unrelated traffic and get parked in the inbox instead of discarded, which is
+# harmless; the bound is what keeps memory flat under sustained traffic.
+COMPLETED_ID_WINDOW = 4096
+
+
+class BoundedIdSet:
+    """A set that remembers only the most recently added ``maxlen`` items.
+
+    Insertion order is tracked in a ring; adding beyond the bound evicts the
+    oldest member. Lookup stays O(1). Used for the per-endpoint record of
+    completed RPC request ids, which would otherwise grow without bound under
+    sustained traffic.
+    """
+
+    def __init__(self, maxlen: int = COMPLETED_ID_WINDOW):
+        if maxlen < 1:
+            raise ValueError("maxlen must be at least 1")
+        self.maxlen = maxlen
+        self._order: deque = deque()
+        self._members: set = set()
+
+    def add(self, item) -> None:
+        """Remember ``item``, evicting the oldest member beyond the bound."""
+        if item in self._members:
+            return
+        self._members.add(item)
+        self._order.append(item)
+        while len(self._order) > self.maxlen:
+            self._members.discard(self._order.popleft())
+
+    def __contains__(self, item) -> bool:
+        return item in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
 
 
 class RpcServer:
@@ -32,6 +77,10 @@ class RpcServer:
 
     Handlers take the decoded ``params`` value and return an encodable result;
     exceptions they raise are reported to the caller as :class:`RpcError`.
+
+    A payload may carry many framed requests (a client-side batch); every
+    response frame for one incoming payload is concatenated and sent back as a
+    single payload, so batch traffic stays batched on the return path.
 
     Args:
         at_most_once: cache responses by ``(source, request id)`` and answer
@@ -44,9 +93,11 @@ class RpcServer:
         self.endpoint = endpoint
         self.name = name or endpoint.address
         self._handlers: dict[str, Callable] = {}
+        self._raw_handlers: dict[str, Callable] = {}
         self.requests_served = 0
         self.duplicates_answered = 0
         self.malformed_frames = 0
+        self.batches_served = 0
         self._at_most_once = at_most_once
         self._cache_size = cache_size
         self._response_cache: OrderedDict[tuple, bytes] = OrderedDict()
@@ -56,9 +107,24 @@ class RpcServer:
         """Register ``handler`` for ``method`` (overwrites any previous handler)."""
         self._handlers[method] = handler
 
+    def register_raw(self, method: str, handler: Callable) -> None:
+        """Register a raw byte-level handler for ``method``.
+
+        A raw handler receives ``(request_dict, request_frame_bytes)`` and
+        returns the *encoded response envelope* (``{"id": ..., "result"/
+        "error": ...}``) as bytes. This lets a backend forward the original
+        wire bytes through its own transport (e.g. the vsock hops into an
+        enclave) and serialize the response exactly once, instead of the
+        server decoding and re-encoding the payload at every layer — the
+        fast path for high-throughput batch methods. Raw handlers take
+        precedence over :meth:`register` handlers for the same method; their
+        exceptions are answered as error envelopes like any handler's.
+        """
+        self._raw_handlers[method] = handler
+
     def registered_methods(self) -> list[str]:
-        """Names of all registered methods."""
-        return sorted(self._handlers)
+        """Names of all registered methods (normal and raw)."""
+        return sorted(set(self._handlers) | set(self._raw_handlers))
 
     def _handle_message(self, message: Message) -> None:
         try:
@@ -66,6 +132,7 @@ class RpcServer:
         except DecodingError:
             self.malformed_frames += 1
             return
+        outgoing: list[bytes] = []
         for frame in frames:
             try:
                 request = decode(frame)
@@ -80,14 +147,32 @@ class RpcServer:
                 cached = self._response_cache.get(key)
                 if cached is not None:
                     self.duplicates_answered += 1
-                    self.endpoint.send(message.source, cached)
+                    outgoing.append(cached)
                     continue
-            response = frame_message(encode(self._dispatch(request)))
+            raw_handler = None
+            if (self._raw_handlers and isinstance(request, dict)
+                    and "method" in request and "id" in request):
+                raw_handler = self._raw_handlers.get(request["method"])
+            if raw_handler is not None:
+                try:
+                    body = raw_handler(request, frame)
+                except Exception as exc:  # answered like any handler error
+                    body = encode({"id": request["id"],
+                                   "error": f"{type(exc).__name__}: {exc}"})
+                else:
+                    self.requests_served += 1
+                response = frame_message(body)
+            else:
+                response = frame_message(encode(self._dispatch(request)))
             if key is not None:
                 self._response_cache[key] = response
                 while len(self._response_cache) > self._cache_size:
                     self._response_cache.popitem(last=False)
-            self.endpoint.send(message.source, response)
+            outgoing.append(response)
+        if outgoing:
+            if len(frames) > 1:
+                self.batches_served += 1
+            self.endpoint.send(message.source, b"".join(outgoing))
 
     def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "method" not in request or "id" not in request:
@@ -117,10 +202,11 @@ class RpcClient:
         self.retries = 0
         # Completed request ids are shared across every client on this
         # endpoint, so any of them can discard a stale duplicate response no
-        # matter which client originally issued the request.
+        # matter which client originally issued the request. The record is
+        # bounded (see BoundedIdSet) so sustained traffic cannot leak memory.
         if not hasattr(endpoint, "rpc_completed_ids"):
-            endpoint.rpc_completed_ids = set()
-        self._completed: set[int] = endpoint.rpc_completed_ids
+            endpoint.rpc_completed_ids = BoundedIdSet()
+        self._completed: BoundedIdSet = endpoint.rpc_completed_ids
 
     def call(self, method: str, params=None):
         """Call ``method`` with ``params`` and return the decoded result.
@@ -146,53 +232,139 @@ class RpcClient:
         request_bytes = frame_message(encode(
             {"id": request_id, "method": method, "params": params}
         ))
-        last_timeout = None
+        found: dict[int, dict] = {}
+        pending = {request_id}
         for attempt in range(max(1, attempts)):
             if attempt > 0:
                 self.retries += 1
             self.endpoint.send(self.server_address, request_bytes)
             self.network.run_until_idle()
-            try:
-                response = self._await_response(request_id)
-            except TimeoutError as exc:
-                last_timeout = exc
-                continue
-            self._completed.add(request_id)
-            if "error" in response and response["error"] is not None:
-                raise RpcError(f"{method} failed: {response['error']}")
-            return response.get("result")
+            self._drain_inbox(pending, found)
+            if not pending:
+                break
         self._completed.add(request_id)
-        raise last_timeout or TimeoutError(
-            f"no response to request {request_id} from {self.server_address}"
-        )
+        if pending:
+            raise TimeoutError(
+                f"no response to request {request_id} from {self.server_address}"
+            )
+        response = found[request_id]
+        if "error" in response and response["error"] is not None:
+            raise RpcError(f"{method} failed: {response['error']}")
+        return response.get("result")
 
-    def _await_response(self, request_id: int) -> dict:
-        unrelated = []
-        try:
-            while True:
-                message = self.endpoint.receive()
-                if message is None:
-                    raise TimeoutError(
-                        f"no response to request {request_id} from {self.server_address}"
-                    )
+    def call_many(self, calls, attempts: int = 3, return_errors: bool = False):
+        """Issue many calls as one batched payload and return their results.
+
+        ``calls`` is a sequence of ``(method, params)`` pairs. All requests are
+        framed individually and concatenated into a single payload — one
+        message on the wire no matter how many calls ride in it — and the
+        server answers with one batched response payload. Responses are
+        matched to requests by id, so they may arrive out of order (or split
+        across payloads) without confusing the pairing.
+
+        After a timeout only the still-unanswered requests are retransmitted,
+        with their original ids and bytes, so an at-most-once server executes
+        each call exactly once even when a batch is partially lost.
+
+        Args:
+            calls: ``(method, params)`` pairs, in result order.
+            attempts: total send attempts for any individual request.
+            return_errors: when true, failures become exception *instances*
+                in the result list instead of raising — :class:`RpcError` for
+                a server-reported error, :class:`TimeoutError` for a call
+                unanswered on every attempt — so one failed call cannot mask
+                the rest of the batch.
+
+        Raises:
+            RpcError: a call failed and ``return_errors`` is false.
+            TimeoutError: a call went unanswered on every attempt and
+                ``return_errors`` is false.
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        requests = []
+        for method, params in calls:
+            request_id = next(self._ids)
+            requests.append((request_id, method, frame_message(encode(
+                {"id": request_id, "method": method, "params": params}
+            ))))
+        found: dict[int, dict] = {}
+        pending = {request_id for request_id, _, _ in requests}
+        for attempt in range(max(1, attempts)):
+            if attempt > 0:
+                self.retries += len(pending)
+            payload = b"".join(
+                frame for request_id, _, frame in requests if request_id in pending
+            )
+            self.endpoint.send(self.server_address, payload)
+            self.network.run_until_idle()
+            self._drain_inbox(pending, found)
+            if not pending:
+                break
+        for request_id, _, _ in requests:
+            self._completed.add(request_id)
+        if pending and not return_errors:
+            raise TimeoutError(
+                f"{len(pending)} of {len(requests)} batched requests to "
+                f"{self.server_address} went unanswered"
+            )
+        results = []
+        for request_id, method, _ in requests:
+            if request_id in pending:
+                results.append(TimeoutError(
+                    f"no response to batched request {request_id} "
+                    f"from {self.server_address}"
+                ))
+                continue
+            response = found[request_id]
+            if "error" in response and response["error"] is not None:
+                error = RpcError(f"{method} failed: {response['error']}")
+                if not return_errors:
+                    raise error
+                results.append(error)
+            else:
+                results.append(response.get("result"))
+        return results
+
+    def _drain_inbox(self, pending: set, found: dict) -> None:
+        """Scan parked messages for responses to the ``pending`` request ids.
+
+        Matched responses move from ``pending`` into ``found``. A message is
+        put back on the inbox **at most once** — even when it carries several
+        frames for other callers — so a batched payload is never re-queued as
+        duplicates (each re-queued copy used to be re-processed as if it were
+        fresh traffic). Duplicates of responses already matched or already
+        completed on this endpoint are discarded.
+        """
+        requeue = []
+        while True:
+            message = self.endpoint.receive()
+            if message is None:
+                break
+            try:
+                frames = split_frames(message.payload)
+            except DecodingError:
+                continue  # corrupted response; the retry path handles it
+            keep_for_others = False
+            for frame in frames:
                 try:
-                    frames = split_frames(message.payload)
+                    response = decode(frame)
                 except DecodingError:
-                    continue  # corrupted response; the retry path handles it
-                for frame in frames:
-                    try:
-                        response = decode(frame)
-                    except DecodingError:
-                        continue
-                    if isinstance(response, dict) and response.get("id") == request_id:
-                        return response
-                    if (isinstance(response, dict)
-                            and response.get("id") in self._completed):
-                        # A duplicate of an already-answered request; discard
-                        # instead of letting it pile up in the inbox forever.
-                        continue
-                    unrelated.append(message)
-        finally:
-            # Preserve unrelated messages for other callers sharing the endpoint.
-            for message in unrelated:
-                self.endpoint.inbox.append(message)
+                    continue
+                request_id = response.get("id") if isinstance(response, dict) else None
+                if request_id is not None and request_id in pending:
+                    found[request_id] = response
+                    pending.discard(request_id)
+                elif request_id is not None and (
+                        request_id in found or request_id in self._completed):
+                    # A duplicate of an already-answered request; discard
+                    # instead of letting it pile up in the inbox forever.
+                    continue
+                else:
+                    keep_for_others = True
+            if keep_for_others:
+                requeue.append(message)
+        # Preserve messages for other callers sharing the endpoint.
+        for message in requeue:
+            self.endpoint.inbox.append(message)

@@ -147,6 +147,67 @@ class PythonSandbox:
         self.invocations += 1
         return self._copy_out(result)
 
+    def invoke_many(self, calls: list, wire_boundary: bool = False) -> list:
+        """Run many ``handle`` calls with one boundary copy each way.
+
+        ``calls`` is a list of ``{"method": str, "params": ...}`` dicts. The
+        whole batch is copied across the sandbox boundary in a single codec
+        round trip (instead of one per call), which is what makes the batched
+        request pipeline cheap: per call, only the handler itself runs.
+
+        ``wire_boundary=True`` is for callers on the wire fast path: the
+        inbound copy is skipped because decoder output is already a fresh
+        plain-data graph, and the outbound copy is skipped because the caller
+        immediately serializes the outcomes into the response envelope — that
+        encode validates plain data, and only the envelope bytes leave the
+        domain, so there is nothing left to alias.
+
+        Application errors are isolated per call: each outcome is either
+        ``{"ok": True, "value": result}`` or ``{"ok": False, "error": text}``,
+        so one failing request cannot poison the rest of the batch.
+        """
+        handler = self._namespace["handle"]
+        copied_calls = calls if wire_boundary else self._copy_in(calls)
+        outcomes = []
+        raw_results = []
+        for call in copied_calls:
+            try:
+                result = handler(call["method"], call.get("params"), self.state)
+            except SandboxEscapeError:
+                raise
+            except Exception as exc:
+                outcomes.append({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+                raw_results.append(None)
+                continue
+            self.invocations += 1
+            outcomes.append({"ok": True})
+            raw_results.append(result)
+        if wire_boundary:
+            for outcome, result in zip(outcomes, raw_results):
+                if outcome["ok"]:
+                    outcome["value"] = result
+            return outcomes
+        try:
+            copied_results = self._copy_out(raw_results)
+        except SandboxError:
+            # One oversized or non-plain result must not fail the whole batch;
+            # redo the boundary copy per call to isolate the offender.
+            copied_results = []
+            for outcome, result in zip(outcomes, raw_results):
+                if not outcome["ok"]:
+                    copied_results.append(None)
+                    continue
+                try:
+                    copied_results.append(self._copy_out(result))
+                except SandboxError as exc:
+                    outcome["ok"] = False
+                    outcome["error"] = str(exc)
+                    copied_results.append(None)
+        for outcome, result in zip(outcomes, copied_results):
+            if outcome["ok"]:
+                outcome["value"] = result
+        return outcomes
+
     # ------------------------------------------------------------------
     # Boundary copies
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ themselves depend on this package's adversary helpers.
 """
 
 from repro.sim.metrics import LatencyStats, summarize
-from repro.sim.workload import WorkloadGenerator
+from repro.sim.workload import MultiClientWorkload, WorkloadGenerator, WorkloadReport
 from repro.sim.adversary import DeveloperCompromise, ScheduledCompromise, VendorExploit
 from repro.sim.faults import (
     CompromiseDomain,
@@ -33,6 +33,8 @@ __all__ = [
     "LatencyStats",
     "summarize",
     "WorkloadGenerator",
+    "WorkloadReport",
+    "MultiClientWorkload",
     "DeveloperCompromise",
     "ScheduledCompromise",
     "VendorExploit",

@@ -1,10 +1,30 @@
-"""Seeded workload generators for examples and benchmarks."""
+"""Workload generation and the multi-client load driver.
+
+Two layers live here:
+
+* :class:`WorkloadGenerator` — seeded draws of messages, secrets, user ids,
+  telemetry values, and DNS names, so every experiment is reproducible.
+* :class:`MultiClientWorkload` — the load harness: it simulates many
+  concurrent users driving one of the four applications end to end over the
+  simulated network, in either the one-request-per-round-trip ("unbatched")
+  mode or the batched request pipeline, and reports throughput alongside the
+  transport statistics. Fault rules and scheduled events from the PR-1
+  scenario engine compose directly (see :meth:`MultiClientWorkload.run` and
+  :meth:`MultiClientWorkload.from_scenario`), so load runs double as stress
+  tests: the same drop/delay/reorder/duplicate taxonomy that the scenario
+  matrix exercises can be applied while thousands of operations are in
+  flight.
+"""
 
 from __future__ import annotations
 
 import random
+import time
+from dataclasses import dataclass, field
 
-__all__ = ["WorkloadGenerator"]
+from repro.errors import ApplicationError, ReproError
+
+__all__ = ["WorkloadGenerator", "WorkloadReport", "MultiClientWorkload"]
 
 
 class WorkloadGenerator:
@@ -26,8 +46,9 @@ class WorkloadGenerator:
         return [self._rng.getrandbits(bits) for _ in range(count)]
 
     def user_ids(self, count: int) -> list[str]:
-        """Synthetic user identifiers."""
-        return [f"user-{self._rng.randrange(10**9):09d}" for _ in range(count)]
+        """Synthetic user identifiers (unique within one generator)."""
+        return [f"user-{index:06d}-{self._rng.randrange(10**9):09d}"
+                for index in range(count)]
 
     def telemetry_values(self, count: int, low: int = 0, high: int = 100) -> list[int]:
         """Bounded integer telemetry values (for the Prio-style aggregation app)."""
@@ -41,3 +62,421 @@ class WorkloadGenerator:
             f"{self._rng.choice(tlds)}"
             for _ in range(count)
         ]
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one load run produced."""
+
+    app: str
+    num_clients: int
+    ops: int
+    succeeded: int = 0
+    failed: int = 0
+    batched: bool = True
+    batch_size: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    retries: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    failures: list = field(default_factory=list)  # (op index, error type name)
+    consistency_issues: list = field(default_factory=list)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Completed operations per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.succeeded / self.wall_seconds
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of operations that completed end to end."""
+        if self.ops == 0:
+            return 0.0
+        return self.succeeded / self.ops
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the end-of-run application state matched the accepted ops."""
+        return not self.consistency_issues
+
+    def format(self) -> str:
+        """A deterministic multi-line text report (throughput is rounded)."""
+        mode = f"batched (batch={self.batch_size})" if self.batched else "unbatched"
+        lines = [
+            f"workload {self.app}: {self.num_clients} clients, {self.ops} ops, {mode}",
+            f"  ops: ok={self.succeeded} failed={self.failed} "
+            f"success={self.success_rate * 100:.1f}%",
+            f"  throughput: {self.ops_per_sec:.0f} ops/sec "
+            f"(wall {self.wall_seconds:.3f}s, sim {self.sim_seconds * 1000:.1f} ms) "
+            f"retries={self.retries}",
+            f"  network: sent={self.messages_sent} delivered={self.messages_delivered} "
+            f"dropped={self.messages_dropped} duplicated={self.messages_duplicated}",
+        ]
+        if self.consistency_issues:
+            for issue in self.consistency_issues:
+                lines.append(f"  CONSISTENCY: {issue}")
+        else:
+            lines.append("  consistency: end state matches accepted operations")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for BENCH_throughput.json and experiment write-ups."""
+        return {
+            "app": self.app,
+            "num_clients": self.num_clients,
+            "ops": self.ops,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "batched": self.batched,
+            "batch_size": self.batch_size,
+            "wall_seconds": self.wall_seconds,
+            "ops_per_sec": self.ops_per_sec,
+            "sim_seconds": self.sim_seconds,
+            "retries": self.retries,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "consistent": self.consistent,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-application load adapters
+# ---------------------------------------------------------------------------
+#
+# Each adapter builds its application's deployment, materializes a seeded list
+# of operations (one per simulated client request), and knows how to execute a
+# span of them either one round trip at a time (`step`) or through the app's
+# batched API (`run_span`). Application modules are imported lazily so that
+# `repro.sim` keeps importing without the apps package (and to stay out of the
+# scenario engine's import cycle).
+
+
+class _KeyBackupAdapter:
+    app = "keybackup"
+
+    def __init__(self, seed: int, ops: int):
+        from repro.apps.keybackup import KeyBackupClient, KeyBackupDeployment
+
+        self.service = KeyBackupDeployment(num_domains=4, threshold=3)
+        self.deployment = self.service.deployment
+        self.client = KeyBackupClient(self.service, audit_before_use=False)
+        generator = WorkloadGenerator(seed)
+        self.items = list(zip(generator.user_ids(ops), generator.secrets(ops, bits=248)))
+
+    def step(self, op_index: int) -> None:
+        user_id, secret = self.items[op_index]
+        self.client.backup_key(user_id, secret)
+        if self.client.recover_key_any(user_id) != secret:
+            raise ApplicationError(f"recovered key for {user_id!r} does not match")
+
+    def run_span(self, start: int, count: int) -> list:
+        span = self.items[start:start + count]
+        outcomes = self.client.backup_keys(span)
+        stored = [position for position, outcome in enumerate(outcomes)
+                  if not isinstance(outcome, Exception)]
+        recovered = self.client.recover_keys([span[position][0] for position in stored])
+        for position, value in zip(stored, recovered):
+            if isinstance(value, Exception):
+                outcomes[position] = value
+            elif value != span[position][1]:
+                outcomes[position] = ApplicationError(
+                    f"recovered key for {span[position][0]!r} does not match"
+                )
+            else:
+                outcomes[position] = True
+        return outcomes
+
+    def consistency_issues(self) -> list[str]:
+        return []
+
+
+class _PrioAdapter:
+    app = "prio"
+
+    def __init__(self, seed: int, ops: int):
+        from repro.apps.prio import (
+            PrivateAggregationClient,
+            PrivateAggregationDeployment,
+        )
+
+        self.service = PrivateAggregationDeployment(num_servers=3, max_value=100)
+        self.deployment = self.service.deployment
+        self.client = PrivateAggregationClient(self.service, audit_before_use=False)
+        self.values = WorkloadGenerator(seed).telemetry_values(ops, 0, 100)
+        self.accepted: list[int] = []
+        self.unclean = 0
+
+    def step(self, op_index: int) -> None:
+        value = self.values[op_index]
+        try:
+            self.client.submit(value)
+        except ReproError:
+            self.unclean += 1
+            raise
+        self.accepted.append(value)
+
+    def run_span(self, start: int, count: int) -> list:
+        outcomes = self.client.submit_many(self.values[start:start + count])
+        for offset, outcome in enumerate(outcomes):
+            if outcome is True:
+                self.accepted.append(self.values[start + offset])
+            else:
+                self.unclean += 1
+        return outcomes
+
+    def consistency_issues(self) -> list[str]:
+        from repro.apps.prio import FIELD_MODULUS
+
+        if self.unclean:
+            # A failed or torn submission may have reached a subset of the
+            # servers; either they still agree and the sum is exact, or the
+            # aggregate must refuse. Both are consistent outcomes.
+            try:
+                self.service.aggregate()
+            except ApplicationError:
+                pass
+            return []
+        result = self.service.aggregate()
+        expected = sum(self.accepted) % FIELD_MODULUS
+        issues = []
+        if result["sum"] != expected:
+            issues.append(
+                f"aggregate sum {result['sum']} != expected {expected} "
+                f"over {len(self.accepted)} accepted submissions"
+            )
+        if result["submissions"] != len(self.accepted):
+            issues.append(
+                f"servers counted {result['submissions']} submissions, "
+                f"client had {len(self.accepted)} accepted"
+            )
+        return issues
+
+
+class _ThresholdSignAdapter:
+    app = "threshold_sign"
+
+    def __init__(self, seed: int, ops: int):
+        from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
+
+        self.service = CustodyDeployment(threshold=2, num_signers=3,
+                                         keygen_seed=seed.to_bytes(8, "big"))
+        self.deployment = self.service.deployment
+        self.client = CustodyClient(self.service, audit_before_use=False)
+        self.messages = WorkloadGenerator(seed).messages(ops)
+        self.all_signers = list(range(1, self.service.num_signers + 1))
+        self.robust = False  # set by the workload driver when faults are active
+
+    def step(self, op_index: int) -> None:
+        transaction = self.client.sign_transaction_failover(self.messages[op_index])
+        if not self.client.verify(transaction):
+            raise ApplicationError("threshold signature did not verify")
+
+    def run_span(self, start: int, count: int) -> list:
+        # Under faults, collect shares from every signer so per-message
+        # failover survives a crashed or compromised domain; on a clean
+        # network the minimal quorum signs (matching the unbatched path,
+        # whose failover also stops after ``threshold`` successes).
+        signers = self.all_signers if self.robust else None
+        return self.client.sign_transactions(self.messages[start:start + count],
+                                             signer_indices=signers)
+
+    def consistency_issues(self) -> list[str]:
+        return []
+
+
+class _OdohAdapter:
+    app = "odoh"
+
+    def __init__(self, seed: int, ops: int):
+        from repro.apps.odoh import ObliviousDnsClient, ObliviousDnsDeployment
+
+        self.names = WorkloadGenerator(seed).dns_queries(ops)
+        self.records = {
+            name: f"10.{index // 250}.{index % 250}.7"
+            for index, name in enumerate(self.names)
+        }
+        self.service = ObliviousDnsDeployment(records=self.records)
+        self.deployment = self.service.deployment
+        self.client = ObliviousDnsClient(self.service, audit_before_use=False)
+        self.resolved = 0
+
+    def _check(self, name: str, response) -> None:
+        if not response.found or response.address != self.records[name]:
+            raise ApplicationError(f"wrong answer for {name!r}")
+        self.resolved += 1
+
+    def step(self, op_index: int) -> None:
+        name = self.names[op_index]
+        self._check(name, self.client.resolve(name))
+
+    def run_span(self, start: int, count: int) -> list:
+        span = self.names[start:start + count]
+        outcomes = self.client.resolve_many(span)
+        for position, outcome in enumerate(outcomes):
+            if isinstance(outcome, Exception):
+                continue
+            try:
+                self._check(span[position], outcome)
+            except ApplicationError as exc:
+                outcomes[position] = exc
+            else:
+                outcomes[position] = True
+        return outcomes
+
+    def consistency_issues(self) -> list[str]:
+        view = self.service.proxy_view()
+        leaked = [item for item in view if not isinstance(item, int)]
+        if leaked:
+            return [f"proxy recorded non-length data: {leaked[:3]!r}"]
+        if len(view) < self.resolved:
+            return [f"proxy view covers {len(view)} queries but {self.resolved} resolved"]
+        return []
+
+
+_ADAPTERS = {
+    adapter.app: adapter
+    for adapter in (_KeyBackupAdapter, _PrioAdapter, _ThresholdSignAdapter, _OdohAdapter)
+}
+
+
+class MultiClientWorkload:
+    """Simulates many concurrent users driving one application over the network.
+
+    Each simulated client contributes ``ops_per_client`` operations; the
+    driver executes them through the application's public client API, either
+    one RPC round trip per request (``batched=False`` — the seed behavior) or
+    through the batched request pipeline (``batched=True``). All traffic
+    crosses the simulated network as framed RPC bytes, so fault rules and
+    scheduled events from the scenario engine apply to it exactly as they do
+    in the scenario matrix.
+
+    Args:
+        app: one of ``keybackup``, ``threshold_sign``, ``prio``, ``odoh``.
+        num_clients: how many simulated users the run models.
+        ops_per_client: operations each user performs.
+        seed: master seed for the workload and the fault randomness.
+        batched: drive the batched pipeline instead of per-op round trips.
+        batch_size: operations per batch in batched mode (client requests are
+            grouped in spans of this size; scheduled events fire at span
+            boundaries rather than between individual ops).
+        rules: probabilistic :class:`~repro.sim.faults.FaultRule` instances.
+        events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
+        rpc_attempts: send attempts per request (retries are safe against the
+            at-most-once servers).
+    """
+
+    def __init__(self, app: str, num_clients: int = 100, ops_per_client: int = 1,
+                 seed: int = 2022, batched: bool = True, batch_size: int = 128,
+                 rules: tuple = (), events: tuple = (), rpc_attempts: int = 3):
+        if app not in _ADAPTERS:
+            raise ValueError(f"unknown workload app {app!r} "
+                             f"(expected one of {sorted(_ADAPTERS)})")
+        if num_clients < 1 or ops_per_client < 1:
+            raise ValueError("a workload needs at least one client and one op")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.app = app
+        self.num_clients = num_clients
+        self.ops_per_client = ops_per_client
+        self.total_ops = num_clients * ops_per_client
+        self.seed = seed
+        self.batched = batched
+        self.batch_size = batch_size
+        self.rules = tuple(rules)
+        self.events = tuple(events)
+        self.rpc_attempts = rpc_attempts
+
+    @classmethod
+    def from_scenario(cls, scenario, num_clients: int = 100,
+                      batched: bool = True, batch_size: int = 128) -> "MultiClientWorkload":
+        """Build a load run from a scenario's fault plan.
+
+        The scenario contributes its application, seed, probabilistic rules,
+        scheduled events, and retry budget; the load harness contributes
+        volume. This is how the PR-1 matrix composes with throughput runs.
+        """
+        return cls(
+            app=scenario.app,
+            num_clients=num_clients,
+            ops_per_client=1,
+            seed=scenario.seed,
+            batched=batched,
+            batch_size=batch_size,
+            rules=scenario.rules,
+            events=scenario.events,
+            rpc_attempts=scenario.rpc_attempts,
+        )
+
+    def run(self) -> WorkloadReport:
+        """Execute the workload and return its report."""
+        from repro.net.latency import lan_profile
+        from repro.net.transport import Network
+        from repro.sim.faults import FaultPlan
+
+        adapter = _ADAPTERS[self.app](self.seed, self.total_ops)
+        adapter.robust = bool(self.rules or self.events)
+        deployment = adapter.deployment
+        network = Network(clock=deployment.clock, default_latency=lan_profile())
+        deployment.route_via_network(network, attempts=self.rpc_attempts)
+        plan = FaultPlan(self.rules, self.events, seed=self.seed + 1)
+        plan.install(network)
+        context = self._event_context(network, deployment, adapter)
+
+        report = WorkloadReport(app=self.app, num_clients=self.num_clients,
+                                ops=self.total_ops, batched=self.batched,
+                                batch_size=self.batch_size if self.batched else 0)
+        sim_started = network.clock.now()
+        wall_started = time.perf_counter()
+        if self.batched:
+            op_index = 0
+            while op_index < self.total_ops:
+                count = min(self.batch_size, self.total_ops - op_index)
+                for event in self.events:
+                    if op_index <= event.at_op < op_index + count:
+                        event.apply(context)
+                outcomes = adapter.run_span(op_index, count)
+                for offset, outcome in enumerate(outcomes):
+                    if isinstance(outcome, Exception):
+                        report.failed += 1
+                        report.failures.append((op_index + offset,
+                                                type(outcome).__name__))
+                    else:
+                        report.succeeded += 1
+                op_index += count
+        else:
+            for op_index in range(self.total_ops):
+                for event in plan.events_at(op_index):
+                    event.apply(context)
+                try:
+                    adapter.step(op_index)
+                except ReproError as exc:
+                    report.failed += 1
+                    report.failures.append((op_index, type(exc).__name__))
+                else:
+                    report.succeeded += 1
+        report.wall_seconds = time.perf_counter() - wall_started
+        report.sim_seconds = network.clock.now() - sim_started
+        report.retries = deployment.rpc_retry_total()
+        deployment.unroute()
+
+        stats = network.stats
+        report.messages_sent = stats.messages_sent
+        report.messages_delivered = stats.messages_delivered
+        report.messages_dropped = stats.messages_dropped
+        report.messages_duplicated = stats.messages_duplicated
+        report.consistency_issues = adapter.consistency_issues()
+        return report
+
+    def _event_context(self, network, deployment, adapter):
+        """A scenario-compatible context so scheduled events can fire here."""
+        from repro.sim.adversary import ScheduledCompromise
+        from repro.sim.scenarios.runner import ScenarioContext
+
+        return ScenarioContext(network, deployment, adapter,
+                               ScheduledCompromise(deployment),
+                               deployment.client_address)

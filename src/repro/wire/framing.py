@@ -40,14 +40,41 @@ class FrameReader:
 
     def __init__(self):
         self._buffer = bytearray()
+        self._failed = False
 
     @property
     def pending_bytes(self) -> int:
         """Number of buffered bytes that do not yet form a complete frame."""
         return len(self._buffer)
 
+    @property
+    def failed(self) -> bool:
+        """Whether the stream hit an unrecoverable framing error (see :meth:`reset`)."""
+        return self._failed
+
+    def reset(self) -> None:
+        """Discard all buffered state and clear the failed flag.
+
+        After an oversized-frame error the stream position is lost (there is
+        no way to know where the next frame starts), so the reader drops its
+        buffer deterministically; ``reset`` re-arms it for a fresh stream.
+        """
+        self._buffer.clear()
+        self._failed = False
+
     def feed(self, chunk: bytes) -> list[bytes]:
-        """Add a chunk of stream data; return any frames completed by it."""
+        """Add a chunk of stream data; return any frames completed by it.
+
+        Raises:
+            DecodingError: a frame header announced an oversized frame, or the
+                reader is in the failed state from a previous oversized frame.
+                The poisoned buffer is discarded (once desynchronized, the
+                stream cannot be re-framed), so the error is reported
+                deterministically instead of re-raising over stale bytes;
+                call :meth:`reset` to reuse the reader for a new stream.
+        """
+        if self._failed:
+            raise DecodingError("frame stream previously failed; reset() to reuse the reader")
         self._buffer.extend(chunk)
         frames = []
         while True:
@@ -55,6 +82,8 @@ class FrameReader:
                 break
             length = int.from_bytes(self._buffer[:4], "big")
             if length > MAX_FRAME_SIZE:
+                self._buffer.clear()
+                self._failed = True
                 raise DecodingError("incoming frame exceeds maximum size")
             if len(self._buffer) < 4 + length:
                 break

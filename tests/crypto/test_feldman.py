@@ -78,3 +78,39 @@ class TestFeldmanSerialization:
         encoded = vss.split(1)[0].to_bytes()
         with pytest.raises(SecretSharingError):
             FeldmanShare.from_bytes(encoded[:40])
+
+
+class TestBatchVerification:
+    def test_verify_shares_matches_individual_verification(self):
+        vss = FeldmanVSS(3, 10)
+        shares = vss.split(123456789)
+        assert vss.verify_shares(shares) == [True] * 10
+
+    def test_tampered_share_flagged_in_batch(self):
+        from repro.crypto.shamir import Share
+
+        vss = FeldmanVSS(2, 9)
+        shares = vss.split(42)
+        bad = FeldmanShare(Share(shares[3].share.index, shares[3].share.value + 1),
+                           shares[3].commitments)
+        batch = shares[:3] + [bad] + shares[4:]
+        verdicts = vss.verify_shares(batch)
+        assert verdicts[3] is False
+        assert sum(verdicts) == len(batch) - 1
+
+    def test_small_batch_skips_precomputation_but_agrees(self):
+        vss = FeldmanVSS(2, 3)
+        shares = vss.split(7)
+        assert vss.verify_shares(shares) == [True, True, True]
+
+    def test_mixed_dealings_rejected(self):
+        from repro.errors import SecretSharingError
+
+        vss = FeldmanVSS(2, 3)
+        first = vss.split(1)
+        second = vss.split(2)
+        with pytest.raises(SecretSharingError):
+            vss.verify_shares([first[0], second[1]])
+
+    def test_empty_batch(self):
+        assert FeldmanVSS(2, 3).verify_shares([]) == []

@@ -117,3 +117,49 @@ def test_property_scalar_homomorphism(a, b):
     left = SECP256K1.generator_multiply(a * b % N)
     right = SECP256K1.multiply(SECP256K1.generator_multiply(a), b)
     assert left == right
+
+
+class TestFixedBaseTable:
+    def test_generator_table_matches_plain_multiply(self):
+        for scalar in (1, 2, 3, 15, 16, 17, 0xDEADBEEF, N - 1, N + 5, 2**255 + 321):
+            assert SECP256K1.generator_multiply(scalar) == SECP256K1.multiply(
+                SECP256K1.generator, scalar
+            )
+
+    def test_zero_scalar_gives_infinity(self):
+        assert SECP256K1.generator_multiply(0).is_infinity
+        assert SECP256K1.generator_multiply(N).is_infinity
+
+    def test_precomputed_arbitrary_point(self):
+        from repro.crypto.secp256k1 import FixedBaseTable
+
+        point = SECP256K1.generator_multiply(0x1234567)
+        table = SECP256K1.precompute(point)
+        for scalar in (1, 2, 255, 256, N - 2, 2**200 + 9):
+            assert table.multiply(scalar) == SECP256K1.multiply(point, scalar)
+
+    def test_window_widths_agree(self):
+        from repro.crypto.secp256k1 import FixedBaseTable
+
+        point = SECP256K1.generator
+        scalar = 0xA5A5A5A5A5A5A5A5A5A5A5A5
+        expected = SECP256K1.multiply(point, scalar)
+        for window in (1, 2, 4, 6):
+            assert FixedBaseTable(SECP256K1, point, window=window).multiply(scalar) == expected
+
+    def test_rejects_bad_parameters(self):
+        from repro.crypto.secp256k1 import INFINITY, FixedBaseTable
+        from repro.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            FixedBaseTable(SECP256K1, SECP256K1.generator, window=0)
+        with pytest.raises(CryptoError):
+            FixedBaseTable(SECP256K1, INFINITY)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scalar=st.integers(min_value=1, max_value=N - 1))
+def test_property_table_multiply_matches_double_and_add(scalar):
+    assert SECP256K1.generator_multiply(scalar) == SECP256K1.multiply(
+        SECP256K1.generator, scalar
+    )

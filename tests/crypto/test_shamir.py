@@ -145,3 +145,60 @@ def test_property_any_threshold_subset_reconstructs(secret, data):
     shares = scheme.split(secret)
     subset = data.draw(st.permutations(shares))[:3]
     assert scheme.reconstruct(subset) == secret
+
+
+class TestShareEncodingErrors:
+    def test_oversized_value_raises_secret_sharing_error(self):
+        from repro.errors import SecretSharingError
+
+        share = Share(1, 2**300)
+        with pytest.raises(SecretSharingError):
+            share.to_bytes(byte_length=32)
+
+    def test_oversized_index_raises_secret_sharing_error(self):
+        from repro.errors import SecretSharingError
+
+        share = Share(2**40, 7)
+        with pytest.raises(SecretSharingError):
+            share.to_bytes()
+
+    def test_fitting_share_still_round_trips(self):
+        share = Share(3, 2**255 - 19)
+        assert Share.from_bytes(share.to_bytes()) == share
+
+
+class TestBatchEvaluation:
+    def test_horner_evaluate_many_matches_single_evaluation(self):
+        from repro.crypto.shamir import horner_evaluate_many
+
+        modulus = 2**61 - 1
+        coefficients = [12345, 678, 910, 11, 213141]
+        xs = list(range(1, 40))
+        expected = [
+            sum(c * pow(x, k, modulus) for k, c in enumerate(coefficients)) % modulus
+            for x in xs
+        ]
+        assert horner_evaluate_many(coefficients, xs, modulus) == expected
+
+    def test_split_many_round_trips_each_secret(self):
+        scheme = ShamirSecretSharing(3, 5)
+        secrets_list = [0, 1, 2**200 + 17, 999]
+        share_lists = scheme.split_many(secrets_list)
+        assert len(share_lists) == len(secrets_list)
+        for secret, shares in zip(secrets_list, share_lists):
+            assert scheme.reconstruct(shares[:3]) == secret
+
+    def test_split_many_uses_independent_polynomials(self):
+        scheme = ShamirSecretSharing(2, 3)
+        first, second = scheme.split_many([42, 42])
+        assert [s.value for s in first] != [s.value for s in second]
+
+    def test_reconstruct_with_extra_shares_still_checks_consistency(self):
+        scheme = ShamirSecretSharing(2, 4)
+        shares = scheme.split(777)
+        assert scheme.reconstruct(shares) == 777
+        from repro.errors import SecretSharingError
+
+        tampered = shares[:2] + [Share(shares[2].index, shares[2].value + 1)]
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct(tampered)

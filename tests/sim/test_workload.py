@@ -1,0 +1,128 @@
+"""Tests for the multi-client workload driver and its scenario-engine composition."""
+
+import pytest
+
+from repro.sim import MultiClientWorkload
+from repro.sim.faults import (
+    CrashParty,
+    DropFault,
+    DuplicateFault,
+    RecoverParty,
+    ReorderFault,
+)
+from repro.sim.scenarios.matrix import default_matrix
+
+APPS = ("keybackup", "prio", "threshold_sign", "odoh")
+
+
+def run_small(app: str, batched: bool, **kwargs):
+    ops = 4 if app == "threshold_sign" else 24
+    return MultiClientWorkload(app, num_clients=ops, ops_per_client=1,
+                               batched=batched, batch_size=8,
+                               rpc_attempts=kwargs.pop("rpc_attempts", 1),
+                               **kwargs).run()
+
+
+class TestCleanNetworkRuns:
+    @pytest.mark.parametrize("app", APPS)
+    def test_batched_run_succeeds_and_stays_consistent(self, app):
+        report = run_small(app, batched=True)
+        assert report.succeeded == report.ops, report.failures[:3]
+        assert report.consistent, report.consistency_issues
+        assert report.ops_per_sec > 0
+
+    @pytest.mark.parametrize("app", ["prio", "odoh"])
+    def test_unbatched_run_succeeds(self, app):
+        report = run_small(app, batched=False)
+        assert report.succeeded == report.ops
+        assert report.consistent
+
+    def test_batching_collapses_message_count(self):
+        batched = run_small("prio", batched=True)
+        unbatched = run_small("prio", batched=False)
+        assert batched.messages_sent < unbatched.messages_sent / 3
+
+    def test_report_format_mentions_mode_and_throughput(self):
+        report = run_small("prio", batched=True)
+        text = report.format()
+        assert "batched" in text and "ops/sec" in text
+        assert report.to_dict()["consistent"] is True
+
+    def test_rejects_unknown_app_and_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MultiClientWorkload("nope")
+        with pytest.raises(ValueError):
+            MultiClientWorkload("prio", num_clients=0)
+        with pytest.raises(ValueError):
+            MultiClientWorkload("prio", batch_size=0)
+
+
+class TestFaultComposition:
+    def test_lossy_network_with_retries_stays_exact(self):
+        report = MultiClientWorkload(
+            "prio", num_clients=60, batched=True, batch_size=16,
+            rules=(DropFault(probability=0.05),
+                   DuplicateFault(probability=0.2, copies=1),
+                   ReorderFault(probability=0.3, max_delay_s=0.01)),
+            rpc_attempts=5,
+        ).run()
+        # Retries against at-most-once servers absorb the faults; whatever
+        # was accepted must aggregate exactly (or the servers must refuse).
+        assert report.consistent, report.consistency_issues
+        assert report.success_rate >= 0.9
+        assert report.retries > 0 or report.messages_dropped == 0
+
+    def test_scheduled_crash_and_recovery_compose_with_batches(self):
+        report = MultiClientWorkload(
+            "keybackup", num_clients=24, batched=True, batch_size=8,
+            events=(CrashParty(at_op=8, party="domain:3"),
+                    RecoverParty(at_op=16, party="domain:3")),
+            rpc_attempts=2,
+        ).run()
+        # A backup must reach every domain, so ops in the outage window fail
+        # cleanly; liveness returns with the recovery, and nothing torn leaks
+        # into the end state.
+        failed_ops = {op_index for op_index, _ in report.failures}
+        assert failed_ops == set(range(8, 16)), sorted(failed_ops)
+        assert report.succeeded == report.ops - 8
+        assert report.consistent
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_from_scenario_composes_matrix_faults_with_load(self, batched):
+        scenario = next(s for s in default_matrix()
+                        if s.name == "keybackup-lossy-network")
+        workload = MultiClientWorkload.from_scenario(scenario, num_clients=20,
+                                                     batched=batched, batch_size=8)
+        assert workload.app == scenario.app
+        assert workload.rules == scenario.rules
+        report = workload.run()
+        assert report.success_rate >= scenario.min_success_rate - 0.15
+        assert report.consistent, report.consistency_issues
+
+    def test_duplicate_storm_does_not_double_apply(self):
+        scenario = next(s for s in default_matrix()
+                        if s.name == "sign-duplicate-storm")
+        report = MultiClientWorkload.from_scenario(scenario, num_clients=3,
+                                                   batched=True, batch_size=2).run()
+        assert report.succeeded == report.ops, report.failures[:3]
+        assert report.consistent
+
+
+class TestBatchSigningProvenance:
+    def test_signer_indices_reflect_actual_signers_under_crash(self):
+        """Regression: a crashed signer must not be reported as a signer."""
+        from repro.net.latency import lan_profile
+        from repro.net.transport import Network
+        from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
+
+        service = CustodyDeployment(threshold=2, num_signers=3,
+                                    keygen_seed=b"provenan")
+        network = Network(clock=service.deployment.clock,
+                          default_latency=lan_profile())
+        service.deployment.route_via_network(network, attempts=1)
+        network.crash(service.deployment.domains[1].domain_id)
+        client = CustodyClient(service, audit_before_use=False)
+        [transaction] = client.sign_transactions([b"tx"],
+                                                 signer_indices=[1, 2, 3])
+        assert transaction.signer_indices == (2, 3)
+        assert client.verify(transaction)

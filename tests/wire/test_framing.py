@@ -63,3 +63,38 @@ def test_property_reassembly_from_arbitrary_chunking(payloads, data):
         position += step
     assert received == payloads
     assert reader.pending_bytes == 0
+
+
+class TestFrameReaderFailureState:
+    """An oversized frame must fail deterministically, not poison the buffer."""
+
+    def test_oversized_frame_clears_buffer(self):
+        from repro.wire.framing import MAX_FRAME_SIZE
+
+        reader = FrameReader()
+        bad_header = (MAX_FRAME_SIZE + 1).to_bytes(4, "big") + b"xxxx"
+        with pytest.raises(DecodingError):
+            reader.feed(bad_header)
+        assert reader.pending_bytes == 0
+        assert reader.failed
+
+    def test_feed_after_failure_raises_deterministically(self):
+        from repro.wire.framing import MAX_FRAME_SIZE
+
+        reader = FrameReader()
+        with pytest.raises(DecodingError):
+            reader.feed((MAX_FRAME_SIZE + 1).to_bytes(4, "big"))
+        # Before the fix the stale buffer re-raised on every feed forever;
+        # now the failed state is explicit and the message says what to do.
+        with pytest.raises(DecodingError, match="reset"):
+            reader.feed(frame_message(b"ok"))
+
+    def test_reset_rearms_the_reader(self):
+        from repro.wire.framing import MAX_FRAME_SIZE
+
+        reader = FrameReader()
+        with pytest.raises(DecodingError):
+            reader.feed((MAX_FRAME_SIZE + 1).to_bytes(4, "big"))
+        reader.reset()
+        assert not reader.failed
+        assert reader.feed(frame_message(b"fresh")) == [b"fresh"]
