@@ -1,16 +1,27 @@
-"""Throughput baseline: the batched request pipeline vs the unbatched seed path.
+"""Throughput baselines: batching vs the seed path, and shard scaling.
 
-Every app is driven by the multi-client workload harness twice — once issuing
-one RPC round trip per operation (the seed behavior) and once through the
-batched pipeline (``call_many`` + ``invoke_many`` + the EC fast path) — and
-the resulting ops/sec land in ``BENCH_throughput.json`` at the repository
-root, so future performance work has a trajectory to beat.
+Two series land in ``BENCH_throughput.json`` at the repository root:
 
-Each measurement is the best of ``REPEATS`` runs (standard practice for
-throughput numbers: the minimum-interference run is the one that reflects the
-code, not the machine). Set ``THROUGHPUT_SMOKE=1`` for a seconds-fast smoke
-run with small operation counts — CI uses this mode to publish the JSON as a
-workflow artifact without slowing the pipeline.
+* **batched vs unbatched** — every app driven by the multi-client workload
+  harness once issuing one RPC round trip per operation (the seed behavior)
+  and once through the batched pipeline (``call_many`` + ``invoke_many`` +
+  the EC fast path).
+* **sharded** — keybackup and prio driven through the service plane
+  (:mod:`repro.service`) at 1 and 4 shards with a serial per-request service
+  time installed on every trust domain, comparing *simulated* aggregate
+  throughput. The simulator is single-threaded, so wall time cannot show
+  shard parallelism; sim time can, and only because scatter puts every
+  shard's payload on the wire before pumping the network (see
+  docs/architecture.md for the capacity model).
+
+Assertions here are **deterministic**: they compare simulated-time ratios and
+message counts, which depend only on protocol structure, never on container
+CPU contention — so they are safe to enforce in CI smoke mode too. Wall-clock
+throughput is still measured (best of ``REPEATS`` runs) and recorded for the
+trajectory, but not asserted: under a noisy scheduler a wall ratio is a fact
+about the machine, not the code. Set ``THROUGHPUT_SMOKE=1`` for a
+seconds-fast smoke run with small operation counts — CI uses this mode to
+publish the JSON as a workflow artifact without slowing the pipeline.
 """
 
 from __future__ import annotations
@@ -34,21 +45,33 @@ OPS = (
     {"keybackup": 500, "prio": 1000, "threshold_sign": 24, "odoh": 150}
 )
 
+# The sharded series: apps whose batch paths are dominated by per-request
+# server work, which is exactly what sharding parallelizes. 500µs per request
+# keeps the service queue (the thing shards multiply) dominant over the
+# per-payload vsock forwarding cost that stays serialized on the shared
+# simulated clock.
+SHARD_APPS = ("keybackup", "prio")
+SHARD_COUNT = 4
+SERVICE_TIME = 500e-6
+
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            os.pardir, "BENCH_throughput.json")
 
 _RESULTS: dict[str, dict] = {}
+_SHARDED: dict[str, dict] = {}
 
 
-def _measure(app: str, batched: bool) -> dict:
+def _measure(app: str, batched: bool, shards: int = 1,
+             service_time: float = 0.0) -> dict:
     best = None
     for repeat in range(REPEATS):
         report = MultiClientWorkload(
             app, num_clients=OPS[app], ops_per_client=1, seed=2022 + repeat,
-            batched=batched, batch_size=BATCH_SIZE, rpc_attempts=1,
+            batched=batched, batch_size=BATCH_SIZE, shards=shards,
+            service_time=service_time, rpc_attempts=1,
         ).run()
         assert report.succeeded == report.ops, (
-            f"{app} ({'batched' if batched else 'unbatched'}): "
+            f"{app} ({'batched' if batched else 'unbatched'}, {shards} shards): "
             f"{report.failed} operations failed: {report.failures[:3]}"
         )
         assert report.consistent, report.consistency_issues
@@ -60,39 +83,73 @@ def _measure(app: str, batched: bool) -> dict:
         "wall_seconds": round(best.wall_seconds, 4),
         "messages_sent": best.messages_sent,
         "sim_seconds": round(best.sim_seconds, 6),
+        "sim_ops_per_sec": round(best.sim_ops_per_sec, 1),
     }
 
 
 @pytest.mark.parametrize("app", list(OPS))
 def test_throughput_app(app):
-    """Measure one app in both modes; the batched pipeline must never lose."""
+    """Measure one app in both modes; batching must win deterministically.
+
+    The asserted ratio is the *simulated-time* speedup — round trips
+    collapsed per operation — which is a pure function of the protocol.
+    The wall-clock speedup is recorded for the trajectory but not asserted
+    (the 5x wall bar used to fail ~1-in-3 under container CPU contention).
+    """
     unbatched = _measure(app, batched=False)
     batched = _measure(app, batched=True)
-    speedup = batched["ops_per_sec"] / unbatched["ops_per_sec"]
+    sim_speedup = batched["sim_ops_per_sec"] / unbatched["sim_ops_per_sec"]
     _RESULTS[app] = {
         "unbatched": unbatched,
         "batched": batched,
-        "speedup": round(speedup, 2),
+        "speedup": round(batched["ops_per_sec"] / unbatched["ops_per_sec"], 2),
+        "sim_speedup": round(sim_speedup, 2),
     }
-    # Batching must collapse message counts: that is its mechanism, and the
-    # check is deterministic (safe for the smoke-mode CI run).
+    # Batching must collapse message counts — that is its mechanism — and
+    # fewer round trips must show up as simulated time saved. Both checks are
+    # deterministic (safe for the smoke-mode CI run).
     assert batched["messages_sent"] < unbatched["messages_sent"]
-    if not SMOKE:
-        # With full operation counts, the pipeline must also help in
-        # wall-clock terms (or at worst roughly tie, for the crypto/VM-bound
-        # apps). Smoke mode skips this: tiny counts make ratios noise-bound.
-        assert speedup > 0.7, (
-            f"{app}: batched pipeline slower than seed path ({speedup:.2f}x)"
-        )
+    assert sim_speedup > 1.0, (
+        f"{app}: batched pipeline saved no simulated time ({sim_speedup:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("app", SHARD_APPS)
+def test_sharded_throughput_app(app):
+    """4 shards must clear 2x the 1-shard simulated throughput.
+
+    Expect ~3x, not 4x: consistent hashing imbalances a finite keyspace and
+    the slowest shard gates every scattered batch layer. The comparison is
+    sim-deterministic (same seed, same ring), so it is asserted even in
+    smoke mode.
+    """
+    one = _measure(app, batched=True, shards=1, service_time=SERVICE_TIME)
+    many = _measure(app, batched=True, shards=SHARD_COUNT,
+                    service_time=SERVICE_TIME)
+    scaling = many["sim_ops_per_sec"] / one["sim_ops_per_sec"]
+    _SHARDED[app] = {
+        "one_shard": one,
+        "sharded": many,
+        "shards": SHARD_COUNT,
+        "service_time": SERVICE_TIME,
+        "sim_scaling": round(scaling, 2),
+    }
+    assert scaling >= 2.0, (
+        f"{app}: {SHARD_COUNT} shards reached only {scaling:.2f}x the "
+        f"single-shard simulated throughput"
+    )
 
 
 def test_write_throughput_baseline():
     """Aggregate the per-app results into BENCH_throughput.json."""
     missing = [app for app in OPS if app not in _RESULTS]
+    missing += [app for app in SHARD_APPS if app not in _SHARDED]
     if missing:
         pytest.skip(f"per-app measurements did not run for {missing}")
     fast_apps = sorted(app for app, result in _RESULTS.items()
-                       if result["speedup"] >= 5.0)
+                       if result["sim_speedup"] >= 5.0)
+    scaling_apps = sorted(app for app, result in _SHARDED.items()
+                          if result["sim_scaling"] >= 2.0)
     baseline = {
         "benchmark": "throughput",
         "smoke": SMOKE,
@@ -101,14 +158,20 @@ def test_write_throughput_baseline():
         "rpc_attempts": 1,
         "apps": _RESULTS,
         "apps_with_5x_speedup": fast_apps,
+        "sharded": _SHARDED,
+        "apps_with_2x_shard_scaling": scaling_apps,
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    if not SMOKE:
-        # The acceptance bar for the batched pipeline: at least two of the
-        # four applications clear 5x over the unbatched seed path.
-        assert len(fast_apps) >= 2, (
-            f"only {fast_apps} reached a 5x batched speedup: "
-            f"{ {app: result['speedup'] for app, result in _RESULTS.items()} }"
-        )
+    # Acceptance bars, both sim-deterministic and therefore enforced in every
+    # mode: the batched pipeline keeps its 5x win for at least two apps, and
+    # the sharded series scales keybackup and prio at least 2x at 4 shards.
+    assert len(fast_apps) >= 2, (
+        f"only {fast_apps} reached a 5x batched sim speedup: "
+        f"{ {app: result['sim_speedup'] for app, result in _RESULTS.items()} }"
+    )
+    assert set(SHARD_APPS) <= set(scaling_apps), (
+        f"shard scaling below 2x for { set(SHARD_APPS) - set(scaling_apps) }: "
+        f"{ {app: result['sim_scaling'] for app, result in _SHARDED.items()} }"
+    )

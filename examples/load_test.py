@@ -1,8 +1,14 @@
-"""Multi-client load runs: the batched pipeline vs the seed path, with faults.
+"""Multi-client load runs on the service plane: batching, sharding, faults.
 
-Drives every application with the multi-client workload harness and prints a
-throughput report per mode, then composes a load run with fault rules from the
-PR-1 scenario taxonomy to show that volume and adversarial conditions stack.
+Three sweeps, all through `repro.sim.MultiClientWorkload` (which drives the
+apps' public clients over the simulated network):
+
+1. the batched pipeline vs the one-RPC-per-op seed path, per app;
+2. horizontal sharding: the same batched workload at 1 vs 4 shards with a
+   serial per-request service time on every trust domain, compared in
+   *simulated* throughput (the deterministic capacity number — see
+   docs/architecture.md for why wall-clock cannot show shard parallelism);
+3. load composed with fault rules from the PR-1 scenario taxonomy.
 
 Run with::
 
@@ -15,6 +21,12 @@ from repro.sim.faults import DropFault, DuplicateFault, ReorderFault
 # Small enough to finish in seconds; BENCH_throughput.json is the real
 # baseline (benchmarks/test_throughput.py measures with bigger counts).
 OPS = {"keybackup": 100, "prio": 200, "threshold_sign": 6, "odoh": 40}
+
+# The sharded sweep matches the benchmark's capacity model: 500 µs of serial
+# service time per request makes each domain a busy-until queue, which is
+# what sharding parallelizes.
+SHARDED_APPS = ("keybackup", "prio")
+SERVICE_TIME = 500e-6
 
 
 def main() -> None:
@@ -31,7 +43,21 @@ def main() -> None:
         speedup = reports[True].ops_per_sec / max(reports[False].ops_per_sec, 1e-9)
         for report in reports.values():
             print(report.format())
-        print(f"  => batched speedup: {speedup:.2f}x")
+        print(f"  => batched speedup: {speedup:.2f}x wall, "
+              f"{reports[True].sim_ops_per_sec / reports[False].sim_ops_per_sec:.1f}x sim")
+        print("-" * 64)
+
+    print("horizontal sharding: 4 shards vs 1, simulated aggregate throughput")
+    for app in SHARDED_APPS:
+        reports = {}
+        for shards in (1, 4):
+            reports[shards] = MultiClientWorkload(
+                app, num_clients=OPS[app], ops_per_client=1, batched=True,
+                shards=shards, service_time=SERVICE_TIME, rpc_attempts=1,
+            ).run()
+            print(reports[shards].format())
+        scaling = reports[4].sim_ops_per_sec / reports[1].sim_ops_per_sec
+        print(f"  => shard scaling: {scaling:.2f}x sim throughput at 4 shards")
         print("-" * 64)
 
     print("load + faults: 5% loss, duplication, reordering, 300 prio clients")

@@ -9,17 +9,24 @@ enclave-backed domains live in isolated memory the developer cannot read.
 The sandboxed application code (``KEY_BACKUP_APP_SOURCE``) is deliberately
 simple — store a share, return it on request, delete on request — because the
 interesting guarantees come from the framework around it, not from the app.
+
+The deployment is declared as a :class:`~repro.service.ServiceSpec` and can
+be horizontally sharded (``shards=N``): users are placed on shards by
+consistent hashing of their user id, each shard being a full trust-domain
+deployment holding that user's ``num_domains`` shares. The client is a thin
+adapter over :class:`~repro.service.ServiceClient` — the session facade owns
+audit-before-use, failover, and batch scatter; this module owns the Shamir
+crypto and the per-user bookkeeping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.client import AuditingClient
-from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.shamir import Share, ShamirSecretSharing
 from repro.errors import ApplicationError, MisbehaviorDetected, ReproError
+from repro.service import PackageBinding, ServiceClient, ServiceSpec
 from repro.sim.adversary import DeveloperCompromise
 
 __all__ = ["KEY_BACKUP_APP_SOURCE", "KeyBackupDeployment", "KeyBackupClient"]
@@ -61,29 +68,42 @@ class KeyBackupDeployment:
     """The developer-side of the key-backup service."""
 
     def __init__(self, developer: DeveloperIdentity | None = None, num_domains: int = 3,
-                 threshold: int | None = None):
+                 threshold: int | None = None, shards: int = 1):
         if num_domains < 2:
             raise ApplicationError("key backup needs at least two trust domains")
         self.developer = developer or DeveloperIdentity("key-backup-developer")
-        self.deployment = Deployment(
-            APP_NAME, self.developer, DeploymentConfig(num_domains=num_domains)
-        )
         self.threshold = threshold if threshold is not None else num_domains
         if not 2 <= self.threshold <= num_domains:
             raise ApplicationError("reconstruction threshold must be between 2 and num_domains")
         package = CodePackage(APP_NAME, APP_VERSION, "python", KEY_BACKUP_APP_SOURCE)
-        self.deployment.publish_and_install(package)
+        self.spec = ServiceSpec(
+            name=APP_NAME,
+            packages=(PackageBinding(package),),
+            domains_per_shard=num_domains,
+            shard_count=shards,
+            threshold=self.threshold,
+        )
+        self.plane = self.spec.synthesize(self.developer)
+        # Legacy surface: shard 0's deployment, exactly what pre-service-plane
+        # code (tests, scenario drivers, examples) held as `.deployment`.
+        self.deployment = self.plane.primary
 
     @property
     def num_domains(self) -> int:
-        """Number of trust domains holding shares."""
-        return len(self.deployment.domains)
+        """Number of trust domains holding shares (per shard)."""
+        return self.plane.domains_per_shard
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards carrying the user keyspace."""
+        return self.plane.num_shards
 
     def simulate_developer_compromise(self) -> dict:
         """Run the Figure 1 attack: how many shares can a compromised developer read?
 
         Returns a summary with the number of breached domains and whether the
-        attacker could reconstruct any user's key.
+        attacker could reconstruct any user's key. (The attack targets shard
+        0; every shard is an identical deployment, so the result generalizes.)
         """
         adversary = DeveloperCompromise(self.deployment)
         outcome = adversary.attempt_memory_extraction(keys=["shares"])
@@ -109,7 +129,12 @@ class KeyBackupClient:
 
     def __init__(self, service: KeyBackupDeployment, audit_before_use: bool = True):
         self.service = service
-        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        # Key backup re-audits before *every* operation that touches secrets.
+        self.session = ServiceClient(
+            service.plane,
+            audit_policy="always" if audit_before_use else "never",
+        )
+        self.auditing_client = self.session.auditing_client
         self.audit_before_use = audit_before_use
         self.sharing = ShamirSecretSharing(service.threshold, service.num_domains)
 
@@ -117,19 +142,22 @@ class KeyBackupClient:
     # Audit
     # ------------------------------------------------------------------
     def audit(self):
-        """Audit the deployment; raises :class:`MisbehaviorDetected` on failure."""
-        return self.auditing_client.audit_or_raise(self.service.deployment)
+        """Audit the deployment; raises :class:`MisbehaviorDetected` on failure.
+
+        Every shard is audited; a single-shard service returns its one report
+        (the legacy shape), a sharded one returns the list of reports.
+        """
+        return self.session.audit_compat()
 
     # ------------------------------------------------------------------
     # Backup / recovery
     # ------------------------------------------------------------------
     def backup_key(self, user_id: str, secret_key: int | bytes) -> BackupReceipt:
         """Split ``secret_key`` and store one share in every trust domain."""
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint(user_id)
         shares = self.sharing.split(secret_key)
         for domain_index, share in enumerate(shares):
-            result = self.service.deployment.invoke(domain_index, "store_share", {
+            result = self.session.invoke(user_id, domain_index, "store_share", {
                 "user": user_id,
                 "index": share.index,
                 "value": share.value,
@@ -141,8 +169,7 @@ class KeyBackupClient:
 
     def recover_key(self, user_id: str, domain_indices: list[int] | None = None) -> int:
         """Recover the key from any ``threshold`` trust domains."""
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint(user_id)
         if domain_indices is None:
             domain_indices = list(range(self.service.threshold))
         if len(domain_indices) < self.service.threshold:
@@ -151,8 +178,8 @@ class KeyBackupClient:
             )
         shares = []
         for domain_index in domain_indices:
-            response = self.service.deployment.invoke(domain_index, "fetch_share",
-                                                      {"user": user_id})["value"]
+            response = self.session.invoke(user_id, domain_index, "fetch_share",
+                                           {"user": user_id})["value"]
             if not response["found"]:
                 raise ApplicationError(f"domain {domain_index} has no share for {user_id!r}")
             shares.append(Share(response["index"], response["value"]))
@@ -161,30 +188,30 @@ class KeyBackupClient:
     def recover_key_any(self, user_id: str) -> int:
         """Recover the key from whichever ``threshold`` domains are reachable.
 
-        Tries every trust domain in order and reconstructs from the first
-        ``threshold`` that answer with a share, so recovery survives crashed,
-        partitioned, or compromised domains as long as a threshold remains.
+        Tries every trust domain (on the user's shard) in order and
+        reconstructs from the first ``threshold`` that answer with a share, so
+        recovery survives crashed, partitioned, or compromised domains as long
+        as a threshold remains.
 
         Raises:
             ApplicationError: fewer than ``threshold`` domains produced a share.
         """
-        if self.audit_before_use:
-            self.audit()
-        shares = []
-        for domain_index in range(self.service.num_domains):
-            try:
-                response = self.service.deployment.invoke(domain_index, "fetch_share",
-                                                          {"user": user_id})["value"]
-            except ReproError:
-                continue  # unreachable or refusing domain; try the next one
-            if response["found"]:
-                shares.append(Share(response["index"], response["value"]))
-            if len(shares) == self.service.threshold:
-                return self.sharing.reconstruct(shares)
-        raise ApplicationError(
-            f"only {len(shares)} of the required {self.service.threshold} domains "
-            f"produced a share for {user_id!r}"
+        self.session.checkpoint(user_id)
+        answers = self.session.invoke_failover(
+            user_id, range(self.service.num_domains), "fetch_share",
+            {"user": user_id},
+            need=self.service.threshold,
+            accept=lambda result: result["value"]["found"],
         )
+        if len(answers) < self.service.threshold:
+            raise ApplicationError(
+                f"only {len(answers)} of the required {self.service.threshold} domains "
+                f"produced a share for {user_id!r}"
+            )
+        return self.sharing.reconstruct([
+            Share(result["value"]["index"], result["value"]["value"])
+            for _, result in answers
+        ])
 
     # ------------------------------------------------------------------
     # Batch backup / recovery (the high-throughput pipeline)
@@ -192,90 +219,103 @@ class KeyBackupClient:
     def backup_keys(self, items: list[tuple[str, int | bytes]]) -> list:
         """Back up many ``(user_id, secret_key)`` pairs in one batched sweep.
 
-        All secrets are split in one Horner sweep per polynomial, and each
-        trust domain receives its shares as a single batched request instead
-        of one round trip per user. Returns one outcome per item, in order:
-        a :class:`BackupReceipt`, or an :class:`ApplicationError` instance
-        for a user whose share could not be stored everywhere (failures are
-        isolated per user, not per batch).
+        All secrets are split in one Horner sweep per polynomial, and the
+        whole batch is scattered in one shot: every ``(shard, domain)`` pair
+        receives its slice as a single batched request, all payloads on the
+        wire before the network runs, so shards (and domains) serve
+        concurrently in simulated time. Returns one outcome per item, in
+        order: a :class:`BackupReceipt`, or an :class:`ApplicationError`
+        instance for a user whose share could not be stored everywhere
+        (failures are isolated per user, not per batch).
         """
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint()
         if not items:
             return []
         share_lists = self.sharing.split_many([secret for _, secret in items])
-        failures: dict[int, ApplicationError] = {}
-        for domain_index in range(self.service.num_domains):
-            calls = [
-                ("store_share", {
+        num_domains = self.service.num_domains
+        calls = []
+        for (user_id, _), shares in zip(items, share_lists):
+            for domain_index in range(num_domains):
+                calls.append((user_id, domain_index, "store_share", {
                     "user": user_id,
                     "index": shares[domain_index].index,
                     "value": shares[domain_index].value,
-                })
-                for (user_id, _), shares in zip(items, share_lists)
-            ]
-            results = self.service.deployment.invoke_batch(domain_index, calls)
-            for position, result in enumerate(results):
-                if position in failures:
-                    continue
-                if isinstance(result, Exception):
-                    failures[position] = ApplicationError(
-                        f"domain {domain_index} failed to store a share for "
-                        f"{items[position][0]!r}: {result}"
-                    )
-                elif not result["value"]["stored"]:
-                    failures[position] = ApplicationError(
-                        f"domain {domain_index} refused to store a share for "
-                        f"{items[position][0]!r}"
-                    )
+                }))
+        results = self.session.scatter(calls)
         outcomes = []
         for position, (user_id, _) in enumerate(items):
-            outcomes.append(failures.get(position) or BackupReceipt(
+            failure = None
+            for domain_index in range(num_domains):
+                result = results[position * num_domains + domain_index]
+                if isinstance(result, Exception):
+                    failure = ApplicationError(
+                        f"domain {domain_index} failed to store a share for "
+                        f"{user_id!r}: {result}"
+                    )
+                    break
+                if not result["value"]["stored"]:
+                    failure = ApplicationError(
+                        f"domain {domain_index} refused to store a share for "
+                        f"{user_id!r}"
+                    )
+                    break
+            outcomes.append(failure or BackupReceipt(
                 user_id=user_id, threshold=self.service.threshold,
-                num_domains=self.service.num_domains,
+                num_domains=num_domains,
             ))
         return outcomes
 
     def recover_keys(self, user_ids: list[str]) -> list:
-        """Recover many users' keys with one batched request per trust domain.
+        """Recover many users' keys in one scattered sweep per domain wave.
 
-        Walks the domains in order, asking each — in a single batch — only
-        for the users that still lack a threshold of shares, so the happy
-        path costs ``threshold`` batched round trips total. Returns one
-        outcome per user, in order: the recovered integer key, or an
-        :class:`ApplicationError` instance when fewer than ``threshold``
-        domains produced a share.
+        The happy path asks the first ``threshold`` domains for *every* user
+        in a single scatter; only users still short of a threshold after that
+        wave walk the remaining domains. Returns one outcome per user, in
+        order: the recovered integer key, or an :class:`ApplicationError`
+        instance when fewer than ``threshold`` domains produced a share.
         """
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint()
+        threshold = self.service.threshold
+        num_domains = self.service.num_domains
         shares_per_user: list[list[Share]] = [[] for _ in user_ids]
-        remaining = list(range(len(user_ids)))
-        for domain_index in range(self.service.num_domains):
+
+        def ask(positions: list[int], domain_indices: list[int]) -> None:
+            calls = [(user_ids[position], domain_index, "fetch_share",
+                      {"user": user_ids[position]})
+                     for position in positions for domain_index in domain_indices]
+            results = self.session.scatter(calls)
+            cursor = 0
+            for position in positions:
+                for _ in domain_indices:
+                    result = results[cursor]
+                    cursor += 1
+                    if not isinstance(result, Exception) and result["value"]["found"]:
+                        shares_per_user[position].append(
+                            Share(result["value"]["index"], result["value"]["value"])
+                        )
+
+        # Optimistic wave: the first `threshold` domains, everyone at once.
+        ask(list(range(len(user_ids))), list(range(threshold)))
+        remaining = [position for position in range(len(user_ids))
+                     if len(shares_per_user[position]) < threshold]
+        # Fallback walk for stragglers, one further domain per wave.
+        for domain_index in range(threshold, num_domains):
             if not remaining:
                 break
-            calls = [("fetch_share", {"user": user_ids[position]})
-                     for position in remaining]
-            results = self.service.deployment.invoke_batch(domain_index, calls)
-            still_short = []
-            for position, result in zip(remaining, results):
-                if not isinstance(result, Exception) and result["value"]["found"]:
-                    shares_per_user[position].append(
-                        Share(result["value"]["index"], result["value"]["value"])
-                    )
-                if len(shares_per_user[position]) < self.service.threshold:
-                    still_short.append(position)
-            remaining = still_short
+            ask(remaining, [domain_index])
+            remaining = [position for position in remaining
+                         if len(shares_per_user[position]) < threshold]
         outcomes = []
         for position, user_id in enumerate(user_ids):
             shares = shares_per_user[position]
-            if len(shares) < self.service.threshold:
+            if len(shares) < threshold:
                 outcomes.append(ApplicationError(
-                    f"only {len(shares)} of the required {self.service.threshold} "
+                    f"only {len(shares)} of the required {threshold} "
                     f"domains produced a share for {user_id!r}"
                 ))
                 continue
             try:
-                outcomes.append(self.sharing.reconstruct(shares[: self.service.threshold]))
+                outcomes.append(self.sharing.reconstruct(shares[:threshold]))
             except ReproError as exc:
                 outcomes.append(ApplicationError(
                     f"reconstruction failed for {user_id!r}: {exc}"
@@ -290,7 +330,7 @@ class KeyBackupClient:
         """Delete the user's shares everywhere; returns how many domains had one."""
         deleted = 0
         for domain_index in range(self.service.num_domains):
-            response = self.service.deployment.invoke(domain_index, "delete_share",
-                                                      {"user": user_id})["value"]
+            response = self.session.invoke(user_id, domain_index, "delete_share",
+                                           {"user": user_id})["value"]
             deleted += 1 if response["deleted"] else 0
         return deleted

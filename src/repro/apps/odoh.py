@@ -20,12 +20,12 @@ from dataclasses import dataclass
 
 from repro.common import constant_time_equal
 from repro.core.client import AuditingClient
-from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.hashes import hkdf, hmac_sha256
 from repro.crypto.keys import SigningKey, VerifyingKey
 from repro.crypto.secp256k1 import SECP256K1
 from repro.errors import ApplicationError, ReproError
+from repro.service import PackageBinding, ServiceClient, ServiceSpec
 from repro.wire.codec import decode, encode
 
 __all__ = ["ObliviousDnsDeployment", "ObliviousDnsClient", "PROXY_APP_SOURCE", "RESOLVER_APP_SOURCE"]
@@ -97,26 +97,31 @@ class ObliviousDnsDeployment:
     """
 
     def __init__(self, records: dict[str, str] | None = None,
-                 developer: DeveloperIdentity | None = None):
+                 developer: DeveloperIdentity | None = None, shards: int = 1):
         self.developer = developer or DeveloperIdentity("odoh-developer")
-        self.deployment = Deployment(
-            "oblivious-dns", self.developer,
-            DeploymentConfig(num_domains=2, include_developer_domain=False),
-        )
         proxy_package = CodePackage("odoh-proxy", APP_VERSION, "python", PROXY_APP_SOURCE)
-        resolver_package = CodePackage("odoh-resolver", APP_VERSION, "python", RESOLVER_APP_SOURCE)
-        # The proxy and resolver are distinct applications; publish both and
-        # install each on its own domain.
-        proxy_manifest = self.developer.sign_update(proxy_package, 0)
-        self.deployment.registry.publish(proxy_package, proxy_manifest)
-        self.deployment.release_log.append(encode(proxy_manifest.to_dict()))
-        self.deployment.install_on_domain(PROXY_DOMAIN, proxy_manifest, proxy_package)
+        resolver_package = CodePackage("odoh-resolver", APP_VERSION, "python",
+                                       RESOLVER_APP_SOURCE)
+        # The proxy and resolver are distinct applications, each bound to its
+        # own domain of every shard. With shards > 1 the record space is
+        # partitioned by query name; clients route by name *before*
+        # encrypting, so the operator never needs plaintext to pick a shard.
+        self.spec = ServiceSpec(
+            name="oblivious-dns",
+            packages=(
+                PackageBinding(proxy_package, domains=(PROXY_DOMAIN,)),
+                PackageBinding(resolver_package, domains=(RESOLVER_DOMAIN,)),
+            ),
+            domains_per_shard=2,
+            shard_count=shards,
+            include_developer_domain=False,
+        )
+        self.plane = self.spec.synthesize(self.developer)
+        self.deployment = self.plane.primary
 
-        resolver_manifest = self.developer.sign_update(resolver_package, 0)
-        self.deployment.registry.publish(resolver_package, resolver_manifest)
-        self.deployment.release_log.append(encode(resolver_manifest.to_dict()))
-        self.deployment.install_on_domain(RESOLVER_DOMAIN, resolver_manifest, resolver_package)
-
+        # One resolver key pair serves every shard (the operator provisions
+        # the same decryption key to each resolver enclave), so a client's
+        # encryption path is shard-agnostic.
         self._resolver_key = SigningKey.generate()
         # One ECDH per query, not per direction: the decrypt and encrypt side
         # of a round trip reuse the derived key, and a batched query's key is
@@ -136,39 +141,55 @@ class ObliviousDnsDeployment:
         return self._resolver_key.verifying_key()
 
     def load_records(self, records: dict[str, str]) -> int:
-        """Load name→address records into the resolver."""
-        response = self.deployment.invoke(RESOLVER_DOMAIN, "load_records",
-                                          {"records": records})["value"]
-        return response["loaded"]
+        """Load name→address records into the owning shards' resolvers."""
+        per_shard: dict[int, dict[str, str]] = {}
+        for name, address in records.items():
+            per_shard.setdefault(self.plane.shard_for(name), {})[name] = address
+        loaded = 0
+        for shard_index, shard_records in per_shard.items():
+            response = self.plane.invoke_on_shard(
+                shard_index, RESOLVER_DOMAIN, "load_records",
+                {"records": shard_records})["value"]
+            loaded += response["loaded"]
+        return loaded
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def handle_query(self, envelope: dict) -> dict:
+    def handle_query(self, envelope: dict, shard_index: int = 0) -> dict:
         """Carry one encrypted query: client → proxy → resolver → back.
 
         The proxy only forwards; the resolver decrypts and answers. The
         response travels back encrypted under the same shared secret.
+        ``shard_index`` is the client's routing decision (it hashed the name
+        before encrypting); the default keeps single-shard callers unchanged.
         """
-        relayed = self.deployment.invoke(PROXY_DOMAIN, "forward", envelope)["value"]
+        relayed = self.plane.invoke_on_shard(shard_index, PROXY_DOMAIN,
+                                             "forward", envelope)["value"]
         name = self._decrypt_query(relayed)
-        answer = self.deployment.invoke(RESOLVER_DOMAIN, "resolve_plaintext",
-                                        {"name": name})["value"]
+        answer = self.plane.invoke_on_shard(shard_index, RESOLVER_DOMAIN,
+                                            "resolve_plaintext", {"name": name})["value"]
         return self._encrypt_response(relayed, answer)
 
-    def handle_query_batch(self, envelopes: list[dict]) -> list:
-        """Carry many encrypted queries through the proxy and resolver at once.
+    def handle_query_batch(self, envelopes: list[dict],
+                           shard_indices: list[int] | None = None) -> list:
+        """Carry many encrypted queries through the proxies and resolvers at once.
 
-        The proxy forwards the whole batch in one request, and so does the
-        resolver, preserving the role split (the proxy still sees only
-        ciphertext, the resolver only names). Returns one outcome per
-        envelope, in order: the encrypted response dict, or an exception
-        instance for a query that failed at either hop.
+        Each shard's proxy forwards its whole slice in one request, and so
+        does its resolver, preserving the role split (proxies still see only
+        ciphertext, resolvers only names). ``shard_indices`` carries the
+        client's per-query routing decisions (default: shard 0, the
+        single-shard behavior). Returns one outcome per envelope, in order:
+        the encrypted response dict, or an exception instance for a query
+        that failed at either hop.
         """
+        if shard_indices is None:
+            shard_indices = [0] * len(envelopes)
         outcomes: list = [None] * len(envelopes)
-        forwarded = self.deployment.invoke_batch(
-            PROXY_DOMAIN, [("forward", envelope) for envelope in envelopes]
-        )
+        forwarded = self.plane.scatter_to_shards([
+            (shard_index, PROXY_DOMAIN, "forward", envelope)
+            for shard_index, envelope in zip(shard_indices, envelopes)
+        ])
         resolvable: list[tuple[int, dict, str]] = []
         for position, result in enumerate(forwarded):
             if isinstance(result, Exception):
@@ -183,10 +204,11 @@ class ObliviousDnsDeployment:
                 # the whole batch.
                 outcomes[position] = (exc if isinstance(exc, ReproError) else
                                       ApplicationError(f"malformed envelope: {exc!r}"))
-        answers = self.deployment.invoke_batch(
-            RESOLVER_DOMAIN,
-            [("resolve_plaintext", {"name": name}) for _, _, name in resolvable],
-        )
+        answers = self.plane.scatter_to_shards([
+            (shard_indices[position], RESOLVER_DOMAIN, "resolve_plaintext",
+             {"name": name})
+            for position, _, name in resolvable
+        ])
         for (position, relayed, _), answer in zip(resolvable, answers):
             if isinstance(answer, Exception):
                 outcomes[position] = answer
@@ -227,24 +249,37 @@ class ObliviousDnsDeployment:
     # What each party observed (for the privacy tests)
     # ------------------------------------------------------------------
     def proxy_observations(self) -> dict:
-        """What the proxy saw (counts only — it never sees names)."""
-        return self.deployment.invoke(PROXY_DOMAIN, "stats", {})["value"]
+        """What the proxies saw (counts only — they never see names)."""
+        forwarded = sum(
+            self.plane.invoke_on_shard(shard_index, PROXY_DOMAIN, "stats", {})
+            ["value"]["forwarded"]
+            for shard_index in range(self.plane.num_shards)
+        )
+        return {"forwarded": forwarded}
 
     def proxy_view(self) -> list:
-        """Everything the proxy application recorded about forwarded queries.
+        """Everything the proxy applications recorded about forwarded queries.
 
-        Returns the proxy's ``seen_queries`` list — ciphertext *lengths* only.
-        The scenario engine's privacy invariant checks that no query name ever
-        appears here, no matter what the network does to the traffic.
+        Returns the concatenation of every shard proxy's ``seen_queries``
+        list — ciphertext *lengths* only. The scenario engine's privacy
+        invariant checks that no query name ever appears here, no matter what
+        the network does to the traffic.
         """
-        state = self.deployment.domains[PROXY_DOMAIN].framework.application_state()
-        if state is None:
-            return []
-        return list(state.get("seen_queries", []))
+        view: list = []
+        for shard in self.plane.shards:
+            state = shard.domains[PROXY_DOMAIN].framework.application_state()
+            if state is not None:
+                view.extend(state.get("seen_queries", []))
+        return view
 
     def resolver_observations(self) -> dict:
-        """What the resolver saw (query counts; it never sees client identity)."""
-        return self.deployment.invoke(RESOLVER_DOMAIN, "stats", {})["value"]
+        """What the resolvers saw (query counts; they never see client identity)."""
+        resolved = sum(
+            self.plane.invoke_on_shard(shard_index, RESOLVER_DOMAIN, "stats", {})
+            ["value"]["resolved"]
+            for shard_index in range(self.plane.num_shards)
+        )
+        return {"resolved": resolved}
 
 
 class ObliviousDnsClient:
@@ -253,30 +288,44 @@ class ObliviousDnsClient:
     def __init__(self, service: ObliviousDnsDeployment, audit_before_use: bool = True):
         self.service = service
         self.auditing_client = AuditingClient(
-            service.deployment.vendor_registry,
+            service.plane.vendor_registry,
             require_attestation_from_all_enclaves=True,
         )
+        # The stub resolver audits once per session; proxy and resolver run
+        # *different* published applications, so the audit checks each domain
+        # individually instead of cross-checking digests (audit_fn override).
+        self.session = ServiceClient(
+            service.plane,
+            audit_policy="once" if audit_before_use else "never",
+            auditing_client=self.auditing_client,
+            audit_fn=self._audit_domains_individually,
+        )
         self.audit_before_use = audit_before_use
-        self._audited = False
         # The resolver's public key is multiplied once per query; a fixed-base
         # window table makes that a handful of additions per resolution.
         self._resolver_table = SECP256K1.precompute(service.resolver_public_key.point)
 
-    def audit(self):
-        """Audit both the proxy and resolver domains.
+    def _audit_domains_individually(self):
+        reports = []
+        for shard in self.service.plane.shards:
+            report_proxy = self.auditing_client.audit_domains(
+                [shard.domains[PROXY_DOMAIN]]
+            )
+            report_resolver = self.auditing_client.audit_domains(
+                [shard.domains[RESOLVER_DOMAIN]]
+            )
+            if not (report_proxy.ok and report_resolver.ok):
+                raise ApplicationError("oblivious DNS deployment failed its audit")
+            reports.append((report_proxy, report_resolver))
+        return reports
 
-        The proxy and resolver intentionally run *different* published
-        applications, so the cross-domain same-digest check does not apply;
-        the client audits each domain individually instead.
+    def audit(self):
+        """Audit every shard's proxy and resolver domains.
+
+        Returns the single shard's ``(proxy report, resolver report)`` pair —
+        the legacy shape — or the list of per-shard pairs when sharded.
         """
-        report = self.auditing_client.audit_domains([self.service.deployment.domains[PROXY_DOMAIN]])
-        report_resolver = self.auditing_client.audit_domains(
-            [self.service.deployment.domains[RESOLVER_DOMAIN]]
-        )
-        if not (report.ok and report_resolver.ok):
-            raise ApplicationError("oblivious DNS deployment failed its audit")
-        self._audited = True
-        return report, report_resolver
+        return self.session.audit_compat()
 
     def _encrypt_query(self, name: str) -> tuple[dict, bytes]:
         """Build one encrypted query envelope; returns it with the shared key."""
@@ -305,24 +354,31 @@ class ObliviousDnsClient:
         return DnsResponse(name=name, found=answer["found"], address=answer["address"])
 
     def resolve(self, name: str) -> DnsResponse:
-        """Resolve ``name`` without the proxy learning it."""
-        if self.audit_before_use and not self._audited:
-            self.audit()
+        """Resolve ``name`` without the proxy learning it.
+
+        The client routes by hashing the name *before* encrypting it, so the
+        shard choice never requires the operator to see plaintext.
+        """
+        self.session.checkpoint()
         envelope, key = self._encrypt_query(name)
-        encrypted_response = self.service.handle_query(envelope)
+        encrypted_response = self.service.handle_query(
+            envelope, shard_index=self.service.plane.shard_for(name)
+        )
         return self._decrypt_response(name, key, encrypted_response)
 
     def resolve_many(self, names: list[str]) -> list:
-        """Resolve many names in one batched sweep through proxy and resolver.
+        """Resolve many names in one batched sweep through proxies and resolvers.
 
         Returns one outcome per name, in order: a :class:`DnsResponse`, or an
         exception instance for a query that failed in flight — failures are
         isolated per query, so one lost query cannot mask the rest.
         """
-        if self.audit_before_use and not self._audited:
-            self.audit()
+        self.session.checkpoint()
         encrypted = [self._encrypt_query(name) for name in names]
-        results = self.service.handle_query_batch([envelope for envelope, _ in encrypted])
+        results = self.service.handle_query_batch(
+            [envelope for envelope, _ in encrypted],
+            shard_indices=[self.service.plane.shard_for(name) for name in names],
+        )
         outcomes = []
         for name, (_, key), result in zip(names, encrypted, results):
             if isinstance(result, Exception):

@@ -18,10 +18,9 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
-from repro.core.client import AuditingClient
-from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.errors import ApplicationError, ReproError
+from repro.service import PackageBinding, ServiceClient, ServiceSpec
 
 __all__ = [
     "PRIO_APP_SOURCE",
@@ -81,10 +80,16 @@ APP_VERSION = "1.0.0"
 
 
 class PrivateAggregationDeployment:
-    """The analytics operator's side: aggregation servers as trust domains."""
+    """The analytics operator's side: aggregation servers as trust domains.
+
+    With ``shards > 1`` the service runs several independent aggregation
+    server groups; a submission's shares all land on one shard (picked by
+    consistent hashing of the submission key), and :meth:`aggregate` combines
+    the shard sums — additive aggregation composes across shards for free.
+    """
 
     def __init__(self, num_servers: int = 2, max_value: int = 1000,
-                 developer: DeveloperIdentity | None = None):
+                 developer: DeveloperIdentity | None = None, shards: int = 1):
         if num_servers < 2:
             raise ApplicationError("private aggregation needs at least two servers")
         self.num_servers = num_servers
@@ -92,53 +97,92 @@ class PrivateAggregationDeployment:
         self.developer = developer or DeveloperIdentity("analytics-developer")
         # Aggregation servers must all be enclave-backed: the operator should
         # not be able to read any server's accumulator share directly.
-        self.deployment = Deployment(
-            APP_NAME, self.developer,
-            DeploymentConfig(num_domains=num_servers, include_developer_domain=False),
-        )
         package = CodePackage(APP_NAME, APP_VERSION, "python", PRIO_APP_SOURCE)
-        self.deployment.publish_and_install(package)
-        for index in range(num_servers):
-            self.deployment.invoke(index, "configure", {"max_value": max_value})
+        self.spec = ServiceSpec(
+            name=APP_NAME,
+            packages=(PackageBinding(package),),
+            domains_per_shard=num_servers,
+            shard_count=shards,
+            include_developer_domain=False,
+        )
+        self.plane = self.spec.synthesize(self.developer)
+        self.deployment = self.plane.primary
+        for shard_index in range(self.plane.num_shards):
+            for index in range(num_servers):
+                self.plane.invoke_on_shard(shard_index, index, "configure",
+                                           {"max_value": max_value})
+
+    @property
+    def num_shards(self) -> int:
+        """Number of independent aggregation server groups."""
+        return self.plane.num_shards
 
     # ------------------------------------------------------------------
     # Aggregation (operator side)
     # ------------------------------------------------------------------
     def aggregate(self) -> dict:
-        """Combine every server's partial sum into the final aggregate."""
-        partials = []
-        submissions = set()
-        for index in range(self.num_servers):
-            response = self.deployment.invoke(index, "read_partial_sum", {})["value"]
-            partials.append(response["partial_sum"])
-            submissions.add(response["submissions"])
-        if len(submissions) != 1:
-            raise ApplicationError(
-                "aggregation servers disagree on the number of submissions"
-            )
-        total = sum(partials) % FIELD_MODULUS
-        return {"sum": total, "submissions": submissions.pop()}
+        """Combine every server's partial sum into the final aggregate.
+
+        Within a shard the servers must agree on the submission count (a torn
+        submission shows up as disagreement and refuses the aggregate);
+        across shards the sums and counts simply add.
+        """
+        total = 0
+        total_submissions = 0
+        for shard_index in range(self.plane.num_shards):
+            partials = []
+            submissions = set()
+            for index in range(self.num_servers):
+                response = self.plane.invoke_on_shard(
+                    shard_index, index, "read_partial_sum", {})["value"]
+                partials.append(response["partial_sum"])
+                submissions.add(response["submissions"])
+            if len(submissions) != 1:
+                raise ApplicationError(
+                    "aggregation servers disagree on the number of submissions"
+                )
+            total = (total + sum(partials)) % FIELD_MODULUS
+            total_submissions += submissions.pop()
+        return {"sum": total, "submissions": total_submissions}
 
     def reset(self) -> None:
         """Clear every server's accumulator (start a new collection epoch)."""
-        for index in range(self.num_servers):
-            self.deployment.invoke(index, "reset", {})
+        for shard_index in range(self.plane.num_shards):
+            for index in range(self.num_servers):
+                self.plane.invoke_on_shard(shard_index, index, "reset", {})
 
 
 class PrivateAggregationClient:
     """One telemetry client: audits the servers, then submits shared values."""
 
-    def __init__(self, service: PrivateAggregationDeployment, audit_before_use: bool = True):
+    def __init__(self, service: PrivateAggregationDeployment, audit_before_use: bool = True,
+                 session_tag: str | None = None):
         self.service = service
-        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        # Telemetry clients audit once per session, then keep submitting.
+        self.session = ServiceClient(
+            service.plane,
+            audit_policy="once" if audit_before_use else "never",
+        )
+        self.auditing_client = self.session.auditing_client
         self.audit_before_use = audit_before_use
-        self._audited = False
+        # Submissions carry no natural key; a session-unique tag plus a
+        # counter spreads them across shards while keeping every share of
+        # one value on one shard (the torn-submission invariant is per
+        # shard). The tag must differ between independent clients — a bare
+        # counter would start every session at the same key and pile the
+        # whole fleet's first submissions onto one shard. Pass an explicit
+        # ``session_tag`` for reproducible routing (the load harness does).
+        self._session_tag = session_tag or secrets.token_hex(8)
+        self._submission_counter = 0
 
     def audit(self):
         """Audit the aggregation servers; raises on any misbehavior."""
-        report = self.auditing_client.audit_or_raise(self.service.deployment)
-        self._audited = True
-        return report
+        return self.session.audit_compat()
+
+    def _next_submission_key(self) -> str:
+        key = f"{self._session_tag}/submission-{self._submission_counter}"
+        self._submission_counter += 1
+        return key
 
     def submit(self, value: int) -> None:
         """Split ``value`` into additive shares and send one to each server."""
@@ -146,14 +190,14 @@ class PrivateAggregationClient:
             raise ApplicationError(
                 f"value {value} outside the allowed range [0, {self.service.max_value}]"
             )
-        if self.audit_before_use and not self._audited:
-            self.audit()
+        self.session.checkpoint()
+        key = self._next_submission_key()
         shares = self._additive_shares(value, self.service.num_servers)
         accepted: list[int] = []
         for index, share in enumerate(shares):
             try:
-                response = self.service.deployment.invoke(index, "submit_share",
-                                                          {"share": share})["value"]
+                response = self.session.invoke(key, index, "submit_share",
+                                               {"share": share})["value"]
             except ApplicationError:
                 raise
             except ReproError as exc:
@@ -170,18 +214,19 @@ class PrivateAggregationClient:
     def submit_many(self, values: list[int]) -> list:
         """Submit many telemetry values with one batched request per server.
 
-        Each value is additively shared exactly as :meth:`submit` does; all of
-        one server's shares travel in a single batch. Returns one outcome per
-        value, in order: ``True`` for a fully accepted submission, or an
+        Each value is additively shared exactly as :meth:`submit` does; the
+        whole batch is scattered in one shot — every ``(shard, server)`` pair
+        serves its slice concurrently in simulated time. Returns one outcome
+        per value, in order: ``True`` for a fully accepted submission, or an
         exception instance — :class:`ApplicationError` for an out-of-range or
         rejected value, :class:`PartialSubmissionError` when only some servers
         accepted the value's share (a torn submission the aggregate check will
         catch).
         """
-        if self.audit_before_use and not self._audited:
-            self.audit()
+        self.session.checkpoint()
         outcomes: list = [None] * len(values)
         share_rows: dict[int, list[int]] = {}
+        keys: dict[int, str] = {}
         for position, value in enumerate(values):
             if not 0 <= value <= self.service.max_value:
                 outcomes[position] = ApplicationError(
@@ -190,14 +235,20 @@ class PrivateAggregationClient:
                 )
                 continue
             share_rows[position] = self._additive_shares(value, self.service.num_servers)
+            keys[position] = self._next_submission_key()
         positions = sorted(share_rows)
         accepted: dict[int, list[int]] = {position: [] for position in positions}
         errors: dict[int, Exception] = {}
+        calls = [(keys[position], server_index, "submit_share",
+                  {"share": share_rows[position][server_index]})
+                 for server_index in range(self.service.num_servers)
+                 for position in positions]
+        results = self.session.scatter(calls)
+        cursor = 0
         for server_index in range(self.service.num_servers):
-            calls = [("submit_share", {"share": share_rows[position][server_index]})
-                     for position in positions]
-            results = self.service.deployment.invoke_batch(server_index, calls)
-            for position, result in zip(positions, results):
+            for position in positions:
+                result = results[cursor]
+                cursor += 1
                 if isinstance(result, Exception):
                     errors.setdefault(position, result)
                 elif not result["value"]["accepted"]:

@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.client import AuditingClient
-from repro.core.deployment import Deployment, DeploymentConfig
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.bilinear import BLS_SCALAR_ORDER, G1Element, G2Element
 from repro.crypto.bls import BlsSignature, BlsSignatureShare, BlsThresholdScheme
@@ -24,6 +22,7 @@ from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.shamir import Share
 from repro.errors import ApplicationError, ReproError
 from repro.sandbox.programs import bls_share_source
+from repro.service import PackageBinding, ServiceClient, ServiceSpec
 
 __all__ = ["CustodyDeployment", "CustodyClient", "SignedTransaction"]
 
@@ -54,21 +53,34 @@ class CustodyDeployment:
 
     def __init__(self, threshold: int = 2, num_signers: int = 3,
                  developer: DeveloperIdentity | None = None, use_dkg: bool = False,
-                 keygen_seed: bytes | None = None):
+                 keygen_seed: bytes | None = None, shards: int = 1):
         if threshold < 1 or num_signers < threshold:
             raise ApplicationError("invalid threshold parameters")
         self.threshold = threshold
         self.num_signers = num_signers
         self.developer = developer or DeveloperIdentity("custody-developer")
-        self.deployment = Deployment(
-            APP_NAME, self.developer,
-            DeploymentConfig(num_domains=num_signers + 1),
-        )
         package = CodePackage(APP_NAME, APP_VERSION, "wvm", bls_share_source())
-        self.deployment.publish_and_install(package)
+        # With shards > 1 every shard holds the *same* key shares (replicated
+        # signer groups under one group public key); transactions are routed
+        # to shards by message, so signing capacity scales horizontally while
+        # any shard's quorum produces the same verifiable signature.
+        self.spec = ServiceSpec(
+            name=APP_NAME,
+            packages=(PackageBinding(package),),
+            domains_per_shard=num_signers + 1,
+            shard_count=shards,
+            threshold=threshold,
+        )
+        self.plane = self.spec.synthesize(self.developer)
+        self.deployment = self.plane.primary
         self.scheme = BlsThresholdScheme(threshold, num_signers)
         self.group_public_key, self._shares = self._generate_key(use_dkg, keygen_seed)
         self._install_shares()
+
+    @property
+    def num_shards(self) -> int:
+        """Number of replicated signer groups."""
+        return self.plane.num_shards
 
     # ------------------------------------------------------------------
     # Key management
@@ -79,11 +91,13 @@ class CustodyDeployment:
         return self.scheme.keygen(seed)
 
     def _install_shares(self) -> None:
-        # Signer i (1-indexed) lives on trust domain i (domain 0 holds no share).
-        for share in self._shares:
-            domain = self.deployment.domains[share.index]
-            if domain.enclave is not None:
-                domain.enclave.memory.write("bls_key_share", share.value)
+        # Signer i (1-indexed) lives on trust domain i of *every* shard
+        # (domain 0 holds no share).
+        for shard in self.plane.shards:
+            for share in self._shares:
+                domain = shard.domains[share.index]
+                if domain.enclave is not None:
+                    domain.enclave.memory.write("bls_key_share", share.value)
 
     def share_for_signer(self, signer_index: int) -> Share:
         """The key share held by ``signer_index`` (1-indexed).
@@ -100,30 +114,35 @@ class CustodyDeployment:
     # Signing (server side of one domain)
     # ------------------------------------------------------------------
     def sign_share_on_domain(self, signer_index: int, message: bytes) -> BlsSignatureShare:
-        """Ask one trust domain to produce its signature share for ``message``."""
+        """Ask one trust domain to produce its signature share for ``message``.
+
+        The message routes to its owning shard; every shard's signer
+        ``signer_index`` holds the same key share, so the result is
+        shard-independent.
+        """
         share = self.share_for_signer(signer_index)
         message_int = int.from_bytes(message, "big") if message else 0
-        result = self.deployment.invoke(
-            signer_index, "bls_share",
+        result = self.plane.invoke(
+            message, signer_index, "bls_share",
             [message_int, len(message), share.value, BLS_SCALAR_ORDER],
         )
         return BlsSignatureShare(signer_index, BlsSignature(G1Element(result["value"])))
 
     def sign_shares_on_domain(self, signer_index: int, messages: list[bytes]) -> list:
-        """Ask one trust domain for signature shares on many messages at once.
+        """Ask one signer for signature shares on many messages at once.
 
-        All of the domain's WVM invocations ride in one batched request.
-        Returns one outcome per message, in order: a
-        :class:`BlsSignatureShare`, or the exception instance for a message
-        whose share the domain failed to produce.
+        Messages scatter to their owning shards; each shard's signer domain
+        receives its slice as one batched request. Returns one outcome per
+        message, in order: a :class:`BlsSignatureShare`, or the exception
+        instance for a message whose share the domain failed to produce.
         """
         share = self.share_for_signer(signer_index)
         calls = []
         for message in messages:
             message_int = int.from_bytes(message, "big") if message else 0
-            calls.append(("bls_share",
+            calls.append((message, signer_index, "bls_share",
                           [message_int, len(message), share.value, BLS_SCALAR_ORDER]))
-        results = self.deployment.invoke_batch(signer_index, calls)
+        results = self.plane.scatter(calls)
         return [
             result if isinstance(result, Exception)
             else BlsSignatureShare(signer_index, BlsSignature(G1Element(result["value"])))
@@ -136,18 +155,23 @@ class CustodyClient:
 
     def __init__(self, service: CustodyDeployment, audit_before_use: bool = True):
         self.service = service
-        self.auditing_client = AuditingClient(service.deployment.vendor_registry)
+        # Custody re-audits before every signing operation: each signature
+        # moves funds, so the session never signs against an unverified fleet.
+        self.session = ServiceClient(
+            service.plane,
+            audit_policy="always" if audit_before_use else "never",
+        )
+        self.auditing_client = self.session.auditing_client
         self.audit_before_use = audit_before_use
 
     def audit(self):
         """Audit the custody deployment; raises on any misbehavior."""
-        return self.auditing_client.audit_or_raise(self.service.deployment)
+        return self.session.audit_compat()
 
     def sign_transaction(self, message: bytes,
                          signer_indices: list[int] | None = None) -> SignedTransaction:
         """Collect ``t`` signature shares and combine them into one signature."""
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint(message)
         if signer_indices is None:
             signer_indices = list(range(1, self.service.threshold + 1))
         if len(signer_indices) < self.service.threshold:
@@ -179,8 +203,7 @@ class CustodyClient:
         Raises:
             ApplicationError: fewer than ``t`` signers produced a share.
         """
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint(message)
         if candidate_signers is None:
             candidate_signers = list(range(1, self.service.num_signers + 1))
         partials = []
@@ -215,8 +238,7 @@ class CustodyClient:
         produced a share for that message (failures are isolated per
         message, not per batch).
         """
-        if self.audit_before_use:
-            self.audit()
+        self.session.checkpoint()
         if signer_indices is None:
             signer_indices = list(range(1, self.service.threshold + 1))
         if len(signer_indices) < self.service.threshold:

@@ -27,12 +27,12 @@ from repro.enclave.tee import HardwareType
 from repro.enclave.vendor import HardwareVendor, VendorRegistry
 from repro.errors import DeploymentError, ReproError, RpcError
 from repro.net.clock import SimClock
-from repro.net.rpc import RpcClient, RpcServer
+from repro.net.rpc import RpcClient, RpcServer, ServiceTimeModel
 from repro.net.transport import Network
 from repro.transparency.ct_log import CtLog
 from repro.wire.codec import encode
 
-__all__ = ["DeploymentConfig", "Deployment"]
+__all__ = ["DeploymentConfig", "Deployment", "PendingInvokeBatch"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,9 @@ class Deployment:
         self._rpc_attempts = 1
         self._route_cache: tuple | None = None
         self.client_address: str | None = None
+        self._servers: list[RpcServer] | None = None
+        self._default_service_model: ServiceTimeModel | None = None
+        self._domain_service_models: dict[int, ServiceTimeModel] = {}
         self._build_domains()
 
     # ------------------------------------------------------------------
@@ -181,37 +184,73 @@ class Deployment:
         with an error or that went unanswered) — failures are isolated per
         call so one bad request cannot mask the rest of the batch.
         """
+        return self.begin_invoke_batch(domain_index, calls,
+                                       chunk_size=chunk_size).collect()
+
+    def begin_invoke_batch(self, domain_index: int, calls: list,
+                           chunk_size: int = 128) -> "PendingInvokeBatch":
+        """Send a batch of invokes *without* waiting for the responses.
+
+        The split-phase form of :meth:`invoke_batch`: when routed over the
+        network, the batch payload is put on the wire immediately and a
+        :class:`PendingInvokeBatch` handle is returned; nothing is delivered
+        until the handle's :meth:`~PendingInvokeBatch.collect` (or anything
+        else) pumps the network. Beginning several batches — against different
+        trust domains or different shard deployments — before the first
+        collect is what makes their round trips and service time overlap in
+        simulated time (the scatter/gather path of
+        :class:`repro.service.ShardedService`).
+
+        When not routed, the calls execute synchronously and the returned
+        handle is already complete.
+        """
         calls = list(calls)
-        if not calls:
-            return []
         chunks = [calls[start:start + chunk_size]
                   for start in range(0, len(calls), chunk_size)]
-        if self._rpc_clients is not None:
+        if self._rpc_clients is not None and chunks:
             rpc_calls = [("invoke_many", self._batch_params(chunk)) for chunk in chunks]
-            chunk_results = self._rpc_clients[domain_index].call_many(
-                rpc_calls, attempts=self._rpc_attempts, return_errors=True,
-            )
+            batch = self._rpc_clients[domain_index].begin_many(rpc_calls)
+            return PendingInvokeBatch(chunks, batch, self._rpc_attempts)
+        domain = self.domains[domain_index]
+        chunk_results = []
+        for chunk in chunks:
+            try:
+                chunk_results.append(domain.invoke_application_many(
+                    [{"entry": entry, "params": params} for entry, params in chunk]
+                ))
+            except ReproError as exc:
+                chunk_results.append(exc)
+        return PendingInvokeBatch(chunks, None, 1, chunk_results)
+
+    # ------------------------------------------------------------------
+    # Service-time model
+    # ------------------------------------------------------------------
+    def set_service_time(self, per_request: float, domain_index: int | None = None,
+                         per_byte: float = 0.0) -> None:
+        """Make each trust domain's RPC server a serial busy-until queue.
+
+        ``per_request`` simulated seconds are charged per request a domain
+        processes (``domain_index=None`` applies to every domain; a specific
+        index overrides the default for that domain only). The model takes
+        effect on the servers created by :meth:`attach_to_network` /
+        :meth:`route_via_network`, including ones created later. Without a
+        service model, domains answer in zero simulated time and horizontal
+        scaling is invisible in sim-time measurements.
+        """
+        model = ServiceTimeModel(per_request=per_request, per_byte=per_byte)
+        if domain_index is None:
+            self._default_service_model = model
         else:
-            domain = self.domains[domain_index]
-            chunk_results = []
-            for chunk in chunks:
-                try:
-                    chunk_results.append(domain.invoke_application_many(
-                        [{"entry": entry, "params": params} for entry, params in chunk]
-                    ))
-                except ReproError as exc:
-                    chunk_results.append(exc)
-        outcomes = []
-        for chunk, result in zip(chunks, chunk_results):
-            if isinstance(result, Exception):
-                outcomes.extend([result] * len(chunk))
-                continue
-            for entry in result:
-                if isinstance(entry, dict) and entry.get("error") is not None:
-                    outcomes.append(RpcError(f"invoke failed: {entry['error']}"))
-                else:
-                    outcomes.append(entry)
-        return outcomes
+            self._domain_service_models[domain_index] = model
+        self._apply_service_models()
+
+    def _apply_service_models(self) -> None:
+        if self._servers is None:
+            return
+        for index, server in enumerate(self._servers):
+            model = self._domain_service_models.get(index, self._default_service_model)
+            if model is not None:
+                server.service_model = model
 
     @staticmethod
     def _batch_params(chunk: list) -> dict:
@@ -262,6 +301,8 @@ class Deployment:
             server = RpcServer(endpoint, name=domain.domain_id)
             domain.register_rpc(server)
             servers[domain.domain_id] = server
+        self._servers = [servers[domain.domain_id] for domain in self.domains]
+        self._apply_service_models()
         return servers
 
     def route_via_network(self, network: Network, client_address: str | None = None,
@@ -308,3 +349,41 @@ class Deployment:
         if self._route_cache is None:
             return 0
         return sum(client.retries for client in self._route_cache[1])
+
+
+class PendingInvokeBatch:
+    """An in-flight application batch from :meth:`Deployment.begin_invoke_batch`.
+
+    :meth:`collect` returns exactly what :meth:`Deployment.invoke_batch`
+    returns — one outcome per call, in order, with failures isolated per call
+    as exception instances. Collecting is idempotent.
+    """
+
+    def __init__(self, chunks: list, rpc_batch, attempts: int,
+                 chunk_results: list | None = None):
+        self._chunks = chunks
+        self._rpc_batch = rpc_batch
+        self._attempts = attempts
+        self._chunk_results = chunk_results
+        self._outcomes: list | None = None
+
+    def collect(self) -> list:
+        """Wait for (and unpack) every call's outcome, in call order."""
+        if self._outcomes is not None:
+            return self._outcomes
+        chunk_results = self._chunk_results
+        if chunk_results is None:
+            chunk_results = self._rpc_batch.collect(attempts=self._attempts,
+                                                    return_errors=True)
+        outcomes = []
+        for chunk, result in zip(self._chunks, chunk_results):
+            if isinstance(result, Exception):
+                outcomes.extend([result] * len(chunk))
+                continue
+            for entry in result:
+                if isinstance(entry, dict) and entry.get("error") is not None:
+                    outcomes.append(RpcError(f"invoke failed: {entry['error']}"))
+                else:
+                    outcomes.append(entry)
+        self._outcomes = outcomes
+        return outcomes

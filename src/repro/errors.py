@@ -39,6 +39,7 @@ __all__ = [
     "UpdateRejectedError",
     "UnauthorizedUpdateError",
     "DeploymentError",
+    "ServiceSpecError",
     "AuditError",
     "MisbehaviorDetected",
     "ApplicationError",
@@ -191,6 +192,10 @@ class UpdateRejectedError(FrameworkError):
 
 class UnauthorizedUpdateError(UpdateRejectedError):
     """A code update's signature did not verify under the sealed developer key."""
+
+
+class ServiceSpecError(FrameworkError):
+    """A declarative service specification is invalid or cannot be synthesized."""
 
 
 class DeploymentError(FrameworkError):

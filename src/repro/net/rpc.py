@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DecodingError, RpcError, TimeoutError
@@ -31,7 +32,8 @@ from repro.net.transport import Endpoint, Message, Network
 from repro.wire.codec import decode, encode
 from repro.wire.framing import frame_message, split_frames
 
-__all__ = ["RpcServer", "RpcClient", "BoundedIdSet"]
+__all__ = ["RpcServer", "RpcClient", "BoundedIdSet", "PendingRpcBatch",
+           "ServiceTimeModel"]
 
 # How many completed request ids each endpoint remembers for duplicate-response
 # filtering. Old duplicates beyond this window are indistinguishable from
@@ -72,6 +74,28 @@ class BoundedIdSet:
         return len(self._members)
 
 
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """How long one server takes to process requests, in simulated seconds.
+
+    A server with a service model is a *serial busy-until queue*: requests are
+    processed one after another, each costing ``per_request`` seconds (plus
+    ``per_byte`` per payload byte), and a response leaves only when the queue
+    has drained to it. Without a model, servers answer in zero simulated time
+    — which makes every deployment look infinitely fast and hides the benefit
+    of horizontal sharding entirely. Installing a model is what makes shard
+    parallelism measurable in sim time: two shards each own a queue, so their
+    service time genuinely overlaps.
+    """
+
+    per_request: float = 0.0
+    per_byte: float = 0.0
+
+    def cost(self, requests: int, payload_bytes: int = 0) -> float:
+        """Total service time for ``requests`` requests in one payload."""
+        return requests * self.per_request + payload_bytes * self.per_byte
+
+
 class RpcServer:
     """Dispatches incoming RPC requests to registered handler functions.
 
@@ -86,10 +110,14 @@ class RpcServer:
         at_most_once: cache responses by ``(source, request id)`` and answer
             retransmissions from the cache instead of re-executing the handler.
         cache_size: number of cached responses kept for deduplication.
+        service_model: optional :class:`ServiceTimeModel` making this server a
+            serial busy-until queue in simulated time (settable later via the
+            ``service_model`` attribute; ``None`` means zero service time).
     """
 
     def __init__(self, endpoint: Endpoint, name: str | None = None,
-                 at_most_once: bool = True, cache_size: int = 1024):
+                 at_most_once: bool = True, cache_size: int = 1024,
+                 service_model: ServiceTimeModel | None = None):
         self.endpoint = endpoint
         self.name = name or endpoint.address
         self._handlers: dict[str, Callable] = {}
@@ -98,6 +126,8 @@ class RpcServer:
         self.duplicates_answered = 0
         self.malformed_frames = 0
         self.batches_served = 0
+        self.service_model = service_model
+        self.busy_until = 0.0
         self._at_most_once = at_most_once
         self._cache_size = cache_size
         self._response_cache: OrderedDict[tuple, bytes] = OrderedDict()
@@ -133,6 +163,7 @@ class RpcServer:
             self.malformed_frames += 1
             return
         outgoing: list[bytes] = []
+        executed = 0
         for frame in frames:
             try:
                 request = decode(frame)
@@ -149,6 +180,7 @@ class RpcServer:
                     self.duplicates_answered += 1
                     outgoing.append(cached)
                     continue
+            executed += self._request_weight(request) if self.service_model else 1
             raw_handler = None
             if (self._raw_handlers and isinstance(request, dict)
                     and "method" in request and "id" in request):
@@ -172,7 +204,39 @@ class RpcServer:
         if outgoing:
             if len(frames) > 1:
                 self.batches_served += 1
-            self.endpoint.send(message.source, b"".join(outgoing))
+            self.endpoint.send(message.source, b"".join(outgoing),
+                               extra_delay=self._service_delay(executed, message))
+
+    @staticmethod
+    def _request_weight(request) -> int:
+        """How many serial work units one request frame costs the server.
+
+        A batched ``invoke_many`` frame carries many application calls in one
+        envelope; the service queue must charge per *call*, or batching would
+        not just amortize round trips but make server work itself free and no
+        amount of sharding would ever be measurable. Non-batch requests weigh
+        one unit.
+        """
+        params = request.get("params") if isinstance(request, dict) else None
+        if isinstance(params, dict):
+            for field_name in ("params_list", "calls"):
+                inner = params.get(field_name)
+                if isinstance(inner, list):
+                    return max(1, len(inner))
+        return 1
+
+    def _service_delay(self, executed: int, message: Message) -> float:
+        """Seconds this payload's responses wait for the serial service queue.
+
+        Requests join the queue behind whatever the server is still busy with
+        (``busy_until``); duplicates answered from the response cache are free.
+        """
+        if self.service_model is None or executed == 0:
+            return 0.0
+        now = self.endpoint.network.clock.now()
+        start = max(now, self.busy_until)
+        self.busy_until = start + self.service_model.cost(executed, len(message.payload))
+        return self.busy_until - now
 
     def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "method" not in request or "id" not in request:
@@ -280,52 +344,32 @@ class RpcClient:
             TimeoutError: a call went unanswered on every attempt and
                 ``return_errors`` is false.
         """
+        return self.begin_many(calls).collect(attempts=attempts,
+                                              return_errors=return_errors)
+
+    def begin_many(self, calls) -> "PendingRpcBatch":
+        """Send a batch of calls *without* pumping the network; return a handle.
+
+        This is the split-phase half of :meth:`call_many`: the batch payload
+        is enqueued on the wire immediately, but no delivery happens until
+        someone runs the network (usually :meth:`PendingRpcBatch.collect`).
+        Splitting send from gather is what lets a caller scatter batches to
+        *several* servers first and pump the network once — the round trips
+        and the servers' service time then overlap in simulated time instead
+        of serializing, which is the mechanism behind shard scaling
+        (see :mod:`repro.service`).
+        """
         calls = list(calls)
-        if not calls:
-            return []
         requests = []
         for method, params in calls:
             request_id = next(self._ids)
             requests.append((request_id, method, frame_message(encode(
                 {"id": request_id, "method": method, "params": params}
             ))))
-        found: dict[int, dict] = {}
-        pending = {request_id for request_id, _, _ in requests}
-        for attempt in range(max(1, attempts)):
-            if attempt > 0:
-                self.retries += len(pending)
-            payload = b"".join(
-                frame for request_id, _, frame in requests if request_id in pending
-            )
-            self.endpoint.send(self.server_address, payload)
-            self.network.run_until_idle()
-            self._drain_inbox(pending, found)
-            if not pending:
-                break
-        for request_id, _, _ in requests:
-            self._completed.add(request_id)
-        if pending and not return_errors:
-            raise TimeoutError(
-                f"{len(pending)} of {len(requests)} batched requests to "
-                f"{self.server_address} went unanswered"
-            )
-        results = []
-        for request_id, method, _ in requests:
-            if request_id in pending:
-                results.append(TimeoutError(
-                    f"no response to batched request {request_id} "
-                    f"from {self.server_address}"
-                ))
-                continue
-            response = found[request_id]
-            if "error" in response and response["error"] is not None:
-                error = RpcError(f"{method} failed: {response['error']}")
-                if not return_errors:
-                    raise error
-                results.append(error)
-            else:
-                results.append(response.get("result"))
-        return results
+        if requests:
+            self.endpoint.send(self.server_address,
+                               b"".join(frame for _, _, frame in requests))
+        return PendingRpcBatch(self, requests)
 
     def _drain_inbox(self, pending: set, found: dict) -> None:
         """Scan parked messages for responses to the ``pending`` request ids.
@@ -368,3 +412,74 @@ class RpcClient:
         # Preserve messages for other callers sharing the endpoint.
         for message in requeue:
             self.endpoint.inbox.append(message)
+
+
+class PendingRpcBatch:
+    """An in-flight batch created by :meth:`RpcClient.begin_many`.
+
+    The batch payload is already on the wire; :meth:`collect` pumps the
+    network, matches responses by id, and retransmits only the unanswered
+    requests — exactly :meth:`RpcClient.call_many` semantics, just with the
+    send and the gather decoupled so several batches (to different servers)
+    can be in flight before the first delivery happens. ``collect`` is
+    idempotent: the first call resolves the batch and later calls return the
+    same results.
+    """
+
+    def __init__(self, client: RpcClient, requests: list):
+        self.client = client
+        self.requests = requests
+        self.pending = {request_id for request_id, _, _ in requests}
+        self.found: dict[int, dict] = {}
+        self._resolved = False
+
+    def collect(self, attempts: int = 3, return_errors: bool = False):
+        """Gather this batch's results (pump, drain, retransmit as needed).
+
+        Args/semantics match :meth:`RpcClient.call_many`: results are in call
+        order; with ``return_errors`` failures become exception instances,
+        otherwise the first failure raises.
+        """
+        if not self._resolved:
+            self._resolve(attempts)
+        if self.pending and not return_errors:
+            raise TimeoutError(
+                f"{len(self.pending)} of {len(self.requests)} batched requests "
+                f"to {self.client.server_address} went unanswered"
+            )
+        results = []
+        for request_id, method, _ in self.requests:
+            if request_id in self.pending:
+                results.append(TimeoutError(
+                    f"no response to batched request {request_id} "
+                    f"from {self.client.server_address}"
+                ))
+                continue
+            response = self.found[request_id]
+            if "error" in response and response["error"] is not None:
+                error = RpcError(f"{method} failed: {response['error']}")
+                if not return_errors:
+                    raise error
+                results.append(error)
+            else:
+                results.append(response.get("result"))
+        return results
+
+    def _resolve(self, attempts: int) -> None:
+        client = self.client
+        for attempt in range(max(1, attempts)):
+            if not self.pending:
+                break
+            if attempt > 0:
+                # Retransmit only the unanswered requests, with their original
+                # ids and bytes, so the at-most-once server dedups re-delivery.
+                client.retries += len(self.pending)
+                client.endpoint.send(client.server_address, b"".join(
+                    frame for request_id, _, frame in self.requests
+                    if request_id in self.pending
+                ))
+            client.network.run_until_idle()
+            client._drain_inbox(self.pending, self.found)
+        for request_id, _, _ in self.requests:
+            client._completed.add(request_id)
+        self._resolved = True

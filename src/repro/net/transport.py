@@ -107,11 +107,16 @@ class Endpoint:
         self.on_message: Optional[Callable[[Message], None]] = None
         self._closed = False
 
-    def send(self, destination: str, payload: bytes) -> None:
-        """Send raw bytes to another endpoint's address."""
+    def send(self, destination: str, payload: bytes, extra_delay: float = 0.0) -> None:
+        """Send raw bytes to another endpoint's address.
+
+        ``extra_delay`` adds sender-side processing time (seconds) on top of
+        the link latency — e.g. an RPC server holding a response until its
+        serial service queue drains (see ``RpcServer.service_model``).
+        """
         if self._closed:
             raise TransportClosedError(f"endpoint {self.address} is closed")
-        self.network.send(self.address, destination, payload)
+        self.network.send(self.address, destination, payload, extra_delay=extra_delay)
 
     def receive(self) -> Optional[Message]:
         """Pop the oldest parked message, or ``None`` when the inbox is empty."""
@@ -237,8 +242,13 @@ class Network:
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
-    def send(self, source: str, destination: str, payload: bytes) -> None:
-        """Enqueue a message for delivery; latency is charged at delivery time."""
+    def send(self, source: str, destination: str, payload: bytes,
+             extra_delay: float = 0.0) -> None:
+        """Enqueue a message for delivery; latency is charged at delivery time.
+
+        ``extra_delay`` models sender-side processing time: it pushes the
+        delivery timestamp out without counting as link latency in the stats.
+        """
         if destination not in self._endpoints:
             raise NetworkError(f"no endpoint registered at {destination!r}")
         if (source, destination) in self._partitions:
@@ -252,7 +262,7 @@ class Network:
             destination=destination,
             payload=bytes(payload),
             sent_at=self.clock.now(),
-            deliver_at=self.clock.now() + latency,
+            deliver_at=self.clock.now() + latency + max(0.0, extra_delay),
         )
         decision = self._consult_faults(message) if self._fault_hooks else None
         self.stats.record_send(source, destination, len(payload), latency)

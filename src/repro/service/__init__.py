@@ -1,0 +1,34 @@
+"""The unified service plane: one client-facing API for every app.
+
+The paper's thesis is that a *single application-independent framework* can
+bootstrap many distributed-trust applications. This package is the service
+layer that makes the claim concrete on the client side:
+
+* :mod:`repro.service.spec` — :class:`ServiceSpec`, a declarative description
+  of an app service (packages, domains per shard, shard count, threshold,
+  service-time model) that synthesizes the attested
+  :class:`~repro.core.deployment.Deployment` replica set;
+* :mod:`repro.service.ring` — :class:`HashRing`, deterministic
+  consistent-hash placement of keys onto shards;
+* :mod:`repro.service.sharded` — :class:`ShardedService`, N deployment shards
+  behind keyed routing and scatter/gather batch invokes (send to every shard
+  *before* pumping the network, so shard service time overlaps in sim time);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the session facade
+  (audit-before-use policies, at-most-once retries, failover walks, batch
+  chunking) the four app clients are thin adapters over.
+
+See docs/architecture.md for the capacity model and how the pieces compose.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.ring import HashRing
+from repro.service.sharded import ShardedService
+from repro.service.spec import PackageBinding, ServiceSpec
+
+__all__ = [
+    "ServiceSpec",
+    "PackageBinding",
+    "HashRing",
+    "ShardedService",
+    "ServiceClient",
+]

@@ -1,0 +1,87 @@
+"""Consistent-hash routing for sharded services.
+
+Keyed requests are routed to shards through a classic consistent-hash ring:
+every shard owns a set of virtual nodes placed deterministically (sha256)
+around a circle, and a key belongs to the first virtual node at or after its
+own hash position. The construction has the two properties the service plane
+needs:
+
+* **Determinism.** Routing depends only on the shard count, the virtual-node
+  count, and the key bytes — every client, the workload driver, and the
+  benchmark agree on key placement with no coordination.
+* **Stability under resharding.** Growing from N to N+1 shards moves only the
+  keys that land in the new shard's virtual arcs (~1/(N+1) of the keyspace);
+  a naive ``hash(key) % N`` would remap almost everything.
+
+The ring does *not* balance perfectly: with a finite keyspace the largest
+shard typically carries 1.2–1.6x the mean, which is why a 4-shard deployment
+yields ~3x (not 4x) aggregate throughput — the slowest shard gates every
+scattered batch. More virtual nodes tighten the spread at the cost of a
+bigger routing table.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import sha256
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over ``shard_count`` shards.
+
+    Args:
+        shard_count: number of shards (≥ 1).
+        vnodes: virtual nodes per shard; more vnodes → smoother balance.
+        salt: domain-separation prefix so distinct services get distinct
+            placements for the same keys.
+    """
+
+    def __init__(self, shard_count: int, vnodes: int = 128,
+                 salt: bytes = b"repro/service/ring"):
+        if shard_count < 1:
+            raise ValueError("a ring needs at least one shard")
+        if vnodes < 1:
+            raise ValueError("each shard needs at least one virtual node")
+        self.shard_count = shard_count
+        self.vnodes = vnodes
+        self.salt = bytes(salt)
+        points: list[tuple[int, int]] = []
+        for shard in range(shard_count):
+            for replica in range(vnodes):
+                digest = sha256(
+                    self.salt + b"|" + str(shard).encode() + b"#" + str(replica).encode()
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    @staticmethod
+    def _key_bytes(key) -> bytes:
+        if isinstance(key, bytes):
+            return key
+        if isinstance(key, str):
+            return key.encode("utf-8")
+        if isinstance(key, int):
+            return str(key).encode("ascii")
+        raise TypeError(f"unroutable key type {type(key).__name__!r} "
+                        "(expected str, bytes, or int)")
+
+    def shard_for(self, key) -> int:
+        """The shard index owning ``key`` (first virtual node at/after it)."""
+        position = int.from_bytes(
+            sha256(self.salt + b"/key|" + self._key_bytes(key)).digest()[:8], "big"
+        )
+        index = bisect_right(self._hashes, position)
+        if index == len(self._hashes):
+            index = 0  # wrap past the top of the circle
+        return self._shards[index]
+
+    def distribution(self, keys) -> list[int]:
+        """How many of ``keys`` land on each shard (diagnostics/benchmarks)."""
+        counts = [0] * self.shard_count
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

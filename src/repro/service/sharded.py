@@ -1,0 +1,197 @@
+"""The sharded service plane: N deployments behind one routing surface.
+
+A :class:`ShardedService` owns one :class:`~repro.core.deployment.Deployment`
+per shard and presents them as a single service:
+
+* **Keyed routing.** Every request carries a key (user id, query name,
+  message digest, ...); the consistent-hash ring maps the key to the shard
+  that owns it, so any client, anywhere, agrees on placement.
+* **Scatter/gather batches.** :meth:`scatter` groups a batch by
+  ``(shard, domain)``, *begins* every group's RPC batch before pumping the
+  network once, then gathers. Because all payloads are on the wire before the
+  first delivery, the shards' round trips and service time overlap in
+  simulated time — pump between sends and the shards serialize again, and a
+  4-shard deployment measures like 1 (see docs/architecture.md for the
+  capacity model).
+* **One audit surface.** All shards share a clock and a vendor registry, so
+  :class:`repro.service.ServiceClient` can attest and cross-check the whole
+  fleet the way :class:`~repro.core.client.AuditingClient` audits one
+  deployment.
+
+The plane deliberately reuses the single-deployment machinery — each shard is
+a complete, independently auditable deployment — so everything that holds for
+one deployment (at-most-once RPC, fault injection, update auditing) holds per
+shard with no new protocol.
+"""
+
+from __future__ import annotations
+
+from repro.core.deployment import Deployment
+from repro.errors import ServiceSpecError
+from repro.net.transport import Network
+from repro.service.ring import HashRing
+
+__all__ = ["ShardedService"]
+
+
+class ShardedService:
+    """N shard deployments routed by a consistent-hash ring.
+
+    Built by :meth:`repro.service.ServiceSpec.synthesize`; or wrap an
+    existing single deployment with :meth:`adopt` to give legacy code the
+    plane interface.
+    """
+
+    def __init__(self, spec, shards: list[Deployment], ring: HashRing, clock):
+        if not shards:
+            raise ServiceSpecError("a sharded service needs at least one shard")
+        if ring.shard_count != len(shards):
+            raise ServiceSpecError(
+                f"ring covers {ring.shard_count} shards but {len(shards)} exist"
+            )
+        self.spec = spec
+        self.shards = list(shards)
+        self.ring = ring
+        self.clock = clock
+        self.client_address: str | None = None
+
+    @classmethod
+    def adopt(cls, deployment: Deployment, ring_vnodes: int = 128) -> "ShardedService":
+        """Wrap one existing deployment as a single-shard service plane."""
+        ring = HashRing(1, vnodes=ring_vnodes,
+                        salt=b"repro/service/" + deployment.name.encode("utf-8"))
+        return cls(None, [deployment], ring, deployment.clock)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Deployment:
+        """Shard 0's deployment — what legacy single-deployment code holds."""
+        return self.shards[0]
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards carry the keyspace."""
+        return len(self.shards)
+
+    @property
+    def domains_per_shard(self) -> int:
+        """Trust domains in each shard's deployment."""
+        return len(self.primary.domains)
+
+    @property
+    def vendor_registry(self):
+        """The hardware-vendor registry shared by every shard."""
+        return self.primary.vendor_registry
+
+    def shard_for(self, key) -> int:
+        """The shard index owning ``key``."""
+        return self.ring.shard_for(key)
+
+    def deployment_for(self, key) -> Deployment:
+        """The shard deployment owning ``key``."""
+        return self.shards[self.ring.shard_for(key)]
+
+    # ------------------------------------------------------------------
+    # Keyed invocation
+    # ------------------------------------------------------------------
+    def invoke(self, key, domain_index: int, entry: str, params) -> dict:
+        """Invoke the application on ``key``'s shard, one trust domain."""
+        return self.deployment_for(key).invoke(domain_index, entry, params)
+
+    def invoke_on_shard(self, shard_index: int, domain_index: int,
+                        entry: str, params) -> dict:
+        """Invoke on an explicitly chosen shard (operator-side paths)."""
+        return self.shards[shard_index].invoke(domain_index, entry, params)
+
+    def invoke_batch(self, key, domain_index: int, calls: list,
+                     chunk_size: int = 128) -> list:
+        """Batched invoke against ``key``'s shard (single-shard batches)."""
+        return self.deployment_for(key).invoke_batch(domain_index, calls,
+                                                     chunk_size=chunk_size)
+
+    # ------------------------------------------------------------------
+    # Scatter/gather
+    # ------------------------------------------------------------------
+    def scatter(self, calls, chunk_size: int = 128) -> list:
+        """Run a keyed batch across shards; outcomes come back in call order.
+
+        ``calls`` is a sequence of ``(key, domain_index, entry, params)``
+        tuples. Calls are grouped by the shard their key routes to (and the
+        domain they target); every group's batch is *begun* — payload on the
+        wire — before any group is collected, so all shards serve their slice
+        of the batch concurrently in simulated time. Failures are isolated
+        per call, exactly as :meth:`Deployment.invoke_batch` reports them.
+        """
+        routed = [(self.ring.shard_for(key), domain_index, entry, params)
+                  for key, domain_index, entry, params in calls]
+        return self.scatter_to_shards(routed, chunk_size=chunk_size)
+
+    def scatter_to_shards(self, calls, chunk_size: int = 128) -> list:
+        """Scatter with explicit shard indices instead of routing keys.
+
+        ``calls`` is a sequence of ``(shard_index, domain_index, entry,
+        params)`` tuples — for callers that already resolved placement (e.g.
+        the ODoH client routes by query name *before* encrypting, so the
+        operator never needs the plaintext name to pick a shard).
+        """
+        calls = list(calls)
+        groups: dict[tuple[int, int], list[tuple[int, str, dict]]] = {}
+        for position, (shard_index, domain_index, entry, params) in enumerate(calls):
+            groups.setdefault((shard_index, domain_index), []).append(
+                (position, entry, params)
+            )
+        # Send phase: every group's payload goes on the wire before any
+        # delivery happens. This ordering is the whole point — see the module
+        # docstring and docs/architecture.md ("scatter before pump").
+        handles = {}
+        for (shard_index, domain_index), group in groups.items():
+            handles[(shard_index, domain_index)] = (
+                self.shards[shard_index].begin_invoke_batch(
+                    domain_index,
+                    [(entry, params) for _, entry, params in group],
+                    chunk_size=chunk_size,
+                )
+            )
+        # Gather phase: the first collect pumps the shared network to idle,
+        # delivering every shard's traffic; later collects just read inboxes.
+        outcomes: list = [None] * len(calls)
+        for group_key, group in groups.items():
+            for (position, _, _), outcome in zip(group, handles[group_key].collect()):
+                outcomes[position] = outcome
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Networking and capacity
+    # ------------------------------------------------------------------
+    def route_via_network(self, network: Network, attempts: int = 3) -> dict:
+        """Route every shard's invokes over ``network``; returns all servers.
+
+        Shard deployments get distinct client endpoints
+        (``<shard-name>-client``), so their in-flight batches never share an
+        inbox. ``self.client_address`` is the primary shard's, matching the
+        single-deployment attribute legacy callers read.
+        """
+        servers: dict = {}
+        for shard in self.shards:
+            servers.update(shard.route_via_network(network, attempts=attempts))
+        self.client_address = self.primary.client_address
+        return servers
+
+    def unroute(self) -> None:
+        """Restore direct (in-process) invocation on every shard."""
+        for shard in self.shards:
+            shard.unroute()
+
+    def rpc_retry_total(self) -> int:
+        """Total RPC retransmissions across all shards while routed."""
+        return sum(shard.rpc_retry_total() for shard in self.shards)
+
+    def set_service_time(self, per_request: float,
+                         domain_index: int | None = None,
+                         per_byte: float = 0.0) -> None:
+        """Install a serial service-time model on every shard's domains."""
+        for shard in self.shards:
+            shard.set_service_time(per_request, domain_index=domain_index,
+                                   per_byte=per_byte)

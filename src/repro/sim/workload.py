@@ -75,6 +75,8 @@ class WorkloadReport:
     failed: int = 0
     batched: bool = True
     batch_size: int = 0
+    shards: int = 1
+    service_time: float = 0.0
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
     retries: int = 0
@@ -93,6 +95,20 @@ class WorkloadReport:
         return self.succeeded / self.wall_seconds
 
     @property
+    def sim_ops_per_sec(self) -> float:
+        """Completed operations per *simulated* second.
+
+        Deterministic — it depends only on the protocol's message/latency/
+        service-time structure, never on container CPU contention — so it is
+        the number capacity comparisons (sharding, batching round-trip
+        savings) should assert on. Wall-clock ops/sec remains the honest
+        measure of interpreter work per op.
+        """
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.succeeded / self.sim_seconds
+
+    @property
     def success_rate(self) -> float:
         """Fraction of operations that completed end to end."""
         if self.ops == 0:
@@ -107,6 +123,8 @@ class WorkloadReport:
     def format(self) -> str:
         """A deterministic multi-line text report (throughput is rounded)."""
         mode = f"batched (batch={self.batch_size})" if self.batched else "unbatched"
+        if self.shards > 1:
+            mode += f", {self.shards} shards"
         lines = [
             f"workload {self.app}: {self.num_clients} clients, {self.ops} ops, {mode}",
             f"  ops: ok={self.succeeded} failed={self.failed} "
@@ -134,9 +152,12 @@ class WorkloadReport:
             "failed": self.failed,
             "batched": self.batched,
             "batch_size": self.batch_size,
+            "shards": self.shards,
+            "service_time": self.service_time,
             "wall_seconds": self.wall_seconds,
             "ops_per_sec": self.ops_per_sec,
             "sim_seconds": self.sim_seconds,
+            "sim_ops_per_sec": self.sim_ops_per_sec,
             "retries": self.retries,
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
@@ -159,10 +180,11 @@ class WorkloadReport:
 class _KeyBackupAdapter:
     app = "keybackup"
 
-    def __init__(self, seed: int, ops: int):
+    def __init__(self, seed: int, ops: int, shards: int = 1):
         from repro.apps.keybackup import KeyBackupClient, KeyBackupDeployment
 
-        self.service = KeyBackupDeployment(num_domains=4, threshold=3)
+        self.service = KeyBackupDeployment(num_domains=4, threshold=3, shards=shards)
+        self.plane = self.service.plane
         self.deployment = self.service.deployment
         self.client = KeyBackupClient(self.service, audit_before_use=False)
         generator = WorkloadGenerator(seed)
@@ -198,15 +220,20 @@ class _KeyBackupAdapter:
 class _PrioAdapter:
     app = "prio"
 
-    def __init__(self, seed: int, ops: int):
+    def __init__(self, seed: int, ops: int, shards: int = 1):
         from repro.apps.prio import (
             PrivateAggregationClient,
             PrivateAggregationDeployment,
         )
 
-        self.service = PrivateAggregationDeployment(num_servers=3, max_value=100)
+        self.service = PrivateAggregationDeployment(num_servers=3, max_value=100,
+                                                    shards=shards)
+        self.plane = self.service.plane
         self.deployment = self.service.deployment
-        self.client = PrivateAggregationClient(self.service, audit_before_use=False)
+        # A fixed session tag keeps submission→shard routing reproducible
+        # per seed (real clients default to a random tag per session).
+        self.client = PrivateAggregationClient(self.service, audit_before_use=False,
+                                               session_tag=f"workload-{seed}")
         self.values = WorkloadGenerator(seed).telemetry_values(ops, 0, 100)
         self.accepted: list[int] = []
         self.unclean = 0
@@ -260,11 +287,13 @@ class _PrioAdapter:
 class _ThresholdSignAdapter:
     app = "threshold_sign"
 
-    def __init__(self, seed: int, ops: int):
+    def __init__(self, seed: int, ops: int, shards: int = 1):
         from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
 
         self.service = CustodyDeployment(threshold=2, num_signers=3,
-                                         keygen_seed=seed.to_bytes(8, "big"))
+                                         keygen_seed=seed.to_bytes(8, "big"),
+                                         shards=shards)
+        self.plane = self.service.plane
         self.deployment = self.service.deployment
         self.client = CustodyClient(self.service, audit_before_use=False)
         self.messages = WorkloadGenerator(seed).messages(ops)
@@ -292,7 +321,7 @@ class _ThresholdSignAdapter:
 class _OdohAdapter:
     app = "odoh"
 
-    def __init__(self, seed: int, ops: int):
+    def __init__(self, seed: int, ops: int, shards: int = 1):
         from repro.apps.odoh import ObliviousDnsClient, ObliviousDnsDeployment
 
         self.names = WorkloadGenerator(seed).dns_queries(ops)
@@ -300,7 +329,8 @@ class _OdohAdapter:
             name: f"10.{index // 250}.{index % 250}.7"
             for index, name in enumerate(self.names)
         }
-        self.service = ObliviousDnsDeployment(records=self.records)
+        self.service = ObliviousDnsDeployment(records=self.records, shards=shards)
+        self.plane = self.service.plane
         self.deployment = self.service.deployment
         self.client = ObliviousDnsClient(self.service, audit_before_use=False)
         self.resolved = 0
@@ -364,6 +394,13 @@ class MultiClientWorkload:
         batch_size: operations per batch in batched mode (client requests are
             grouped in spans of this size; scheduled events fire at span
             boundaries rather than between individual ops).
+        shards: how many service-plane shards carry the app (1 = the classic
+            single-deployment layout).
+        service_time: simulated seconds each trust domain spends per request
+            (a serial busy-until queue). 0 leaves servers infinitely fast —
+            fine for message-count comparisons, but shard scaling is only
+            measurable in sim time with a non-zero service time (see
+            docs/architecture.md).
         rules: probabilistic :class:`~repro.sim.faults.FaultRule` instances.
         events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
         rpc_attempts: send attempts per request (retries are safe against the
@@ -372,6 +409,7 @@ class MultiClientWorkload:
 
     def __init__(self, app: str, num_clients: int = 100, ops_per_client: int = 1,
                  seed: int = 2022, batched: bool = True, batch_size: int = 128,
+                 shards: int = 1, service_time: float = 0.0,
                  rules: tuple = (), events: tuple = (), rpc_attempts: int = 3):
         if app not in _ADAPTERS:
             raise ValueError(f"unknown workload app {app!r} "
@@ -380,6 +418,10 @@ class MultiClientWorkload:
             raise ValueError("a workload needs at least one client and one op")
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if shards < 1:
+            raise ValueError("a workload needs at least one shard")
+        if service_time < 0:
+            raise ValueError("service_time cannot be negative")
         self.app = app
         self.num_clients = num_clients
         self.ops_per_client = ops_per_client
@@ -387,6 +429,8 @@ class MultiClientWorkload:
         self.seed = seed
         self.batched = batched
         self.batch_size = batch_size
+        self.shards = shards
+        self.service_time = service_time
         self.rules = tuple(rules)
         self.events = tuple(events)
         self.rpc_attempts = rpc_attempts
@@ -418,18 +462,22 @@ class MultiClientWorkload:
         from repro.net.transport import Network
         from repro.sim.faults import FaultPlan
 
-        adapter = _ADAPTERS[self.app](self.seed, self.total_ops)
+        adapter = _ADAPTERS[self.app](self.seed, self.total_ops, shards=self.shards)
         adapter.robust = bool(self.rules or self.events)
+        plane = adapter.plane
         deployment = adapter.deployment
-        network = Network(clock=deployment.clock, default_latency=lan_profile())
-        deployment.route_via_network(network, attempts=self.rpc_attempts)
+        network = Network(clock=plane.clock, default_latency=lan_profile())
+        plane.route_via_network(network, attempts=self.rpc_attempts)
+        if self.service_time > 0:
+            plane.set_service_time(self.service_time)
         plan = FaultPlan(self.rules, self.events, seed=self.seed + 1)
         plan.install(network)
         context = self._event_context(network, deployment, adapter)
 
         report = WorkloadReport(app=self.app, num_clients=self.num_clients,
                                 ops=self.total_ops, batched=self.batched,
-                                batch_size=self.batch_size if self.batched else 0)
+                                batch_size=self.batch_size if self.batched else 0,
+                                shards=self.shards, service_time=self.service_time)
         sim_started = network.clock.now()
         wall_started = time.perf_counter()
         if self.batched:
@@ -461,8 +509,8 @@ class MultiClientWorkload:
                     report.succeeded += 1
         report.wall_seconds = time.perf_counter() - wall_started
         report.sim_seconds = network.clock.now() - sim_started
-        report.retries = deployment.rpc_retry_total()
-        deployment.unroute()
+        report.retries = plane.rpc_retry_total()
+        plane.unroute()
 
         stats = network.stats
         report.messages_sent = stats.messages_sent

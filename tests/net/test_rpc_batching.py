@@ -69,6 +69,41 @@ class TestCallMany:
         assert results[0] == 1 and results[2] == 2
         assert isinstance(results[1], RpcError)
 
+    def test_return_errors_interleaved_failures_keep_call_order(self):
+        """Failures interleaved through a batch must not shift result pairing.
+
+        Every odd-positioned call fails (server-side error) while the server
+        also answers in reverse order, so any positional pairing — instead of
+        id-based pairing — would misattribute errors to healthy calls.
+        """
+        network = Network()
+        server_endpoint = network.endpoint("server")
+        client_endpoint = network.endpoint("client")
+
+        def reversed_flaky_responder(message):
+            responses = []
+            for frame in reversed(split_frames(message.payload)):
+                request = decode(frame)
+                value = request["params"]
+                if value % 2 == 1:
+                    envelope = {"id": request["id"], "error": f"reject {value}"}
+                else:
+                    envelope = {"id": request["id"], "result": value * 10}
+                responses.append(frame_message(encode(envelope)))
+            server_endpoint.send(message.source, b"".join(responses))
+
+        server_endpoint.on_message = reversed_flaky_responder
+        client = RpcClient(network, client_endpoint, "server")
+        results = client.call_many([("check", i) for i in range(11)],
+                                   return_errors=True)
+        assert len(results) == 11
+        for position, result in enumerate(results):
+            if position % 2 == 1:
+                assert isinstance(result, RpcError), (position, result)
+                assert f"reject {position}" in str(result)
+            else:
+                assert result == position * 10, (position, result)
+
     def test_out_of_order_responses_match_by_id(self):
         """A server that answers a batch in reverse order must not confuse pairing."""
         network = Network()
@@ -219,6 +254,53 @@ def _fake_message(payload: bytes):
 
     return Message(source="elsewhere", destination="client", payload=payload,
                    sent_at=0.0, deliver_at=0.0)
+
+
+class TestBeginMany:
+    def test_begin_sends_without_pumping(self):
+        """begin_many puts the payload on the wire but delivers nothing."""
+        network, server, client = make_rpc_pair()
+        server.register("echo", lambda params: params)
+        handle = client.begin_many([("echo", i) for i in range(5)])
+        assert network.pending() == 1  # enqueued, undelivered
+        assert handle.collect() == list(range(5))
+        assert network.pending() == 0
+
+    def test_collect_is_idempotent(self):
+        _, server, client = make_rpc_pair()
+        server.register("echo", lambda params: params)
+        handle = client.begin_many([("echo", 7)])
+        assert handle.collect() == [7]
+        assert handle.collect() == [7]
+        assert server.requests_served == 1
+
+    def test_two_servers_overlap_in_sim_time(self):
+        """Split-phase scatter: service time on two servers must overlap.
+
+        Both batches go on the wire before the network runs, so two servers
+        with 10 ms/request queues finish in ~N×10 ms, not ~2N×10 ms. This is
+        the mechanism shard scaling rests on.
+        """
+        from repro.net.rpc import ServiceTimeModel
+
+        network = Network()
+        servers = []
+        for name in ("alpha", "beta"):
+            endpoint = network.endpoint(name)
+            server = RpcServer(endpoint,
+                               service_model=ServiceTimeModel(per_request=0.01))
+            server.register("work", lambda params: params)
+            servers.append(server)
+        client_endpoint = network.endpoint("client")
+        clients = [RpcClient(network, client_endpoint, name)
+                   for name in ("alpha", "beta")]
+        started = network.clock.now()
+        handles = [client.begin_many([("work", i) for i in range(5)])
+                   for client in clients]
+        for handle in handles:
+            assert handle.collect() == list(range(5))
+        elapsed = network.clock.now() - started
+        assert 0.05 <= elapsed < 0.1, elapsed  # overlapped, not serialized
 
 
 class TestBoundedIdSet:

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.sandbox",
     "repro.transparency",
     "repro.core",
+    "repro.service",
     "repro.apps",
     "repro.sim",
 ]
@@ -68,11 +69,87 @@ class TestDocumentedEntryPoints:
         from repro.core.deployment import Deployment
         from repro.core.framework import TrustDomainFramework
         from repro.core.trust_domain import TrustDomain
+        from repro.service import HashRing, ServiceClient, ServiceSpec, ShardedService
 
-        for cls in (AuditingClient, Deployment, TrustDomainFramework, TrustDomain):
+        for cls in (AuditingClient, Deployment, TrustDomainFramework, TrustDomain,
+                    ServiceSpec, ShardedService, ServiceClient, HashRing):
             assert cls.__doc__
             public_methods = [
                 attr for name, attr in vars(cls).items()
                 if callable(attr) and not name.startswith("_")
             ]
             assert all(method.__doc__ for method in public_methods), cls
+
+
+class TestServicePlaneSurface:
+    """The service-plane redesign's API surface, pinned.
+
+    The redesign moved the four apps onto `repro.service`; these tests make
+    sure the new exports stay importable from the documented locations AND
+    that the legacy per-app constructors (the pre-redesign surface every
+    existing test, example, and scenario driver uses) keep working unchanged.
+    """
+
+    def test_service_exports(self):
+        from repro.service import (  # noqa: F401
+            HashRing,
+            PackageBinding,
+            ServiceClient,
+            ServiceSpec,
+            ShardedService,
+        )
+        from repro.service.spec import PackageBinding as SpecBinding
+        from repro.net.rpc import PendingRpcBatch, ServiceTimeModel  # noqa: F401
+        from repro.core.deployment import PendingInvokeBatch  # noqa: F401
+        from repro.errors import ServiceSpecError  # noqa: F401
+
+        assert SpecBinding is PackageBinding
+
+    def test_split_phase_invoke_surface(self):
+        from repro.core.deployment import Deployment
+        from repro.net.rpc import RpcClient, RpcServer
+
+        assert callable(Deployment.begin_invoke_batch)
+        assert callable(Deployment.set_service_time)
+        assert callable(RpcClient.begin_many)
+        assert "service_model" in RpcServer.__init__.__code__.co_varnames
+
+    def test_legacy_app_constructors_still_work(self):
+        """The exact pre-redesign constructor shapes, with their attributes."""
+        from repro.apps import (
+            CustodyDeployment,
+            KeyBackupDeployment,
+            ObliviousDnsDeployment,
+            PrivateAggregationDeployment,
+        )
+        from repro.core.deployment import Deployment
+        from repro.service import ShardedService
+
+        services = [
+            KeyBackupDeployment(num_domains=3, threshold=2),
+            PrivateAggregationDeployment(num_servers=2, max_value=10),
+            ObliviousDnsDeployment(records={"a.example.org": "192.0.2.1"}),
+            CustodyDeployment(threshold=2, num_signers=3, keygen_seed=b"apisurfc"),
+        ]
+        for service in services:
+            # The legacy single-deployment handle AND the new plane coexist.
+            assert isinstance(service.deployment, Deployment)
+            assert isinstance(service.plane, ShardedService)
+            assert service.plane.primary is service.deployment
+            assert service.plane.num_shards == 1
+
+    def test_legacy_clients_expose_session_and_auditing_client(self):
+        from repro.apps import KeyBackupClient, KeyBackupDeployment
+        from repro.core.client import AuditingClient
+        from repro.service import ServiceClient
+
+        client = KeyBackupClient(KeyBackupDeployment(num_domains=2, threshold=2),
+                                 audit_before_use=False)
+        assert isinstance(client.session, ServiceClient)
+        assert isinstance(client.auditing_client, AuditingClient)
+
+    def test_apps_accept_shards_keyword(self):
+        from repro.apps import KeyBackupDeployment, PrivateAggregationDeployment
+
+        assert KeyBackupDeployment(num_domains=2, shards=2).plane.num_shards == 2
+        assert PrivateAggregationDeployment(num_servers=2, shards=3).num_shards == 3
