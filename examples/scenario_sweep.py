@@ -1,29 +1,55 @@
-"""Run the full fault-injection scenario matrix and print per-scenario reports.
+"""Run the fault-injection scenario matrix and print per-scenario reports.
 
 Every application is driven end to end under adversarial network conditions —
 message loss, delay, reordering, duplication, partitions, crashes, TEE
-compromise, and unannounced updates — and the paper's safety invariants are
-checked after each run. The sweep is fully seeded: two runs with the same seed
-print byte-identical reports.
+compromise, unannounced updates, and live 2→4 resharding epochs — and the
+paper's safety invariants are checked after each run. The sweep is fully
+seeded: two runs with the same seed print byte-identical reports.
 
 Usage::
 
     PYTHONPATH=src python examples/scenario_sweep.py [seed]
+        [--filter substring[,substring...]] [--json PATH]
+
+``--filter`` keeps only scenarios whose name contains one of the given
+substrings (e.g. ``--filter 4shards,reshard`` runs the sharded and reshard
+families); ``--json`` additionally writes every report's plain-data form to
+a file (what CI uploads as an artifact).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.sim.scenarios import ScenarioRunner, default_matrix
 
 
-def main(seed: int = 2022) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Run the matrix; returns 0 when every invariant and liveness floor held."""
-    print(f"fault-injection scenario sweep (seed={seed})")
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("seed", nargs="?", type=int, default=2022)
+    parser.add_argument("--filter", default="",
+                        help="comma-separated name substrings to keep")
+    parser.add_argument("--json", default="",
+                        help="also write the reports as JSON to this path")
+    args = parser.parse_args(argv)
+
+    scenarios = default_matrix(args.seed)
+    needles = [needle for needle in args.filter.split(",") if needle]
+    if needles:
+        scenarios = [s for s in scenarios
+                     if any(needle in s.name for needle in needles)]
+    if not scenarios:
+        print(f"no scenarios match filter {args.filter!r}")
+        return 2
+
+    print(f"fault-injection scenario sweep (seed={args.seed}, "
+          f"{len(scenarios)} scenarios)")
     print("=" * 64)
     reports = []
-    for scenario in default_matrix(seed):
+    for scenario in scenarios:
         report = ScenarioRunner(scenario).run()
         reports.append(report)
         print(report.format())
@@ -35,14 +61,32 @@ def main(seed: int = 2022) -> int:
     )
     liveness_misses = [r.scenario.name for r in reports if not r.liveness_ok]
     apps = sorted({report.scenario.app for report in reports})
+    resharded = sum(1 for report in reports if report.reshards)
     print(f"scenarios: {len(reports)} across apps: {', '.join(apps)}")
     print(f"invariants: {invariants_checked} checked, {invariants_failed} failed")
+    if resharded:
+        print(f"live reshards: {resharded} scenarios crossed an epoch boundary")
     if liveness_misses:
         print(f"liveness floors missed: {', '.join(liveness_misses)}")
     verdict = "ALL SAFETY INVARIANTS HELD" if invariants_failed == 0 else "INVARIANT FAILURES"
     print(verdict)
+
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "filter": args.filter,
+            "scenarios": [report.to_dict() for report in reports],
+            "invariants_checked": invariants_checked,
+            "invariants_failed": invariants_failed,
+            "liveness_misses": liveness_misses,
+            "verdict": verdict,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0 if invariants_failed == 0 and not liveness_misses else 1
 
 
 if __name__ == "__main__":
-    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 2022))
+    sys.exit(main())

@@ -25,8 +25,19 @@ from dataclasses import dataclass
 
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.shamir import Share, ShamirSecretSharing
-from repro.errors import ApplicationError, MisbehaviorDetected, ReproError
-from repro.service import PackageBinding, ServiceClient, ServiceSpec
+from repro.errors import (
+    ApplicationError,
+    MisbehaviorDetected,
+    ReproError,
+    ReshardError,
+)
+from repro.service import (
+    MigrationOutcome,
+    PackageBinding,
+    ServiceClient,
+    ServiceSpec,
+    ShardMigrator,
+)
 from repro.sim.adversary import DeveloperCompromise
 
 __all__ = ["KEY_BACKUP_APP_SOURCE", "KeyBackupDeployment", "KeyBackupClient"]
@@ -57,11 +68,122 @@ def handle(method, params, state):
         return {"deleted": existed}
     if method == "count_users":
         return {"users": len(state["shares"])}
+    if method == "list_users":
+        return {"users": sorted(state["shares"].keys())}
     raise ValueError("unknown method: " + method)
 '''
 
 APP_NAME = "key-backup"
 APP_VERSION = "1.0.0"
+
+
+class _KeyBackupShardMigrator(ShardMigrator):
+    """Moves users' Shamir-share records between shards during a reshard.
+
+    Copy-then-delete per user: all of a user's reachable shares must land on
+    the target shard before the source copies are deleted. A user whose copy
+    fails stays authoritative on the source (partial target writes are rolled
+    back), so a crashed domain or a partition mid-handoff pins the user to
+    their old shard instead of losing records.
+    """
+
+    def __init__(self, service: "KeyBackupDeployment"):
+        self.service = service
+
+    def shard_keys(self, plane, shard_index: int) -> list:
+        # Every domain of the shard holds one share per user, so any
+        # reachable domain can enumerate the shard's users; the union
+        # tolerates torn backups that reached only some domains.
+        users: set[str] = set()
+        reachable = 0
+        for domain_index in range(self.service.num_domains):
+            try:
+                result = plane.invoke_on_shard(shard_index, domain_index,
+                                               "list_users", {})
+            except ReproError:
+                continue
+            reachable += 1
+            users.update(result["value"]["users"])
+        if reachable == 0:
+            raise ReshardError(
+                f"no domain of shard {shard_index} answered the user "
+                "enumeration; aborting instead of guessing the key set"
+            )
+        return sorted(users)
+
+    def migrate(self, plane, source: int, target: int, keys: list) -> MigrationOutcome:
+        num_domains = self.service.num_domains
+        outcome = MigrationOutcome()
+        # 1. Fetch every user's shares from the source shard in one scatter.
+        fetches = plane.scatter_to_shards([
+            (source, domain_index, "fetch_share", {"user": user})
+            for user in keys for domain_index in range(num_domains)
+        ])
+        shares: dict[str, list[tuple[int, dict]]] = {}
+        for position, user in enumerate(keys):
+            row = fetches[position * num_domains:(position + 1) * num_domains]
+            errors = [result for result in row if isinstance(result, Exception)]
+            if errors:
+                outcome.failed[user] = f"fetch from source failed: {errors[0]}"
+                continue
+            shares[user] = [(domain_index, result["value"])
+                            for domain_index, result in enumerate(row)
+                            if result["value"]["found"]]
+        # 2. Store on the target (overwrite: re-migration is idempotent).
+        store_calls = []
+        store_index: list[tuple[str, int]] = []
+        for user in sorted(shares):
+            for domain_index, share in shares[user]:
+                store_calls.append((target, domain_index, "store_share", {
+                    "user": user, "index": share["index"],
+                    "value": share["value"], "overwrite": True,
+                }))
+                store_index.append((user, domain_index))
+        failed_stores: dict[str, str] = {}
+        for (user, domain_index), result in zip(
+                store_index, plane.scatter_to_shards(store_calls)):
+            if isinstance(result, Exception):
+                failed_stores.setdefault(
+                    user, f"store on target domain {domain_index} failed: {result}")
+        # Roll back partial target copies so a failed user never shows up on
+        # two shards; the source stays authoritative for them.
+        self._delete(plane, target, sorted(failed_stores), num_domains)
+        outcome.failed.update(failed_stores)
+        moved = [user for user in sorted(shares) if user not in failed_stores]
+        # 3. Delete the source copies of fully moved users (retried — a stale
+        # source copy would double-count the user on a presence scan). A user
+        # whose deletes are defeated anyway stays *moved* — the target holds
+        # the verified full set, while the source may be left sub-threshold,
+        # so pinning them back would strand recovery — and is queued stale
+        # for finish_reshard() to clean up.
+        outcome.stale = self._delete(plane, source, moved, num_domains)
+        outcome.moved = moved
+        outcome.records_moved = sum(len(shares[user]) for user in moved)
+        return outcome
+
+    def cleanup(self, plane, shard_index: int, keys: list) -> list:
+        """Retry removing moved users' leftover source shares."""
+        leftover = self._delete(plane, shard_index, list(keys),
+                                self.service.num_domains)
+        return [user for user in keys if user not in leftover]
+
+    @staticmethod
+    def _delete(plane, shard_index: int, users: list, num_domains: int,
+                attempts: int = 3) -> list:
+        """Delete every user's shares on one shard; returns users with
+        deletes still outstanding after ``attempts`` rounds."""
+        pending = [(user, domain_index)
+                   for user in users for domain_index in range(num_domains)]
+        for _ in range(attempts):
+            if not pending:
+                break
+            results = plane.scatter_to_shards([
+                (shard_index, domain_index, "delete_share", {"user": user})
+                for user, domain_index in pending
+            ])
+            pending = [pair for pair, result in zip(pending, results)
+                       if isinstance(result, Exception)]
+        return sorted({user for user, _ in pending})
 
 
 class KeyBackupDeployment:
@@ -84,6 +206,7 @@ class KeyBackupDeployment:
             threshold=self.threshold,
         )
         self.plane = self.spec.synthesize(self.developer)
+        self.plane.migrator = _KeyBackupShardMigrator(self)
         # Legacy surface: shard 0's deployment, exactly what pre-service-plane
         # code (tests, scenario drivers, examples) held as `.deployment`.
         self.deployment = self.plane.primary
@@ -97,6 +220,15 @@ class KeyBackupDeployment:
     def num_shards(self) -> int:
         """Number of shards carrying the user keyspace."""
         return self.plane.num_shards
+
+    def reshard(self, new_shard_count: int):
+        """Grow the user keyspace to ``new_shard_count`` shards, live.
+
+        Users whose ring position moves have their share records migrated
+        domain-by-domain (copy, verify, then delete) before the epoch flips;
+        see :mod:`repro.service.reshard` for the fault semantics.
+        """
+        return self.plane.reshard(new_shard_count)
 
     def simulate_developer_compromise(self) -> dict:
         """Run the Figure 1 attack: how many shares can a compromised developer read?

@@ -24,8 +24,14 @@ from repro.core.package import CodePackage, DeveloperIdentity
 from repro.crypto.hashes import hkdf, hmac_sha256
 from repro.crypto.keys import SigningKey, VerifyingKey
 from repro.crypto.secp256k1 import SECP256K1
-from repro.errors import ApplicationError, ReproError
-from repro.service import PackageBinding, ServiceClient, ServiceSpec
+from repro.errors import ApplicationError, ReproError, ReshardError
+from repro.service import (
+    MigrationOutcome,
+    PackageBinding,
+    ServiceClient,
+    ServiceSpec,
+    ShardMigrator,
+)
 from repro.wire.codec import decode, encode
 
 __all__ = ["ObliviousDnsDeployment", "ObliviousDnsClient", "PROXY_APP_SOURCE", "RESOLVER_APP_SOURCE"]
@@ -67,6 +73,19 @@ def handle(method, params, state):
         state["resolved"] = state["resolved"] + 1
         address = state["records"].get(params["name"])
         return {"found": address is not None, "address": address}
+    if method == "list_names":
+        return {"names": sorted(state["records"].keys())}
+    if method == "export_records":
+        return {"records": {name: state["records"][name]
+                            for name in params["names"]
+                            if name in state["records"]}}
+    if method == "remove_records":
+        removed = 0
+        for name in params["names"]:
+            if name in state["records"]:
+                del state["records"][name]
+                removed = removed + 1
+        return {"removed": removed}
     if method == "stats":
         return {"resolved": state["resolved"]}
     raise ValueError("unknown method: " + method)
@@ -84,6 +103,86 @@ class DnsResponse:
     name: str
     found: bool
     address: str | None
+
+
+class _OdohShardMigrator(ShardMigrator):
+    """Moves resolver record partitions between shards during a reshard.
+
+    Migration talks straight to the resolver domains (operator-to-resolver
+    traffic), so the proxies never see a name — the privacy split survives
+    the epoch transition. Records are exported from the source resolver,
+    loaded into the target resolver, and only then removed from the source.
+    """
+
+    def shard_keys(self, plane, shard_index: int) -> list:
+        # One resolver holds a shard's whole partition, so enumeration has no
+        # other domain to fall back to (unlike keybackup's); retry transient
+        # loss, then abort the reshard rather than guess the name set.
+        last_error = None
+        for _ in range(3):
+            try:
+                result = plane.invoke_on_shard(shard_index, RESOLVER_DOMAIN,
+                                               "list_names", {})
+            except ReproError as exc:
+                last_error = exc
+                continue
+            return result["value"]["names"]
+        raise ReshardError(
+            f"shard {shard_index}'s resolver did not answer the record "
+            f"enumeration ({last_error}); aborting instead of guessing"
+        ) from last_error
+
+    def migrate(self, plane, source: int, target: int, keys: list) -> MigrationOutcome:
+        outcome = MigrationOutcome()
+        try:
+            exported = plane.invoke_on_shard(
+                source, RESOLVER_DOMAIN, "export_records",
+                {"names": list(keys)})["value"]["records"]
+        except ReproError as exc:
+            outcome.failed = {name: f"export from source failed: {exc}"
+                              for name in keys}
+            return outcome
+        try:
+            plane.invoke_on_shard(target, RESOLVER_DOMAIN, "load_records",
+                                  {"records": exported})
+        except ReproError as exc:
+            # The load may have been applied with only its response lost, so
+            # clear the target best-effort: the source stays authoritative
+            # for these names and must not share them with a half-loaded
+            # target. (If the cleanup is also defeated — the target is truly
+            # unreachable — a later drain re-migrates with overwrite.)
+            self._remove(plane, target, list(exported))
+            outcome.failed = {name: f"load into target failed: {exc}"
+                              for name in keys}
+            return outcome
+        # Copy verified by the load's reply; now retire the source records
+        # (retried — a stale copy would answer for a name it no longer owns).
+        # Names whose removal is defeated anyway stay *moved* — the target
+        # is authoritative — and are queued stale for finish_reshard().
+        outcome.stale = self._remove(plane, source, list(exported))
+        outcome.moved = sorted(exported)
+        outcome.records_moved = len(exported)
+        return outcome
+
+    def cleanup(self, plane, shard_index: int, keys: list) -> list:
+        """Retry retiring moved names' leftover source records."""
+        leftover = set(self._remove(plane, shard_index, list(keys)))
+        return [name for name in keys if name not in leftover]
+
+    @staticmethod
+    def _remove(plane, shard_index: int, names: list, attempts: int = 3) -> list:
+        """Remove ``names`` from one resolver; returns names still present
+        after ``attempts`` rounds (the whole call is atomic per attempt)."""
+        for _ in range(attempts):
+            if not names:
+                break
+            try:
+                plane.invoke_on_shard(shard_index, RESOLVER_DOMAIN,
+                                      "remove_records", {"names": names})
+                names = []
+            except ReproError:
+                continue
+        return sorted(names)
 
 
 class ObliviousDnsDeployment:
@@ -117,6 +216,7 @@ class ObliviousDnsDeployment:
             include_developer_domain=False,
         )
         self.plane = self.spec.synthesize(self.developer)
+        self.plane.migrator = _OdohShardMigrator()
         self.deployment = self.plane.primary
 
         # One resolver key pair serves every shard (the operator provisions
@@ -139,6 +239,16 @@ class ObliviousDnsDeployment:
     def resolver_public_key(self) -> VerifyingKey:
         """The key clients encrypt queries to."""
         return self._resolver_key.verifying_key()
+
+    def reshard(self, new_shard_count: int):
+        """Grow the name keyspace to ``new_shard_count`` shards, live.
+
+        Record partitions whose names move are re-homed resolver-to-resolver
+        (the proxies never see them); clients route by hashing the name
+        against the committed ring, so post-epoch queries land on the new
+        owners automatically.
+        """
+        return self.plane.reshard(new_shard_count)
 
     def load_records(self, records: dict[str, str]) -> int:
         """Load name→address records into the owning shards' resolvers."""

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.errors import ApplicationError, ReproError
-from repro.service import PackageBinding, ServiceClient, ServiceSpec
+from repro.service import PackageBinding, ServiceClient, ServiceSpec, ShardMigrator
 
 __all__ = [
     "PRIO_APP_SOURCE",
@@ -79,6 +79,27 @@ APP_NAME = "prio-aggregation"
 APP_VERSION = "1.0.0"
 
 
+class _PrioShardMigrator(ShardMigrator):
+    """Prepares fresh aggregation shards; accumulated state never moves.
+
+    Additive aggregation composes across shards — every shard's partial sums
+    and submission counters stay exactly where they are and
+    :meth:`PrivateAggregationDeployment.aggregate` keeps summing over all of
+    them — so the epoch transition only has to configure the new server
+    groups. Post-reshard submissions route to the grown ring; pre-reshard
+    counters are conserved in place.
+    """
+
+    def __init__(self, service: "PrivateAggregationDeployment"):
+        self.service = service
+
+    def provision(self, plane, new_shard_indices: list[int]) -> None:
+        for shard_index in new_shard_indices:
+            for server_index in range(self.service.num_servers):
+                plane.invoke_on_shard(shard_index, server_index, "configure",
+                                      {"max_value": self.service.max_value})
+
+
 class PrivateAggregationDeployment:
     """The analytics operator's side: aggregation servers as trust domains.
 
@@ -106,6 +127,7 @@ class PrivateAggregationDeployment:
             include_developer_domain=False,
         )
         self.plane = self.spec.synthesize(self.developer)
+        self.plane.migrator = _PrioShardMigrator(self)
         self.deployment = self.plane.primary
         for shard_index in range(self.plane.num_shards):
             for index in range(num_servers):
@@ -116,6 +138,15 @@ class PrivateAggregationDeployment:
     def num_shards(self) -> int:
         """Number of independent aggregation server groups."""
         return self.plane.num_shards
+
+    def reshard(self, new_shard_count: int):
+        """Grow to ``new_shard_count`` server groups, live.
+
+        Existing accumulators stay put (sums add across shards); new groups
+        are configured before the epoch flips, so in-flight collection epochs
+        keep aggregating exactly.
+        """
+        return self.plane.reshard(new_shard_count)
 
     # ------------------------------------------------------------------
     # Aggregation (operator side)
@@ -179,8 +210,17 @@ class PrivateAggregationClient:
         """Audit the aggregation servers; raises on any misbehavior."""
         return self.session.audit_compat()
 
+    def submission_key(self, index: int) -> str:
+        """The routing key of this session's ``index``-th submission.
+
+        Deterministic given the session tag, so harnesses that need to know
+        where a submission will land (per-shard attribution, capacity
+        planning) derive it here instead of duplicating the format.
+        """
+        return f"{self._session_tag}/submission-{index}"
+
     def _next_submission_key(self) -> str:
-        key = f"{self._session_tag}/submission-{self._submission_counter}"
+        key = self.submission_key(self._submission_counter)
         self._submission_counter += 1
         return key
 

@@ -22,7 +22,7 @@ from repro.crypto.dkg import DistributedKeyGeneration
 from repro.crypto.shamir import Share
 from repro.errors import ApplicationError, ReproError
 from repro.sandbox.programs import bls_share_source
-from repro.service import PackageBinding, ServiceClient, ServiceSpec
+from repro.service import PackageBinding, ServiceClient, ServiceSpec, ShardMigrator
 
 __all__ = ["CustodyDeployment", "CustodyClient", "SignedTransaction"]
 
@@ -37,6 +37,26 @@ class SignedTransaction:
     message: bytes
     signature: BlsSignature
     signer_indices: tuple[int, ...]
+
+
+class _CustodyShardMigrator(ShardMigrator):
+    """Provisions replicated signer groups onto freshly grown shards.
+
+    Custody state is fully replicated — every shard's signer ``i`` holds the
+    same key share under the one group public key — so no records ever move
+    between shards. Growing the service means provisioning the signer group
+    (enclave key-share installation, the operator's key ceremony) on each new
+    shard before the epoch flips; message routing then spreads signing load
+    over the larger fleet while any shard's quorum still produces the same
+    verifiable signature.
+    """
+
+    def __init__(self, service: "CustodyDeployment"):
+        self.service = service
+
+    def provision(self, plane, new_shard_indices: list[int]) -> None:
+        self.service.install_shares_on_shards(
+            [plane.shards[index] for index in new_shard_indices])
 
 
 class CustodyDeployment:
@@ -72,6 +92,7 @@ class CustodyDeployment:
             threshold=threshold,
         )
         self.plane = self.spec.synthesize(self.developer)
+        self.plane.migrator = _CustodyShardMigrator(self)
         self.deployment = self.plane.primary
         self.scheme = BlsThresholdScheme(threshold, num_signers)
         self.group_public_key, self._shares = self._generate_key(use_dkg, keygen_seed)
@@ -82,6 +103,15 @@ class CustodyDeployment:
         """Number of replicated signer groups."""
         return self.plane.num_shards
 
+    def reshard(self, new_shard_count: int):
+        """Grow to ``new_shard_count`` replicated signer groups, live.
+
+        New shards receive the same key shares (one group public key for the
+        whole fleet); message-keyed routing then spreads signing load across
+        the larger fleet with no state movement at all.
+        """
+        return self.plane.reshard(new_shard_count)
+
     # ------------------------------------------------------------------
     # Key management
     # ------------------------------------------------------------------
@@ -91,9 +121,16 @@ class CustodyDeployment:
         return self.scheme.keygen(seed)
 
     def _install_shares(self) -> None:
-        # Signer i (1-indexed) lives on trust domain i of *every* shard
-        # (domain 0 holds no share).
-        for shard in self.plane.shards:
+        self.install_shares_on_shards(self.plane.shards)
+
+    def install_shares_on_shards(self, shards) -> None:
+        """Provision the signer group onto ``shards`` (the key ceremony).
+
+        Signer i (1-indexed) lives on trust domain i of every shard (domain 0
+        holds no share). Also called by the reshard migrator for shards grown
+        after deployment.
+        """
+        for shard in shards:
             for share in self._shares:
                 domain = shard.domains[share.index]
                 if domain.enclave is not None:

@@ -350,6 +350,13 @@ class Deployment:
             return 0
         return sum(client.retries for client in self._route_cache[1])
 
+    def duplicates_answered_total(self) -> int:
+        """Duplicate requests the domains' at-most-once servers deduplicated
+        (0 before the deployment is attached to a network)."""
+        if self._servers is None:
+            return 0
+        return sum(server.duplicates_answered for server in self._servers)
+
 
 class PendingInvokeBatch:
     """An in-flight application batch from :meth:`Deployment.begin_invoke_batch`.

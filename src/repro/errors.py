@@ -40,6 +40,8 @@ __all__ = [
     "UnauthorizedUpdateError",
     "DeploymentError",
     "ServiceSpecError",
+    "ReshardError",
+    "KeyMigratingError",
     "AuditError",
     "MisbehaviorDetected",
     "ApplicationError",
@@ -200,6 +202,20 @@ class ServiceSpecError(FrameworkError):
 
 class DeploymentError(FrameworkError):
     """A deployment could not be created or modified."""
+
+
+class ReshardError(FrameworkError):
+    """A live resharding operation could not be performed."""
+
+
+class KeyMigratingError(ReshardError):
+    """A keyed request arrived while its key was mid-migration.
+
+    This is the *fail-safe* outcome of the epoch router: during a reshard a
+    moving key briefly has no authoritative owner, so routing refuses rather
+    than silently serving from (or writing to) the wrong shard. Callers retry
+    after the epoch flips.
+    """
 
 
 class AuditError(FrameworkError):

@@ -15,13 +15,23 @@ layer that makes the claim concrete on the client side:
   *before* pumping the network, so shard service time overlaps in sim time);
 * :mod:`repro.service.client` — :class:`ServiceClient`, the session facade
   (audit-before-use policies, at-most-once retries, failover walks, batch
-  chunking) the four app clients are thin adapters over.
+  chunking) the four app clients are thin adapters over;
+* :mod:`repro.service.reshard` — epoch-based live resharding: grow a running
+  service, migrate moved keys' state through the app's
+  :class:`ShardMigrator` over the simulated network, and commit a new epoch
+  with no lost, duplicated, or silently misrouted records.
 
 See docs/architecture.md for the capacity model and how the pieces compose.
 """
 
 from repro.service.client import ServiceClient
-from repro.service.ring import HashRing
+from repro.service.reshard import (
+    MigrationOutcome,
+    ReshardCoordinator,
+    ReshardReport,
+    ShardMigrator,
+)
+from repro.service.ring import HashRing, RingDiff
 from repro.service.sharded import ShardedService
 from repro.service.spec import PackageBinding, ServiceSpec
 
@@ -29,6 +39,11 @@ __all__ = [
     "ServiceSpec",
     "PackageBinding",
     "HashRing",
+    "RingDiff",
     "ShardedService",
     "ServiceClient",
+    "ShardMigrator",
+    "MigrationOutcome",
+    "ReshardCoordinator",
+    "ReshardReport",
 ]

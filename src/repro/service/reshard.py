@@ -1,0 +1,367 @@
+"""Epoch-based live resharding: grow a running service without losing a key.
+
+The consistent-hash ring (:mod:`repro.service.ring`) has always *advertised*
+stability under resharding; this module is the machinery that cashes the
+claim in on a live service. A reshard is one epoch transition:
+
+1. **Synthesize.** The new shards are built from the same
+   :class:`~repro.service.ServiceSpec` as the originals — measured enclaves,
+   published packages, the shared clock and vendor roots — and joined to the
+   plane's network wiring and service-time model.
+2. **Plan.** The application's :class:`ShardMigrator` enumerates the keys each
+   old shard actually holds; diffing the old ring against the grown ring
+   yields the minimal moved-key set (~``1 - N/M`` of the keyspace for
+   ``N → M`` shards; everything else never moves).
+3. **Migrate.** Moved keys are marked *in motion* — keyed routing fails
+   safely with :class:`~repro.errors.KeyMigratingError` instead of guessing
+   an owner — while the migrator copies records source → target over the
+   simulated network (so packet loss, partitions, and crashes hit migration
+   traffic exactly as they hit request traffic), verifies the copy, and only
+   then deletes the source records.
+4. **Commit.** The plane flips to the new ring and bumps its epoch. Keys
+   whose records could not be moved (crashed source, partitioned target) are
+   pinned to the shard that still holds them via *epoch overrides* — routed
+   correctly, never silently misrouted — until :meth:`ShardedService.
+   finish_reshard` drains them after the fault heals.
+
+The invariant the scenario matrix pins: across the epoch boundary, no record
+is lost and no record ends up authoritative on two shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReshardError
+from repro.service.ring import RingDiff
+
+__all__ = ["MigrationOutcome", "ShardMigrator", "ReshardReport",
+           "ReshardCoordinator"]
+
+
+@dataclass
+class MigrationOutcome:
+    """What one source→target migration batch achieved.
+
+    ``moved`` keys are fully present on the target, which is now their
+    authoritative home; ``failed`` keys remain fully on the source (partial
+    target copies cleaned up best-effort) with the error that stopped them.
+    ``stale`` keys are a subset of ``moved`` whose *source* cleanup is
+    incomplete (e.g. a delete lost in flight after the copy verified): the
+    target is authoritative, but leftover source records await
+    :meth:`ShardMigrator.cleanup` — they must never be reported ``failed``,
+    because pinning them to a partially deleted source could strand them
+    below the app's recovery threshold.
+    """
+
+    moved: list = field(default_factory=list)
+    failed: dict = field(default_factory=dict)  # key -> error string
+    stale: list = field(default_factory=list)  # moved keys w/ source leftovers
+    records_moved: int = 0
+
+
+class ShardMigrator:
+    """How an application's per-shard state follows its keys across epochs.
+
+    The base class models a *stateless* (or fully replicated) service: no
+    keys to enumerate, nothing to move — correct for threshold signing, where
+    every shard holds the same signer group. Stateful apps override
+    :meth:`shard_keys` and :meth:`migrate`; apps that must prepare fresh
+    shards (install key shares, push configuration) override
+    :meth:`provision`.
+    """
+
+    def provision(self, plane, new_shard_indices: list[int]) -> None:
+        """App-level setup of freshly synthesized shards (packages are
+        already installed; this is for key material, configuration, ...)."""
+
+    def shard_keys(self, plane, shard_index: int) -> list:
+        """The routing keys whose state currently lives on ``shard_index``."""
+        return []
+
+    def migrate(self, plane, source: int, target: int, keys: list) -> MigrationOutcome:
+        """Move ``keys``' records from shard ``source`` to shard ``target``.
+
+        Must be copy-then-delete: a key may only be reported ``moved`` once
+        its records are verified on the target; if the source removal then
+        fails, the key stays ``moved`` and is listed ``stale`` (see
+        :class:`MigrationOutcome`). A stateless service has nothing to do.
+        """
+        return MigrationOutcome(moved=list(keys))
+
+    def cleanup(self, plane, shard_index: int, keys: list) -> list:
+        """Remove ``keys``' leftover records from ``shard_index``.
+
+        Called by :meth:`ShardedService.finish_reshard` for keys a migration
+        left ``stale``. Returns the keys actually cleaned (the rest stay
+        queued). The stateless default has nothing to clean.
+        """
+        return list(keys)
+
+
+@dataclass
+class ReshardReport:
+    """Everything one epoch transition produced."""
+
+    service: str
+    old_shard_count: int
+    new_shard_count: int
+    epoch: int
+    diff: RingDiff | None = None
+    provisioned: list = field(default_factory=list)  # new shard names
+    migrated_keys: int = 0
+    records_moved: int = 0
+    failed_keys: dict = field(default_factory=dict)  # key -> error string
+    stale_keys: list = field(default_factory=list)  # moved, source cleanup pending
+    sim_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every moved key's state fully reached its new owner,
+        with nothing pinned and no source leftovers awaiting cleanup."""
+        return not self.failed_keys and not self.stale_keys
+
+    @property
+    def pending(self) -> int:
+        """Keys left pinned to their old shard by epoch overrides."""
+        return len(self.failed_keys)
+
+    def format(self) -> str:
+        """A deterministic one-paragraph text summary."""
+        moved_fraction = self.diff.moved_fraction if self.diff else 0.0
+        lines = [
+            f"reshard {self.service}: {self.old_shard_count} -> "
+            f"{self.new_shard_count} shards (epoch {self.epoch})",
+            f"  keys: {self.diff.total_keys if self.diff else 0} total, "
+            f"{self.diff.moved_count if self.diff else 0} owners changed "
+            f"({moved_fraction * 100:.1f}%)",
+            f"  migrated: {self.migrated_keys} keys / {self.records_moved} records "
+            f"in {self.sim_seconds * 1000:.1f} ms sim",
+        ]
+        if self.failed_keys:
+            lines.append(f"  pinned to old shards: {sorted(self.failed_keys)}")
+        if self.stale_keys:
+            lines.append(f"  source cleanup pending: {sorted(self.stale_keys)}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for reports and the benchmark JSON."""
+        return {
+            "service": self.service,
+            "old_shard_count": self.old_shard_count,
+            "new_shard_count": self.new_shard_count,
+            "epoch": self.epoch,
+            "keys_total": self.diff.total_keys if self.diff else 0,
+            "keys_moved": self.diff.moved_count if self.diff else 0,
+            "migrated_keys": self.migrated_keys,
+            "records_moved": self.records_moved,
+            "failed_keys": len(self.failed_keys),
+            "stale_keys": len(self.stale_keys),
+            "sim_seconds": self.sim_seconds,
+        }
+
+
+class ReshardCoordinator:
+    """Drives one epoch transition on a :class:`ShardedService`."""
+
+    def __init__(self, plane):
+        self.plane = plane
+
+    def reshard(self, new_shard_count: int) -> ReshardReport:
+        """Grow the plane to ``new_shard_count`` shards; see the module doc."""
+        plane = self.plane
+        if plane.spec is None:
+            raise ReshardError(
+                "adopted planes carry no ServiceSpec and cannot synthesize "
+                "new shards; reshard a spec-built service instead"
+            )
+        old_count = len(plane.shards)
+        if new_shard_count <= old_count:
+            raise ReshardError(
+                f"resharding only grows a service ({old_count} -> "
+                f"{new_shard_count} requested); retiring shards would need a "
+                "drain protocol this plane does not implement"
+            )
+        migrator = plane.migrator or ShardMigrator()
+        started = plane.clock.now()
+        report = ReshardReport(
+            service=plane.spec.name,
+            old_shard_count=old_count,
+            new_shard_count=new_shard_count,
+            epoch=plane.epoch + 1,
+        )
+        new_indices = list(range(old_count, new_shard_count))
+        try:
+            # 1. Synthesize and wire up the new shards (invisible to keyed
+            # routing until commit). A shard left over from an aborted
+            # attempt is reused — its endpoints are already on the network,
+            # so synthesizing a twin would collide on addresses.
+            developer = plane.primary.developer
+            vendors = plane.primary.vendors
+            for shard_index in new_indices:
+                deployment = plane._spare_shards.pop(shard_index, None)
+                if deployment is None:
+                    deployment = plane.spec.synthesize_shard(
+                        shard_index, developer, plane.clock, vendors)
+                plane.attach_shard(deployment)
+                report.provisioned.append(deployment.name)
+            migrator.provision(plane, new_indices)
+
+            # 2. Plan: where every key's state lives now vs the grown ring.
+            # Enumeration asks the shards themselves (over the network when
+            # routed), so the plan reflects reality, including keys pinned by
+            # a previous epoch's overrides.
+            owned: dict = {}
+            for shard_index in range(old_count):
+                for key in migrator.shard_keys(plane, shard_index):
+                    owned[key] = shard_index
+            new_ring = plane.ring.grow(new_shard_count)
+            report.diff = plane.ring.diff(new_ring, owned.keys())
+            moves: dict[tuple[int, int], list] = {}
+            for key, source in owned.items():
+                target = new_ring.shard_for(key)
+                if target != source:
+                    moves.setdefault((source, target), []).append(key)
+        except ReshardError:
+            self._rollback(old_count)
+            raise
+        except Exception as exc:
+            self._rollback(old_count)
+            raise ReshardError(f"reshard planning failed: {exc}") from exc
+
+        # 3. Migrate. Moving keys fail safely until the epoch commits. Once
+        # any record may have moved there is no going back: even if the
+        # migrator crashes, the transition must commit so every key keeps
+        # routing to whichever shard actually holds its records — processed
+        # keys to their new owner, everything else pinned to its source.
+        moving = [key for keys in moves.values() for key in keys]
+        plane.begin_epoch(moving)
+        unmigrated: dict = {}
+        moved_keys: set = set()
+        migration_error: Exception | None = None
+        try:
+            for (source, target), keys in sorted(moves.items()):
+                outcome = migrator.migrate(plane, source, target, keys)
+                moved_keys.update(outcome.moved)
+                report.migrated_keys += len(outcome.moved)
+                report.records_moved += outcome.records_moved
+                for key in outcome.stale:
+                    plane.mark_stale(key, source)
+                    report.stale_keys.append(key)
+                for key, error in outcome.failed.items():
+                    report.failed_keys[key] = error
+                    unmigrated[key] = source
+                # A key the migrator reported in *neither* list must not be
+                # released to the new ring — that would strand its records
+                # on the source with nothing pinning them there.
+                for key in keys:
+                    if key not in moved_keys and key not in unmigrated:
+                        report.failed_keys[key] = (
+                            "migrator reported no outcome for this key")
+                        unmigrated[key] = source
+        except Exception as exc:
+            migration_error = exc
+            for (source, _), keys in moves.items():
+                for key in keys:
+                    if key not in moved_keys and key not in unmigrated:
+                        report.failed_keys[key] = f"migration interrupted: {exc}"
+                        unmigrated[key] = source
+
+        # 4. Commit the epoch; stale overrides for keys that moved are
+        # dropped, failures stay pinned to the shard holding their records.
+        plane.commit_epoch(new_ring, unmigrated=unmigrated)
+        for key in owned:
+            if key not in unmigrated:
+                plane.clear_override(key)
+        report.epoch = plane.epoch
+        report.sim_seconds = plane.clock.now() - started
+        if migration_error is not None:
+            error = ReshardError(
+                f"migration failed after moving {len(moved_keys)} keys "
+                f"({len(unmigrated)} pinned to their old shards; the epoch "
+                f"committed — finish_reshard() retries them): {migration_error}"
+            )
+            error.report = report
+            raise error from migration_error
+        return report
+
+    def finish(self) -> ReshardReport:
+        """Drain a faulted reshard's leftovers, now that the fault healed.
+
+        Two queues: epoch *overrides* (keys whose records never moved —
+        re-migrated to their ring owner) and *stale* source records (keys
+        that moved but whose source cleanup was lost in flight — cleaned
+        up in place). Keys that remain stuck stay queued for the next call.
+        """
+        plane = self.plane
+        migrator = plane.migrator or ShardMigrator()
+        started = plane.clock.now()
+        report = ReshardReport(
+            service=plane.spec.name if plane.spec else plane.primary.name,
+            old_shard_count=len(plane.shards),
+            new_shard_count=len(plane.shards),
+            epoch=plane.epoch,
+        )
+        pending = plane.pending_migrations()
+        moves: dict[tuple[int, int], list] = {}
+        moved_triples = []
+        for key, source in pending:
+            target = plane.ring.shard_for(key)
+            if target == source:
+                plane.clear_override(key)
+                continue
+            moves.setdefault((source, target), []).append(key)
+            moved_triples.append((key, source, target))
+        report.diff = RingDiff(total_keys=len(pending),
+                               moved=tuple(moved_triples))
+        # As in reshard(): an unexpected migrator crash must not escape as a
+        # harness crash — the affected keys simply stay queued (their
+        # overrides/stale entries are only cleared on success) and the error
+        # surfaces as a ReshardError carrying the partial report.
+        drain_error: Exception | None = None
+        for (source, target), keys in sorted(moves.items()):
+            try:
+                outcome = migrator.migrate(plane, source, target, keys)
+            except Exception as exc:
+                drain_error = exc
+                for key in keys:
+                    report.failed_keys[key] = f"drain interrupted: {exc}"
+                continue
+            report.migrated_keys += len(outcome.moved)
+            report.records_moved += outcome.records_moved
+            for key in outcome.moved:
+                plane.clear_override(key)
+            for key in outcome.stale:
+                plane.mark_stale(key, source)
+                report.stale_keys.append(key)
+            report.failed_keys.update(outcome.failed)
+        cleanups: dict[int, list] = {}
+        for key, source in plane.pending_cleanups():
+            cleanups.setdefault(source, []).append(key)
+        for source, keys in sorted(cleanups.items()):
+            try:
+                cleaned = migrator.cleanup(plane, source, keys)
+            except Exception as exc:
+                drain_error = exc
+                continue
+            for key in cleaned:
+                plane.clear_stale(key)
+        report.sim_seconds = plane.clock.now() - started
+        if drain_error is not None:
+            error = ReshardError(f"drain failed: {drain_error}")
+            error.report = report
+            raise error from drain_error
+        return report
+
+    def _rollback(self, old_count: int) -> None:
+        """Abandon a transition that has not moved any records yet.
+
+        The old ring and shard list come back; shards already synthesized
+        are parked for reuse — their endpoints are registered on the
+        network, so a retry must reattach these exact objects.
+        """
+        plane = self.plane
+        for offset, deployment in enumerate(plane.shards[old_count:]):
+            plane._spare_shards[old_count + offset] = deployment
+        del plane.shards[old_count:]
+        plane._moving = frozenset()

@@ -23,9 +23,44 @@ bigger routing table.
 from __future__ import annotations
 
 from bisect import bisect_right
+from dataclasses import dataclass, field
 from hashlib import sha256
 
-__all__ = ["HashRing"]
+__all__ = ["HashRing", "RingDiff"]
+
+
+@dataclass(frozen=True)
+class RingDiff:
+    """The key movement implied by replacing one ring with another.
+
+    Produced by :meth:`HashRing.diff` over a concrete key population (rings
+    hash keys, they cannot enumerate them — the keys come from whoever owns
+    the state, i.e. the application migrators). ``moved`` holds one
+    ``(key, source_shard, target_shard)`` triple per key whose owner changes;
+    everything else stays put, which is the whole point of consistent hashing.
+    """
+
+    total_keys: int
+    moved: tuple = field(default_factory=tuple)
+
+    @property
+    def moved_count(self) -> int:
+        """How many keys change owner."""
+        return len(self.moved)
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the key population that changes owner."""
+        if self.total_keys == 0:
+            return 0.0
+        return len(self.moved) / self.total_keys
+
+    def by_route(self) -> dict:
+        """Moved keys grouped by ``(source_shard, target_shard)`` pairs."""
+        routes: dict[tuple[int, int], list] = {}
+        for key, source, target in self.moved:
+            routes.setdefault((source, target), []).append(key)
+        return routes
 
 
 class HashRing:
@@ -85,3 +120,31 @@ class HashRing:
         for key in keys:
             counts[self.shard_for(key)] += 1
         return counts
+
+    def grow(self, shard_count: int) -> "HashRing":
+        """A ring over ``shard_count`` shards with this ring's vnodes and salt.
+
+        Because virtual-node positions depend only on ``(salt, shard,
+        replica)``, every existing shard's arcs are preserved exactly; the new
+        shards' arcs are carved out of them. That is what makes the
+        :meth:`diff` between the two rings minimal.
+        """
+        return HashRing(shard_count, vnodes=self.vnodes, salt=self.salt)
+
+    def diff(self, other: "HashRing", keys) -> RingDiff:
+        """Which of ``keys`` change owner when this ring is replaced by ``other``.
+
+        The two rings must share a salt — differently salted rings place the
+        same key independently, so "moved" would be meaningless.
+        """
+        if other.salt != self.salt:
+            raise ValueError("cannot diff rings with different salts")
+        moved = []
+        total = 0
+        for key in keys:
+            total += 1
+            source = self.shard_for(key)
+            target = other.shard_for(key)
+            if source != target:
+                moved.append((key, source, target))
+        return RingDiff(total_keys=total, moved=tuple(moved))

@@ -27,7 +27,7 @@ shard with no new protocol.
 from __future__ import annotations
 
 from repro.core.deployment import Deployment
-from repro.errors import ServiceSpecError
+from repro.errors import KeyMigratingError, ReshardError, ServiceSpecError
 from repro.net.transport import Network
 from repro.service.ring import HashRing
 
@@ -54,6 +54,32 @@ class ShardedService:
         self.ring = ring
         self.clock = clock
         self.client_address: str | None = None
+        # --- epoch state (live resharding; see repro.service.reshard) ------
+        # ``epoch`` counts committed reshards. While a migration is running,
+        # keys in ``_moving`` have no authoritative owner and keyed routing
+        # fails safely; after commit, ``_overrides`` pins any key whose
+        # records could not be moved (source crashed, link partitioned, ...)
+        # to the shard that still holds them — routed correctly, never
+        # silently misrouted. ``migrator`` is the app-provided state mover.
+        self.epoch = 0
+        self.migrator = None
+        self._moving: frozenset[bytes] = frozenset()
+        # canonical key bytes -> (shard index still holding the records,
+        # the key in its original form, for retrying the move later)
+        self._overrides: dict[bytes, tuple[int, object]] = {}
+        # Moved keys whose *source* still holds leftover records (a delete
+        # lost in flight after the copy verified): the ring owner is
+        # authoritative, these only await cleanup on finish_reshard().
+        self._stale: dict[bytes, tuple[int, object]] = {}
+        # Shards synthesized by an aborted reshard, kept for reuse — their
+        # network endpoints are already registered, so a retry must get the
+        # same deployment objects back rather than synthesizing twins.
+        self._spare_shards: dict[int, Deployment] = {}
+        self._network: Network | None = None
+        self._route_attempts = 3
+        # domain_index (None = every domain) -> (per_request, per_byte); the
+        # last model set for each slot, replayed onto shards grown later.
+        self._service_times: dict[int | None, tuple[float, float]] = {}
 
     @classmethod
     def adopt(cls, deployment: Deployment, ring_vnodes: int = 128) -> "ShardedService":
@@ -86,12 +112,51 @@ class ShardedService:
         return self.primary.vendor_registry
 
     def shard_for(self, key) -> int:
-        """The shard index owning ``key``."""
+        """The shard index owning ``key`` under the current epoch.
+
+        During a migration, a key that is mid-move has no authoritative owner
+        and routing raises :class:`~repro.errors.KeyMigratingError` (fail
+        safely — never serve from the wrong shard). After a reshard commits,
+        keys whose records could not be moved keep routing to the shard that
+        still holds them until :meth:`finish_reshard` drains them.
+        """
+        key_bytes = HashRing._key_bytes(key)
+        if key_bytes in self._moving:
+            raise KeyMigratingError(
+                f"key {key!r} is mid-migration in the epoch-{self.epoch + 1} "
+                "reshard; retry after the epoch commits"
+            )
+        override = self._overrides.get(key_bytes)
+        if override is not None:
+            return override[0]
         return self.ring.shard_for(key)
 
     def deployment_for(self, key) -> Deployment:
         """The shard deployment owning ``key``."""
-        return self.shards[self.ring.shard_for(key)]
+        return self.shards[self.shard_for(key)]
+
+    @property
+    def pending_migration_keys(self) -> int:
+        """Keys still served from their pre-reshard shard (epoch overrides)."""
+        return len(self._overrides)
+
+    def pending_migrations(self) -> list[tuple[object, int]]:
+        """Every pinned key with the shard index still holding its records."""
+        return [(key, shard_index)
+                for shard_index, key in self._overrides.values()]
+
+    def pending_cleanups(self) -> list[tuple[object, int]]:
+        """Moved keys with leftover source records awaiting cleanup."""
+        return [(key, shard_index)
+                for shard_index, key in self._stale.values()]
+
+    def mark_stale(self, key, shard_index: int) -> None:
+        """Queue a moved key's leftover source records for later cleanup."""
+        self._stale[HashRing._key_bytes(key)] = (shard_index, key)
+
+    def clear_stale(self, key) -> None:
+        """Drop a key's cleanup entry (its source leftovers are gone)."""
+        self._stale.pop(HashRing._key_bytes(key), None)
 
     # ------------------------------------------------------------------
     # Keyed invocation
@@ -122,11 +187,26 @@ class ShardedService:
         domain they target); every group's batch is *begun* — payload on the
         wire — before any group is collected, so all shards serve their slice
         of the batch concurrently in simulated time. Failures are isolated
-        per call, exactly as :meth:`Deployment.invoke_batch` reports them.
+        per call, exactly as :meth:`Deployment.invoke_batch` reports them —
+        including a key caught mid-migration, which fails only its own call
+        with :class:`~repro.errors.KeyMigratingError`.
         """
-        routed = [(self.ring.shard_for(key), domain_index, entry, params)
-                  for key, domain_index, entry, params in calls]
-        return self.scatter_to_shards(routed, chunk_size=chunk_size)
+        calls = list(calls)
+        outcomes: list = [None] * len(calls)
+        routed = []
+        positions = []
+        for position, (key, domain_index, entry, params) in enumerate(calls):
+            try:
+                shard_index = self.shard_for(key)
+            except KeyMigratingError as exc:
+                outcomes[position] = exc
+                continue
+            routed.append((shard_index, domain_index, entry, params))
+            positions.append(position)
+        for position, outcome in zip(
+                positions, self.scatter_to_shards(routed, chunk_size=chunk_size)):
+            outcomes[position] = outcome
+        return outcomes
 
     def scatter_to_shards(self, calls, chunk_size: int = 128) -> list:
         """Scatter with explicit shard indices instead of routing keys.
@@ -137,8 +217,15 @@ class ShardedService:
         operator never needs the plaintext name to pick a shard).
         """
         calls = list(calls)
+        if not calls:
+            return []
         groups: dict[tuple[int, int], list[tuple[int, str, dict]]] = {}
         for position, (shard_index, domain_index, entry, params) in enumerate(calls):
+            if not 0 <= shard_index < len(self.shards):
+                raise ServiceSpecError(
+                    f"call {position} targets shard {shard_index}, but the "
+                    f"service has {len(self.shards)} shard(s)"
+                )
             groups.setdefault((shard_index, domain_index), []).append(
                 (position, entry, params)
             )
@@ -177,21 +264,120 @@ class ShardedService:
         for shard in self.shards:
             servers.update(shard.route_via_network(network, attempts=attempts))
         self.client_address = self.primary.client_address
+        # Remember the wiring so shards added by a live reshard can join the
+        # same network with the same retry budget.
+        self._network = network
+        self._route_attempts = attempts
         return servers
 
     def unroute(self) -> None:
-        """Restore direct (in-process) invocation on every shard."""
+        """Restore direct (in-process) invocation on every shard.
+
+        Also forgets the network wiring, so shards grown by a later reshard
+        stay in-process like the rest of the plane instead of being routed
+        onto a network the original shards no longer use. Shards parked by
+        an aborted reshard are unrouted too — reattaching one later must
+        give it the same (in-process) footing as the live fleet.
+        """
         for shard in self.shards:
             shard.unroute()
+        for deployment in self._spare_shards.values():
+            deployment.unroute()
+        self._network = None
+        self._route_attempts = 3
 
     def rpc_retry_total(self) -> int:
         """Total RPC retransmissions across all shards while routed."""
         return sum(shard.rpc_retry_total() for shard in self.shards)
 
+    def duplicates_answered_total(self) -> int:
+        """Duplicates deduplicated by every shard's at-most-once servers
+        (shards grown by a mid-run reshard included)."""
+        return sum(shard.duplicates_answered_total() for shard in self.shards)
+
+    @property
+    def is_migrating(self) -> bool:
+        """Whether an epoch transition currently has keys mid-move."""
+        return bool(self._moving)
+
     def set_service_time(self, per_request: float,
                          domain_index: int | None = None,
                          per_byte: float = 0.0) -> None:
         """Install a serial service-time model on every shard's domains."""
+        self._service_times[domain_index] = (per_request, per_byte)
         for shard in self.shards:
             shard.set_service_time(per_request, domain_index=domain_index,
                                    per_byte=per_byte)
+
+    # ------------------------------------------------------------------
+    # Live resharding (epoch-based; see repro.service.reshard)
+    # ------------------------------------------------------------------
+    def reshard(self, new_shard_count: int):
+        """Grow the service to ``new_shard_count`` shards, live.
+
+        Synthesizes the new shards from the :class:`ServiceSpec`, migrates
+        every moved key's state through the app's :attr:`migrator` (over the
+        simulated network when routed), and commits a new epoch. Returns the
+        :class:`~repro.service.reshard.ReshardReport`. Raises
+        :class:`~repro.errors.ReshardError` for adopted (spec-less) planes or
+        a non-growing shard count.
+        """
+        from repro.service.reshard import ReshardCoordinator
+
+        return ReshardCoordinator(self).reshard(new_shard_count)
+
+    def finish_reshard(self):
+        """Retry the migration of any keys still pinned to their old shard.
+
+        After a reshard that ran under faults (crashed source, partitioned
+        target), some keys stay routed to their pre-reshard shard via epoch
+        overrides — correct, but not yet rebalanced. Call this once the fault
+        heals to drain them. Returns the :class:`ReshardReport` of the drain.
+        """
+        from repro.service.reshard import ReshardCoordinator
+
+        return ReshardCoordinator(self).finish()
+
+    def attach_shard(self, deployment: Deployment) -> None:
+        """Join a freshly synthesized shard to the plane's wiring.
+
+        Used by the reshard coordinator: the shard is appended, routed over
+        the plane's network (when routed), and given every service-time model
+        the plane has accumulated. Keyed routing does *not* see it until the
+        coordinator commits the new ring.
+        """
+        self.shards.append(deployment)
+        for domain_index, (per_request, per_byte) in self._service_times.items():
+            deployment.set_service_time(per_request, domain_index=domain_index,
+                                        per_byte=per_byte)
+        if self._network is not None:
+            deployment.route_via_network(self._network,
+                                         attempts=self._route_attempts)
+
+    def begin_epoch(self, moving_keys) -> None:
+        """Mark ``moving_keys`` as mid-migration (keyed routing fails safely)."""
+        if self._moving:
+            raise ReshardError("a reshard is already in progress")
+        self._moving = frozenset(HashRing._key_bytes(key) for key in moving_keys)
+
+    def commit_epoch(self, ring: HashRing,
+                     unmigrated: dict | None = None) -> None:
+        """Flip to ``ring``, release the moving set, and pin stragglers.
+
+        ``unmigrated`` maps keys whose state could not be moved to the shard
+        index that still holds them; they keep routing there (correctly)
+        until :meth:`finish_reshard` drains them.
+        """
+        if ring.shard_count != len(self.shards):
+            raise ReshardError(
+                f"ring covers {ring.shard_count} shards but {len(self.shards)} exist"
+            )
+        self.ring = ring
+        self._moving = frozenset()
+        for key, shard_index in (unmigrated or {}).items():
+            self._overrides[HashRing._key_bytes(key)] = (shard_index, key)
+        self.epoch += 1
+
+    def clear_override(self, key) -> None:
+        """Drop a key's epoch override (its state reached the ring owner)."""
+        self._overrides.pop(HashRing._key_bytes(key), None)

@@ -122,10 +122,36 @@ class ServiceSpec:
     # Synthesis
     # ------------------------------------------------------------------
     def shard_name(self, shard_index: int) -> str:
-        """Deployment name for one shard (plain ``name`` when unsharded)."""
-        if self.shard_count == 1:
+        """Deployment name for one shard (plain ``name`` when unsharded).
+
+        Shard indices past the spec's own ``shard_count`` (shards synthesized
+        later by a live reshard) always carry the ``-s<i>`` suffix.
+        """
+        if self.shard_count == 1 and shard_index == 0:
             return self.name
         return f"{self.name}-s{shard_index}"
+
+    def ring_salt(self) -> bytes:
+        """The domain-separation salt every ring for this service uses."""
+        return b"repro/service/" + self.name.encode("utf-8")
+
+    def synthesize_shard(self, shard_index: int, developer: DeveloperIdentity,
+                         clock: SimClock,
+                         vendors: list[HardwareVendor]) -> Deployment:
+        """Build one shard's attested deployment (packages installed,
+        service-time model applied). Used both by :meth:`synthesize` and by
+        the live-resharding coordinator when it grows an existing plane."""
+        config = DeploymentConfig(
+            num_domains=self.domains_per_shard,
+            include_developer_domain=self.include_developer_domain,
+            heterogeneous=self.heterogeneous,
+            use_vsock=self.use_vsock,
+        )
+        deployment = Deployment(self.shard_name(shard_index), developer,
+                                config, vendors=vendors, clock=clock)
+        self._install_packages(deployment, developer)
+        self._apply_service_times(deployment)
+        return deployment
 
     def synthesize(self, developer: DeveloperIdentity,
                    clock: SimClock | None = None,
@@ -141,21 +167,10 @@ class ServiceSpec:
         clock = clock or SimClock()
         vendors = vendors or [HardwareVendor("aws-nitro-sim"),
                               HardwareVendor("intel-sgx-sim")]
-        config = DeploymentConfig(
-            num_domains=self.domains_per_shard,
-            include_developer_domain=self.include_developer_domain,
-            heterogeneous=self.heterogeneous,
-            use_vsock=self.use_vsock,
-        )
-        shards = []
-        for shard_index in range(self.shard_count):
-            deployment = Deployment(self.shard_name(shard_index), developer,
-                                    config, vendors=vendors, clock=clock)
-            self._install_packages(deployment, developer)
-            self._apply_service_times(deployment)
-            shards.append(deployment)
+        shards = [self.synthesize_shard(shard_index, developer, clock, vendors)
+                  for shard_index in range(self.shard_count)]
         ring = HashRing(self.shard_count, vnodes=self.ring_vnodes,
-                        salt=b"repro/service/" + self.name.encode("utf-8"))
+                        salt=self.ring_salt())
         return ShardedService(self, shards, ring, clock)
 
     def _install_packages(self, deployment: Deployment,

@@ -35,6 +35,8 @@ __all__ = [
     "RecoverParty",
     "CompromiseDomain",
     "UnannouncedUpdate",
+    "ReshardService",
+    "FinishReshard",
     "FaultPlan",
 ]
 
@@ -192,12 +194,17 @@ class RecoverParty(ScheduledEvent):
 
 @dataclass(frozen=True)
 class CompromiseDomain(ScheduledEvent):
-    """Exploit one trust domain's TEE (schedule-driven compromise)."""
+    """Exploit one trust domain's TEE (schedule-driven compromise).
+
+    ``shard_index`` selects which shard's domain falls on a sharded service
+    (0, the primary, is the single-deployment behavior).
+    """
 
     domain_index: int = 1
+    shard_index: int = 0
 
     def apply(self, ctx) -> None:
-        ctx.compromise(self.domain_index)
+        ctx.compromise(self.domain_index, shard_index=self.shard_index)
 
 
 @dataclass(frozen=True)
@@ -215,6 +222,31 @@ class UnannouncedUpdate(ScheduledEvent):
 
     def apply(self, ctx) -> None:
         ctx.push_unannounced_update(self.domain_index, self.version_suffix)
+
+
+@dataclass(frozen=True)
+class ReshardService(ScheduledEvent):
+    """Grow the service to ``shards`` shards, live, at an operation boundary.
+
+    The epoch transition of :mod:`repro.service.reshard`: new shards are
+    synthesized from the spec, moved keys' state migrates over the (possibly
+    faulty) simulated network, and the ring flips. Keys whose migration the
+    network defeats stay pinned to their old shard — routed correctly — and
+    can be drained later by :class:`FinishReshard`.
+    """
+
+    shards: int = 4
+
+    def apply(self, ctx) -> None:
+        ctx.reshard(self.shards)
+
+
+@dataclass(frozen=True)
+class FinishReshard(ScheduledEvent):
+    """Drain a previous reshard's pinned keys (after the fault healed)."""
+
+    def apply(self, ctx) -> None:
+        ctx.finish_reshard()
 
 
 # ---------------------------------------------------------------------------

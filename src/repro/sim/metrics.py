@@ -19,6 +19,7 @@ class LatencyStats:
     minimum: float
     maximum: float
     stddev: float
+    p99: float = 0.0
 
     def mean_ms(self) -> float:
         """Mean in milliseconds (what the paper's Table 3 reports)."""
@@ -27,6 +28,10 @@ class LatencyStats:
     def p95_ms(self) -> float:
         """95th percentile in milliseconds (what the scenario reports quote)."""
         return self.p95 * 1000.0
+
+    def p99_ms(self) -> float:
+        """99th percentile in milliseconds (the tail the load reports quote)."""
+        return self.p99 * 1000.0
 
     def overhead_vs(self, baseline: "LatencyStats") -> float:
         """Percentage increase of this mean over a baseline mean."""
@@ -41,6 +46,7 @@ class LatencyStats:
             "mean": self.mean,
             "median": self.median,
             "p95": self.p95,
+            "p99": self.p99,
             "minimum": self.minimum,
             "maximum": self.maximum,
             "stddev": self.stddev,
@@ -48,6 +54,13 @@ class LatencyStats:
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already sorted sample list.
+
+    With ``n`` samples, the ``fraction`` percentile is the value at rank
+    ``ceil(fraction * n)`` (1-based), clamped into the list — so a single
+    sample is every percentile, and small samples report an actual observed
+    value rather than an interpolation.
+    """
     if not ordered:
         raise ValueError("no samples")
     index = min(len(ordered) - 1, max(0, int(math.ceil(fraction * len(ordered))) - 1))
@@ -67,6 +80,7 @@ def summarize(samples: list[float]) -> LatencyStats:
         mean=mean,
         median=_percentile(ordered, 0.5),
         p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
         minimum=ordered[0],
         maximum=ordered[-1],
         stddev=math.sqrt(variance),

@@ -17,7 +17,12 @@ invariants:
 
 from repro.sim.scenarios.spec import InvariantResult, Scenario, ScenarioReport
 from repro.sim.scenarios.runner import ScenarioContext, ScenarioRunner
-from repro.sim.scenarios.matrix import default_matrix
+from repro.sim.scenarios.matrix import (
+    base_matrix,
+    default_matrix,
+    reshard_matrix,
+    sharded_matrix,
+)
 from repro.sim.scenarios.apps import make_driver
 
 __all__ = [
@@ -26,6 +31,9 @@ __all__ = [
     "ScenarioReport",
     "ScenarioContext",
     "ScenarioRunner",
+    "base_matrix",
     "default_matrix",
+    "sharded_matrix",
+    "reshard_matrix",
     "make_driver",
 ]

@@ -36,15 +36,22 @@ __all__ = [
 
 
 class ScenarioDriver:
-    """Base class: builds a deployment and drives one operation at a time."""
+    """Base class: builds a deployment and drives one operation at a time.
+
+    ``shards`` deploys the app across that many service-plane shards; the
+    driver's ``plane`` is what the runner routes over the network (for the
+    classic ``shards=1`` layout it wraps exactly the legacy deployment).
+    """
 
     app_name = "?"
 
-    def __init__(self, seed: int, ops: int):
+    def __init__(self, seed: int, ops: int, shards: int = 1):
         self.seed = seed
         self.ops = ops
+        self.shards = shards
         self.workload = WorkloadGenerator(seed)
-        self.deployment = None  # set by subclasses
+        self.deployment = None  # set by subclasses (the primary shard)
+        self.plane = None  # set by subclasses (the sharded service plane)
 
     def step(self, op_index: int) -> None:
         """Run workload operation ``op_index``; raises ``ReproError`` on failure."""
@@ -57,14 +64,19 @@ class ScenarioDriver:
     def audit_outcome(self):
         """Run a full client audit; returns ``(ok, evidence kinds)``.
 
-        The default audits the whole deployment the way any end user would —
-        attestation against vendor roots, digest-log verification, cross-domain
-        agreement, and the release-registry cross-check.
+        The default audits every shard the way any end user would —
+        attestation against vendor roots, digest-log verification,
+        cross-domain agreement, and the release-registry cross-check — and
+        ANDs the verdicts (shards grown by a mid-run reshard included).
         """
         client = AuditingClient(self.deployment.vendor_registry)
-        report = client.audit_deployment(self.deployment)
-        kinds = {evidence.kind for evidence in report.evidence}
-        return report.ok, kinds
+        ok = True
+        kinds = set()
+        for shard in self.plane.shards:
+            report = client.audit_deployment(shard)
+            ok = ok and report.ok
+            kinds.update(evidence.kind for evidence in report.evidence)
+        return ok, kinds
 
 
 class KeyBackupDriver(ScenarioDriver):
@@ -72,18 +84,23 @@ class KeyBackupDriver(ScenarioDriver):
 
     app_name = "keybackup"
 
-    def __init__(self, seed: int, ops: int, num_domains: int = 4, threshold: int = 3):
-        super().__init__(seed, ops)
-        self.service = KeyBackupDeployment(num_domains=num_domains, threshold=threshold)
+    def __init__(self, seed: int, ops: int, num_domains: int = 4, threshold: int = 3,
+                 shards: int = 1):
+        super().__init__(seed, ops, shards)
+        self.service = KeyBackupDeployment(num_domains=num_domains,
+                                           threshold=threshold, shards=shards)
         self.deployment = self.service.deployment
+        self.plane = self.service.plane
         self.client = KeyBackupClient(self.service, audit_before_use=False)
         self._users = self.workload.user_ids(ops)
         self._secrets = self.workload.secrets(ops, bits=248)
+        self.backed_up: list[tuple[str, int]] = []
 
     def step(self, op_index: int) -> None:
         user = self._users[op_index]
         secret = self._secrets[op_index]
         self.client.backup_key(user, secret)
+        self.backed_up.append((user, secret))
         recovered = self.client.recover_key_any(user)
         if recovered != secret:
             raise ApplicationError(f"recovered key for {user!r} does not match the original")
@@ -92,11 +109,44 @@ class KeyBackupDriver(ScenarioDriver):
         summary = self.service.simulate_developer_compromise()
         breached = summary["shares_recoverable"]
         ok = breached < self.service.threshold and not summary["key_recoverable"]
-        return [InvariantResult(
+        invariants = [InvariantResult(
             "key-stays-secret-below-threshold", ok,
             f"attacker reads {breached} of {self.service.num_domains} shares, "
             f"threshold is {self.service.threshold}",
         )]
+        if ctx.resharded:
+            invariants.append(self._conservation_invariant())
+        return invariants
+
+    def _conservation_invariant(self) -> InvariantResult:
+        """Across the epoch boundary: every backed-up key recoverable, no
+        user's share set authoritative on two shards."""
+        lost = []
+        for user, secret in self.backed_up:
+            try:
+                if self.client.recover_key_any(user) != secret:
+                    lost.append(user)
+            except ReproError:
+                lost.append(user)
+        duplicated = []
+        for user, _ in self.backed_up:
+            holders = [
+                shard_index
+                for shard_index, shard in enumerate(self.plane.shards)
+                if any(user in (domain.framework.application_state() or {})
+                       .get("shares", {})
+                       for domain in shard.domains)
+            ]
+            if len(holders) > 1:
+                duplicated.append((user, holders))
+        ok = not lost and not duplicated
+        detail = (f"{len(self.backed_up)} keys recoverable after the epoch "
+                  "flip; each user's shares live on exactly one shard")
+        if lost:
+            detail = f"records lost across the epoch boundary: {lost[:3]}"
+        elif duplicated:
+            detail = f"records duplicated across shards: {duplicated[:3]}"
+        return InvariantResult("reshard-conserves-records", ok, detail)
 
 
 class ThresholdSignDriver(ScenarioDriver):
@@ -104,11 +154,14 @@ class ThresholdSignDriver(ScenarioDriver):
 
     app_name = "threshold_sign"
 
-    def __init__(self, seed: int, ops: int, threshold: int = 2, num_signers: int = 3):
-        super().__init__(seed, ops)
+    def __init__(self, seed: int, ops: int, threshold: int = 2, num_signers: int = 3,
+                 shards: int = 1):
+        super().__init__(seed, ops, shards)
         self.service = CustodyDeployment(threshold=threshold, num_signers=num_signers,
-                                         keygen_seed=seed.to_bytes(8, "big"))
+                                         keygen_seed=seed.to_bytes(8, "big"),
+                                         shards=shards)
         self.deployment = self.service.deployment
+        self.plane = self.service.plane
         self.client = CustodyClient(self.service, audit_before_use=False)
         self._messages = self.workload.messages(ops)
 
@@ -120,11 +173,16 @@ class ThresholdSignDriver(ScenarioDriver):
     def finish(self, ctx) -> list[InvariantResult]:
         # Steal every key share the fallen TEEs expose and try to sign with
         # them alone: below the threshold the forgery must be impossible.
-        stolen = []
-        for domain in self.deployment.domains[1:]:
-            if domain.enclave is not None and domain.enclave.memory.breached:
-                signer_index = self.deployment.domains.index(domain)
-                stolen.append(Share(signer_index, domain.enclave.memory.host_read("bls_key_share")))
+        # Shares are replicated across shards, so stealing signer i's share on
+        # two shards yields one unique share, not two.
+        stolen_by_index: dict[int, Share] = {}
+        for shard in self.plane.shards:
+            for signer_index, domain in enumerate(shard.domains[1:], start=1):
+                if domain.enclave is not None and domain.enclave.memory.breached:
+                    stolen_by_index[signer_index] = Share(
+                        signer_index,
+                        domain.enclave.memory.host_read("bls_key_share"))
+        stolen = [stolen_by_index[index] for index in sorted(stolen_by_index)]
         scheme = BlsThresholdScheme(self.service.threshold, self.service.num_signers)
         if len(stolen) >= self.service.threshold:
             ok = False
@@ -141,7 +199,37 @@ class ThresholdSignDriver(ScenarioDriver):
             detail = (f"attacker holds {len(stolen)} of the {self.service.threshold} "
                       "shares needed; forgery attempt rejected" if ok else
                       "forgery with sub-threshold shares unexpectedly combined")
-        return [InvariantResult("stolen-shares-cannot-sign-below-threshold", ok, detail)]
+        invariants = [InvariantResult("stolen-shares-cannot-sign-below-threshold",
+                                      ok, detail)]
+        if ctx.resharded:
+            invariants.append(self._reshard_signing_invariant(ctx))
+        return invariants
+
+    def _reshard_signing_invariant(self, ctx) -> InvariantResult:
+        """A grown shard's replicated signer group signs under the same key."""
+        old_count = min(r.old_shard_count for r in ctx.reshard_reports)
+        probe = None
+        for attempt in range(256):
+            candidate = f"reshard-probe-{attempt}".encode()
+            if self.plane.shard_for(candidate) >= old_count:
+                probe = candidate
+                break
+        if probe is None:
+            return InvariantResult(
+                "reshard-preserves-signing", False,
+                "no probe message routed to a grown shard (ring broken?)")
+        try:
+            transaction = self.client.sign_transaction_failover(probe)
+        except ReproError as exc:
+            return InvariantResult(
+                "reshard-preserves-signing", False,
+                f"signing on a grown shard failed: {type(exc).__name__}")
+        ok = self.client.verify(transaction)
+        return InvariantResult(
+            "reshard-preserves-signing", ok,
+            f"shard {self.plane.shard_for(probe)} (grown this epoch) signed "
+            "under the original group public key" if ok else
+            "a grown shard produced a signature that does not verify")
 
 
 class PrioDriver(ScenarioDriver):
@@ -149,12 +237,18 @@ class PrioDriver(ScenarioDriver):
 
     app_name = "prio"
 
-    def __init__(self, seed: int, ops: int, num_servers: int = 3, max_value: int = 100):
-        super().__init__(seed, ops)
+    def __init__(self, seed: int, ops: int, num_servers: int = 3, max_value: int = 100,
+                 shards: int = 1):
+        super().__init__(seed, ops, shards)
         self.service = PrivateAggregationDeployment(num_servers=num_servers,
-                                                    max_value=max_value)
+                                                    max_value=max_value,
+                                                    shards=shards)
         self.deployment = self.service.deployment
-        self.client = PrivateAggregationClient(self.service, audit_before_use=False)
+        self.plane = self.service.plane
+        # A fixed session tag keeps submission→shard routing (and therefore
+        # the whole scenario report) deterministic per seed.
+        self.client = PrivateAggregationClient(self.service, audit_before_use=False,
+                                               session_tag=f"scenario-{seed}")
         self._values = self.workload.telemetry_values(ops, 0, max_value)
         self.accepted_values: list[int] = []
         self.torn_submissions = 0
@@ -239,14 +333,15 @@ class OdohDriver(ScenarioDriver):
 
     app_name = "odoh"
 
-    def __init__(self, seed: int, ops: int):
-        super().__init__(seed, ops)
+    def __init__(self, seed: int, ops: int, shards: int = 1):
+        super().__init__(seed, ops, shards)
         self._names = self.workload.dns_queries(ops)
         self.records = {
             name: f"10.{i // 250}.{i % 250}.7" for i, name in enumerate(self._names)
         }
-        self.service = ObliviousDnsDeployment(records=self.records)
+        self.service = ObliviousDnsDeployment(records=self.records, shards=shards)
         self.deployment = self.service.deployment
+        self.plane = self.service.plane
         self.client = ObliviousDnsClient(self.service, audit_before_use=False)
         self.resolved = 0
 
@@ -262,13 +357,50 @@ class OdohDriver(ScenarioDriver):
         leaked = [item for item in view if not isinstance(item, int)]
         names_seen = [item for item in view if item in self.records]
         # The view must actually cover the traffic: an empty recording would
-        # make this invariant vacuous, not satisfied.
+        # make this invariant vacuous, not satisfied. Migration traffic goes
+        # operator→resolver, so a reshard must add *zero* names here.
         ok = not leaked and not names_seen and len(view) >= self.resolved
-        return [InvariantResult(
+        invariants = [InvariantResult(
             "proxy-never-sees-query-names", ok,
             f"proxy recorded {len(view)} ciphertext lengths and zero names "
             f"across {self.resolved} resolutions",
         )]
+        if ctx.resharded:
+            invariants.append(self._conservation_invariant())
+        return invariants
+
+    def _conservation_invariant(self) -> InvariantResult:
+        """Across the epoch boundary: every record resolvable on exactly one
+        shard, and resolvable through the full proxy path."""
+        holders: dict[str, list[int]] = {name: [] for name in self.records}
+        for shard_index, shard in enumerate(self.plane.shards):
+            state = (shard.domains[1].framework.application_state() or {})
+            for name in state.get("records", {}):
+                if name in holders:
+                    holders[name].append(shard_index)
+        lost = sorted(name for name, found in holders.items() if not found)
+        duplicated = sorted(name for name, found in holders.items()
+                            if len(found) > 1)
+        unresolvable = []
+        if not lost and not duplicated:
+            for name in sorted(self.records):
+                try:
+                    response = self.client.resolve(name)
+                except ReproError:
+                    unresolvable.append(name)
+                    continue
+                if not response.found or response.address != self.records[name]:
+                    unresolvable.append(name)
+        ok = not lost and not duplicated and not unresolvable
+        detail = (f"{len(self.records)} records each owned by exactly one "
+                  "shard and resolvable after the epoch flip")
+        if lost:
+            detail = f"records lost across the epoch boundary: {lost[:3]}"
+        elif duplicated:
+            detail = f"records duplicated across shards: {duplicated[:3]}"
+        elif unresolvable:
+            detail = f"records unresolvable after the reshard: {unresolvable[:3]}"
+        return InvariantResult("reshard-conserves-records", ok, detail)
 
     def audit_outcome(self):
         """Audit proxy and resolver individually (they run different apps)."""
@@ -276,18 +408,19 @@ class OdohDriver(ScenarioDriver):
                                 require_attestation_from_all_enclaves=True)
         kinds = set()
         ok = True
-        for domain in self.deployment.domains:
-            report = client.audit_domains([domain])
-            ok = ok and report.ok
-            kinds.update(evidence.kind for evidence in report.evidence)
-        # The cross-registry check audit_deployment would normally do: every
-        # digest a domain has ever run must be a published release.
-        published = set(self.deployment.registry.digests())
-        for domain in self.deployment.domains:
-            for entry in domain.framework.log_export():
-                if bytes(entry["code_digest"]) not in published:
-                    ok = False
-                    kinds.add("unpublished-code")
+        for shard in self.plane.shards:
+            for domain in shard.domains:
+                report = client.audit_domains([domain])
+                ok = ok and report.ok
+                kinds.update(evidence.kind for evidence in report.evidence)
+            # The cross-registry check audit_deployment would normally do:
+            # every digest a domain has ever run must be a published release.
+            published = set(shard.registry.digests())
+            for domain in shard.domains:
+                for entry in domain.framework.log_export():
+                    if bytes(entry["code_digest"]) not in published:
+                        ok = False
+                        kinds.add("unpublished-code")
         return ok, kinds
 
 
@@ -299,10 +432,11 @@ _DRIVERS = {
 }
 
 
-def make_driver(app: str, seed: int, ops: int) -> ScenarioDriver:
-    """Instantiate the driver for ``app`` with a seeded workload of ``ops`` operations."""
+def make_driver(app: str, seed: int, ops: int, shards: int = 1) -> ScenarioDriver:
+    """Instantiate the driver for ``app`` with a seeded workload of ``ops``
+    operations, deployed across ``shards`` service-plane shards."""
     try:
         factory = _DRIVERS[app]
     except KeyError:
         raise ValueError(f"no scenario driver for app {app!r}") from None
-    return factory(seed, ops)
+    return factory(seed, ops, shards=shards)

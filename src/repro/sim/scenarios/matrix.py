@@ -1,12 +1,20 @@
 """The default scenario matrix.
 
-Fourteen scenarios spanning all four applications and the whole fault
-taxonomy: message loss, delay, reordering, duplication, link partitions,
-party crash-and-recovery, scheduled TEE compromise (always below the
-application threshold), and a malicious developer pushing unannounced
-updates. ``examples/scenario_sweep.py`` runs the matrix and prints one
-report per scenario; ``tests/sim/test_scenarios.py`` asserts every safety
-invariant over the same matrix.
+Three scenario families, all swept by ``examples/scenario_sweep.py`` and
+asserted invariant-by-invariant in ``tests/sim/test_scenarios.py``:
+
+* **base** — the original fourteen: every application under every class of
+  adversarial network condition (loss, delay, reordering, duplication,
+  partitions, crash-and-recovery, below-threshold TEE compromise, and a
+  malicious developer pushing unannounced updates) on the classic
+  single-deployment layout;
+* **sharded** — the same fault taxonomy hitting four-shard service-plane
+  deployments, so consistent-hash routing, scatter/gather batching, and
+  per-shard client endpoints live under the same adversary;
+* **reshard** — the "operate it live" family: a 2→4 shard epoch transition
+  fired mid-workload, under packet loss, a crash mid-handoff, a partition
+  during migration, and a compromised migration source, with invariants
+  asserting zero lost or duplicated records across the epoch boundary.
 """
 
 from __future__ import annotations
@@ -17,19 +25,21 @@ from repro.sim.faults import (
     DelayFault,
     DropFault,
     DuplicateFault,
+    FinishReshard,
     HealLink,
     PartitionLink,
     RecoverParty,
     ReorderFault,
+    ReshardService,
     UnannouncedUpdate,
 )
 from repro.sim.scenarios.spec import Scenario
 
-__all__ = ["default_matrix"]
+__all__ = ["default_matrix", "base_matrix", "sharded_matrix", "reshard_matrix"]
 
 
-def default_matrix(seed: int = 2022) -> list[Scenario]:
-    """The standard sweep: every app under every class of adversarial condition."""
+def base_matrix(seed: int = 2022) -> list[Scenario]:
+    """The original sweep: every app under every class of adversarial condition."""
     return [
         # --- key backup -------------------------------------------------
         Scenario(
@@ -123,3 +133,130 @@ def default_matrix(seed: int = 2022) -> list[Scenario]:
             description="the resolver silently swaps code; per-domain audits catch it",
         ),
     ]
+
+
+def sharded_matrix(seed: int = 2022) -> list[Scenario]:
+    """The PR-1 fault taxonomy pointed at four-shard service planes.
+
+    Keyed routing spreads the workload across shards, so a fault on one
+    shard's link or domain must degrade only that shard's slice of the
+    keyspace while every safety invariant still holds fleet-wide.
+    """
+    return [
+        Scenario(
+            name="keybackup-lossy-network-4shards", app="keybackup",
+            ops=8, shards=4, seed=seed + 20,
+            rules=(DropFault(probability=0.08),), rpc_attempts=4,
+            min_success_rate=0.85,
+            description="8% loss across a 4-shard fleet; retries absorb the "
+                        "drops on every shard's links",
+        ),
+        Scenario(
+            name="keybackup-partition-heal-4shards", app="keybackup",
+            ops=8, shards=4, seed=seed + 21,
+            events=(PartitionLink(at_op=2, a="shard:1:client", b="shard:1:domain:2"),
+                    HealLink(at_op=5, a="shard:1:client", b="shard:1:domain:2")),
+            min_success_rate=0.5,
+            description="one shard loses a share holder for ops 2-4; only "
+                        "that shard's users are affected, then it heals",
+        ),
+        Scenario(
+            name="sign-duplicate-storm-4shards", app="threshold_sign",
+            ops=6, shards=4, seed=seed + 22,
+            rules=(DuplicateFault(probability=0.3, copies=2),
+                   DelayFault(probability=0.2, delay_s=0.005, jitter_s=0.005)),
+            description="duplication and jitter against replicated signer "
+                        "groups; dedup holds per shard",
+        ),
+        Scenario(
+            name="prio-reorder-jitter-4shards", app="prio",
+            ops=12, shards=4, seed=seed + 23,
+            rules=(ReorderFault(probability=0.5, max_delay_s=0.02),),
+            description="heavy reordering over 4 aggregation server groups; "
+                        "cross-shard sums stay order-independent",
+        ),
+        Scenario(
+            name="odoh-delay-reorder-4shards", app="odoh",
+            ops=6, shards=4, seed=seed + 24,
+            rules=(DelayFault(probability=0.4, delay_s=0.01, jitter_s=0.02),
+                   ReorderFault(probability=0.3, max_delay_s=0.03)),
+            description="jittered, reordered traffic across 4 name "
+                        "partitions; proxies still learn only lengths",
+        ),
+    ]
+
+
+def reshard_matrix(seed: int = 2022) -> list[Scenario]:
+    """Live 2→4 resharding epochs under adversarial networks.
+
+    Every scenario asserts the epoch committed (``reshard-epoch-committed``)
+    and the app-level conservation invariant: zero records lost, zero
+    duplicated, across the epoch boundary — even when the network attacks
+    the migration itself.
+    """
+    return [
+        Scenario(
+            name="keybackup-reshard-live", app="keybackup",
+            ops=8, shards=2, seed=seed + 30,
+            events=(ReshardService(at_op=4, shards=4),),
+            description="control: a clean 2->4 reshard mid-run; every user's "
+                        "shares follow their ring position",
+        ),
+        Scenario(
+            name="keybackup-reshard-lossy", app="keybackup",
+            ops=8, shards=2, seed=seed + 31,
+            rules=(DropFault(probability=0.08),), rpc_attempts=4,
+            events=(ReshardService(at_op=4, shards=4),),
+            min_success_rate=0.8,
+            description="2->4 reshard under 8% loss; migration traffic rides "
+                        "the same at-most-once retries as requests",
+        ),
+        Scenario(
+            name="keybackup-reshard-crash-mid-handoff", app="keybackup",
+            ops=8, shards=2, seed=seed + 32,
+            events=(CrashParty(at_op=3, party="shard:1:domain:2"),
+                    ReshardService(at_op=3, shards=4),
+                    RecoverParty(at_op=6, party="shard:1:domain:2"),
+                    FinishReshard(at_op=7)),
+            min_success_rate=0.5,
+            description="a source domain crashes as the handoff starts: its "
+                        "users stay pinned to the old shard, then drain after "
+                        "recovery",
+        ),
+        Scenario(
+            name="odoh-reshard-partition-during-migration", app="odoh",
+            ops=8, shards=2, seed=seed + 33,
+            events=(PartitionLink(at_op=3, a="shard:3:client", b="shard:3:domain:1"),
+                    ReshardService(at_op=3, shards=4),
+                    HealLink(at_op=6, a="shard:3:client", b="shard:3:domain:1"),
+                    FinishReshard(at_op=7)),
+            min_success_rate=0.5,
+            description="a partition cuts one grown shard's resolver off "
+                        "during the record handoff; names bound for it stay "
+                        "pinned to their old shard, then drain after the heal",
+        ),
+        Scenario(
+            name="prio-reshard-under-load", app="prio",
+            ops=12, shards=2, seed=seed + 34,
+            rules=(ReorderFault(probability=0.3, max_delay_s=0.01),),
+            events=(ReshardService(at_op=6, shards=4),),
+            description="2->4 reshard between submissions: per-shard "
+                        "counters stay put, the aggregate stays exact",
+        ),
+        Scenario(
+            name="sign-reshard-compromised-source", app="threshold_sign",
+            ops=6, shards=2, seed=seed + 35,
+            events=(CompromiseDomain(at_op=2, domain_index=2, shard_index=1),
+                    ReshardService(at_op=3, shards=4)),
+            expect_audit_ok=False,
+            expect_detection_kinds=("attestation-failure",),
+            description="a signer TEE falls before the reshard; the grown "
+                        "fleet signs under the same key and the audit flags "
+                        "the fallen enclave",
+        ),
+    ]
+
+
+def default_matrix(seed: int = 2022) -> list[Scenario]:
+    """The full sweep: base taxonomy, sharded variants, and live reshards."""
+    return base_matrix(seed) + sharded_matrix(seed) + reshard_matrix(seed)

@@ -2,22 +2,26 @@
 
 The runner composes everything the engine needs for one scenario:
 
-1. build the application deployment through its normal (fault-free) setup path;
-2. attach every trust domain to a simulated network and *route all application
-   traffic over it* (framed RPC bytes, at-most-once servers, client retries);
+1. build the application deployment through its normal (fault-free) setup path
+   — across ``scenario.shards`` service-plane shards when sharded;
+2. attach every trust domain of every shard to a simulated network and *route
+   all application traffic over it* (framed RPC bytes, at-most-once servers,
+   client retries);
 3. install the scenario's probabilistic fault rules on the network send path;
 4. drive the seeded workload one operation at a time, applying scheduled
-   events (partitions, crashes, compromises, malicious updates) at operation
-   boundaries and recording per-operation simulated latency;
+   events (partitions, crashes, compromises, malicious updates, live
+   reshards) at operation boundaries and recording per-operation simulated
+   latency;
 5. check the safety invariants: digest logs stayed append-only, audits end in
    the expected verdict (detecting every unannounced update and compromised
-   TEE), and the application-specific secrecy properties held.
+   TEE), epoch transitions committed with no key left unroutable, and the
+   application-specific secrecy/conservation properties held.
 """
 
 from __future__ import annotations
 
 from repro.core.package import CodePackage
-from repro.errors import ReproError
+from repro.errors import ReproError, ReshardError
 from repro.net.latency import lan_profile
 from repro.net.transport import Network
 from repro.sim.adversary import ScheduledCompromise
@@ -34,30 +38,100 @@ class ScenarioContext:
     """Mutable state scheduled events act on during a run."""
 
     def __init__(self, network: Network, deployment, driver,
-                 compromise_schedule: ScheduledCompromise, client_address: str):
+                 compromise_schedule: ScheduledCompromise, client_address: str,
+                 plane=None):
         self.network = network
         self.deployment = deployment
         self.driver = driver
         self.compromise_schedule = compromise_schedule
         self.client_address = client_address
+        self.plane = plane
         self.current_op = 0
         self.unannounced_digests: list[bytes] = []
+        self.reshard_reports: list = []
+        self.reshard_errors: list[str] = []
+        self._compromise_schedules = {0: compromise_schedule}
 
     def resolve(self, party: str) -> str:
         """Map a scenario party name to a network address.
 
         ``"client"`` is the shared client endpoint; ``"domain:<i>"`` is trust
-        domain ``i``'s RPC address.
+        domain ``i``'s RPC address (on the primary shard). Sharded scenarios
+        additionally use ``"shard:<s>:domain:<i>"`` for shard ``s``'s domain
+        ``i`` and ``"shard:<s>:client"`` for that shard's client endpoint
+        (each shard sends from its own — migration traffic included).
         """
         if party == "client":
             return self.client_address
+        if party.startswith("shard:"):
+            if self.plane is None:
+                raise ValueError(f"party {party!r} needs a sharded service")
+            _, shard_index, rest = party.split(":", 2)
+            shard_index = int(shard_index)
+            if shard_index < len(self.plane.shards):
+                shard_name = self.plane.shards[shard_index].name
+            elif self.plane.spec is not None:
+                # A shard a later ReshardService event will create: deployment
+                # names are deterministic, so the fault can be laid down on
+                # its addresses before the shard exists (e.g. a partition
+                # that hits the migration's import path the moment it forms).
+                shard_name = self.plane.spec.shard_name(shard_index)
+            else:
+                raise ValueError(f"party {party!r} names a nonexistent shard")
+            if rest == "client":
+                return f"{shard_name}-client"
+            if rest.startswith("domain:"):
+                return f"{shard_name}-domain-{int(rest.split(':', 1)[1])}"
+            raise ValueError(f"unknown scenario party {party!r}")
         if party.startswith("domain:"):
             return self.deployment.domains[int(party.split(":", 1)[1])].domain_id
         raise ValueError(f"unknown scenario party {party!r}")
 
-    def compromise(self, domain_index: int) -> None:
+    def compromise(self, domain_index: int, shard_index: int = 0) -> None:
         """Exploit one domain's TEE at the current operation boundary."""
-        self.compromise_schedule.compromise(domain_index, at_op=self.current_op)
+        schedule = self._compromise_schedules.get(shard_index)
+        if schedule is None:
+            if self.plane is None:
+                raise ValueError("cannot compromise a shard without a plane")
+            schedule = ScheduledCompromise(self.plane.shards[shard_index])
+            self._compromise_schedules[shard_index] = schedule
+        schedule.compromise(domain_index, at_op=self.current_op)
+
+    def reshard(self, new_shard_count: int) -> None:
+        """Grow the service plane to ``new_shard_count`` shards, live.
+
+        A failed reshard is a *scenario outcome*, not a harness crash: a
+        planning abort leaves the old epoch serving (nothing to record), and
+        a mid-migration failure commits with the unmoved keys pinned — the
+        coordinator attaches its report to the error. Either way the run
+        continues and the invariants judge the resulting state.
+        """
+        if self.plane is None:
+            raise ValueError("scenario deployment has no service plane to reshard")
+        try:
+            self.reshard_reports.append(self.plane.reshard(new_shard_count))
+        except ReshardError as exc:
+            self.reshard_errors.append(str(exc))
+            report = getattr(exc, "report", None)
+            if report is not None:
+                self.reshard_reports.append(report)
+
+    def finish_reshard(self) -> None:
+        """Drain keys a faulted reshard left pinned to their old shards."""
+        if self.plane is None:
+            raise ValueError("scenario deployment has no service plane to reshard")
+        try:
+            self.reshard_reports.append(self.plane.finish_reshard())
+        except ReshardError as exc:
+            self.reshard_errors.append(str(exc))
+            report = getattr(exc, "report", None)
+            if report is not None:
+                self.reshard_reports.append(report)
+
+    @property
+    def resharded(self) -> bool:
+        """Whether any epoch transition ran during this scenario."""
+        return bool(self.reshard_reports)
 
     def push_unannounced_update(self, domain_index: int, version_suffix: str) -> None:
         """Sign and install an update on one domain without publishing it.
@@ -88,18 +162,21 @@ class ScenarioRunner:
     def run(self) -> ScenarioReport:
         """Execute the scenario and return its report."""
         scenario = self.scenario
-        driver = make_driver(scenario.app, scenario.seed, scenario.ops)
+        driver = make_driver(scenario.app, scenario.seed, scenario.ops,
+                             shards=scenario.shards)
         deployment = driver.deployment
+        plane = driver.plane
         network = Network(clock=deployment.clock, default_latency=lan_profile())
-        servers = deployment.route_via_network(network, attempts=scenario.rpc_attempts)
+        plane.route_via_network(network, attempts=scenario.rpc_attempts)
         plan = FaultPlan(scenario.rules, scenario.events, seed=scenario.seed + 1)
         plan.install(network)
         ctx = ScenarioContext(network, deployment, driver,
-                              ScheduledCompromise(deployment), deployment.client_address)
+                              ScheduledCompromise(deployment),
+                              plane.client_address, plane=plane)
 
         log_baseline = {
             domain.domain_id: domain.framework.log_export()
-            for domain in deployment.domains
+            for shard in plane.shards for domain in shard.domains
         }
         report = ScenarioReport(scenario=scenario)
         latencies: list[float] = []
@@ -119,17 +196,20 @@ class ScenarioRunner:
                 report.succeeded += 1
             latencies.append(network.clock.now() - op_started)
 
-        report.retries = deployment.rpc_retry_total()
-        deployment.unroute()
+        report.retries = plane.rpc_retry_total()
+        plane.unroute()
 
         stats = network.stats
         report.messages_sent = stats.messages_sent
         report.messages_delivered = stats.messages_delivered
         report.messages_dropped = stats.messages_dropped
         report.messages_duplicated = stats.messages_duplicated
-        report.duplicates_answered = sum(s.duplicates_answered for s in servers.values())
+        # Collected from the live fleet, not a pre-run snapshot, so servers
+        # of shards grown by a mid-run reshard are counted too.
+        report.duplicates_answered = plane.duplicates_answered_total()
         report.sim_elapsed_s = network.clock.now() - started_at
         report.latency = summarize(latencies) if latencies else None
+        report.reshards = list(ctx.reshard_reports)
 
         report.audit_ok, kinds = driver.audit_outcome()
         report.detected_kinds = tuple(sorted(kinds))
@@ -146,13 +226,20 @@ class ScenarioRunner:
                       self._audit_invariant(report)]
         if ctx.unannounced_digests:
             invariants.append(self._unannounced_update_invariant(ctx, report))
+        if ctx.resharded:
+            invariants.append(self._reshard_invariant(ctx))
         return invariants
 
     def _append_only_invariant(self, ctx: ScenarioContext, baseline: dict) -> InvariantResult:
-        """No domain's digest log lost or rewrote history during the run."""
-        for domain in ctx.deployment.domains:
+        """No domain's digest log lost or rewrote history during the run.
+
+        Shards added by a mid-run reshard are checked against an empty
+        baseline — their whole history happened during the run.
+        """
+        domains = [domain for shard in ctx.plane.shards for domain in shard.domains]
+        for domain in domains:
             exported = domain.framework.log_export()
-            before = baseline[domain.domain_id]
+            before = baseline.get(domain.domain_id, [])
             if len(exported) < len(before):
                 return InvariantResult("digest-log-append-only", False,
                                        f"{domain.domain_id} truncated its log")
@@ -165,7 +252,7 @@ class ScenarioRunner:
                 return InvariantResult("digest-log-append-only", False,
                                        f"{domain.domain_id}: {exc}")
         return InvariantResult("digest-log-append-only", True,
-                               f"{len(ctx.deployment.domains)} domain logs verified "
+                               f"{len(domains)} domain logs verified "
                                "against their attested heads")
 
     def _audit_invariant(self, report: ScenarioReport) -> InvariantResult:
@@ -190,7 +277,8 @@ class ScenarioRunner:
                                    "audit passed despite an unpublished update")
         logged = {
             bytes(entry["code_digest"])
-            for domain in ctx.deployment.domains
+            for shard in ctx.plane.shards
+            for domain in shard.domains
             for entry in domain.framework.log_export()
         }
         missing = [digest for digest in ctx.unannounced_digests if digest not in logged]
@@ -202,3 +290,41 @@ class ScenarioRunner:
             f"{len(ctx.unannounced_digests)} unpublished update(s) appear in the "
             "tamper-evident logs and failed the audit",
         )
+
+    def _reshard_invariant(self, ctx: ScenarioContext) -> InvariantResult:
+        """Every epoch transition committed and left no key unroutable.
+
+        The ring must cover exactly the shard fleet, no key may still be
+        marked mid-migration, and any key pinned by an epoch override must
+        point at a shard that exists — i.e. requests during and after the
+        reshard either routed correctly or failed safely, never misrouted.
+        """
+        plane = ctx.plane
+        if plane.is_migrating:
+            return InvariantResult("reshard-epoch-committed", False,
+                                   "keys left mid-migration after the run")
+        if plane.ring.shard_count != len(plane.shards):
+            return InvariantResult(
+                "reshard-epoch-committed", False,
+                f"ring covers {plane.ring.shard_count} shards but "
+                f"{len(plane.shards)} exist")
+        grows = [reshard for reshard in ctx.reshard_reports
+                 if reshard.new_shard_count > reshard.old_shard_count]
+        if grows and plane.epoch < len(grows):
+            return InvariantResult("reshard-epoch-committed", False,
+                                   f"{len(grows)} reshards ran but the epoch "
+                                   f"only advanced to {plane.epoch}")
+        for key, shard_index in plane.pending_migrations():
+            if not 0 <= shard_index < len(plane.shards):
+                return InvariantResult(
+                    "reshard-epoch-committed", False,
+                    f"key {key!r} pinned to nonexistent shard {shard_index}")
+        pending = plane.pending_migration_keys
+        stale = len(plane.pending_cleanups())
+        detail = (f"epoch {plane.epoch} committed across "
+                  f"{len(plane.shards)} shards")
+        if pending:
+            detail += f"; {pending} keys pinned to old shards (routed, not lost)"
+        if stale:
+            detail += f"; {stale} moved keys await source cleanup"
+        return InvariantResult("reshard-epoch-committed", True, detail)

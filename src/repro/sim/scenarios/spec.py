@@ -27,6 +27,9 @@ class Scenario:
         name: unique scenario identifier (used in reports and test ids).
         app: one of ``keybackup``, ``threshold_sign``, ``prio``, ``odoh``.
         ops: number of workload operations to drive.
+        shards: service-plane shards the app is deployed across (1 = the
+            classic single-deployment layout; a :class:`~repro.sim.faults.
+            ReshardService` event can grow it mid-run).
         seed: master seed for workload and fault randomness.
         rules: probabilistic :class:`~repro.sim.faults.FaultRule` instances.
         events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
@@ -42,6 +45,7 @@ class Scenario:
     name: str
     app: str
     ops: int = 10
+    shards: int = 1
     seed: int = 2022
     rules: tuple = ()
     events: tuple = ()
@@ -56,6 +60,8 @@ class Scenario:
             raise ValueError(f"unknown scenario app {self.app!r} (expected one of {APPS})")
         if self.ops < 1:
             raise ValueError("a scenario needs at least one operation")
+        if self.shards < 1:
+            raise ValueError("a scenario needs at least one shard")
         if not 0.0 <= self.min_success_rate <= 1.0:
             raise ValueError("min_success_rate must be within [0, 1]")
 
@@ -88,6 +94,7 @@ class ScenarioReport:
     audit_ok: bool = True
     detected_kinds: tuple = ()
     invariants: list = field(default_factory=list)
+    reshards: list = field(default_factory=list)  # ReshardReport per epoch
 
     @property
     def ops(self) -> int:
@@ -113,7 +120,9 @@ class ScenarioReport:
 
     def format(self) -> str:
         """A deterministic multi-line text report (what the sweep prints)."""
-        lines = [f"scenario {self.scenario.name} [{self.scenario.app}]"]
+        plane = (f"{self.scenario.app}, {self.scenario.shards} shards"
+                 if self.scenario.shards > 1 else self.scenario.app)
+        lines = [f"scenario {self.scenario.name} [{plane}]"]
         if self.scenario.description:
             lines.append(f"  {self.scenario.description}")
         lines.append(
@@ -131,6 +140,13 @@ class ScenarioReport:
                 f"  latency: mean={self.latency.mean_ms():.3f} ms "
                 f"p95={self.latency.p95_ms():.3f} ms "
                 f"sim-elapsed={self.sim_elapsed_s * 1000:.1f} ms"
+            )
+        for reshard in self.reshards:
+            lines.append(
+                f"  reshard: {reshard.old_shard_count} -> "
+                f"{reshard.new_shard_count} shards (epoch {reshard.epoch}), "
+                f"{reshard.migrated_keys} keys / {reshard.records_moved} records "
+                f"moved, {reshard.pending} pinned"
             )
         audit_text = "ok" if self.audit_ok else "FAILED (misbehavior flagged)"
         detected = ", ".join(sorted(self.detected_kinds)) or "none"
@@ -157,4 +173,6 @@ class ScenarioReport:
             "audit_ok": self.audit_ok,
             "detected_kinds": sorted(self.detected_kinds),
             "invariants": {result.name: result.ok for result in self.invariants},
+            "shards": self.scenario.shards,
+            "reshards": [reshard.to_dict() for reshard in self.reshards],
         }

@@ -22,7 +22,8 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ApplicationError, ReproError
+from repro.errors import ApplicationError, ReproError, ReshardError
+from repro.sim.metrics import LatencyStats, summarize
 
 __all__ = ["WorkloadGenerator", "WorkloadReport", "MultiClientWorkload"]
 
@@ -86,6 +87,41 @@ class WorkloadReport:
     messages_duplicated: int = 0
     failures: list = field(default_factory=list)  # (op index, error type name)
     consistency_issues: list = field(default_factory=list)
+    latency: LatencyStats | None = None
+    # Per-shard breakdown: sim latency stats for the operations routed to
+    # each shard (batched ops carry their span's completion latency).
+    shard_latency: dict = field(default_factory=dict)  # shard -> LatencyStats
+    # Live-reshard segmentation (populated when reshard_at_op fires).
+    resharded: bool = False
+    reshard_to: int = 0
+    ops_before_reshard: int = 0
+    sim_seconds_before_reshard: float = 0.0
+    reshard_sim_seconds: float = 0.0
+    reshard_summary: dict = field(default_factory=dict)
+
+    @property
+    def pre_reshard_sim_ops_per_sec(self) -> float:
+        """Simulated throughput of the segment before the epoch flip."""
+        if not self.resharded or self.sim_seconds_before_reshard <= 0:
+            return 0.0
+        return self.ops_before_reshard / self.sim_seconds_before_reshard
+
+    @property
+    def post_reshard_sim_ops_per_sec(self) -> float:
+        """Simulated throughput of the segment after the epoch flip.
+
+        The reshard's own migration time is excluded from both segments (it
+        is reported separately as ``reshard_sim_seconds``), so this compares
+        steady-state capacity before and after the topology change.
+        """
+        if not self.resharded:
+            return 0.0
+        post_seconds = (self.sim_seconds - self.sim_seconds_before_reshard
+                        - self.reshard_sim_seconds)
+        post_ops = self.succeeded - self.ops_before_reshard
+        if post_seconds <= 0 or post_ops <= 0:
+            return 0.0
+        return post_ops / post_seconds
 
     @property
     def ops_per_sec(self) -> float:
@@ -125,6 +161,8 @@ class WorkloadReport:
         mode = f"batched (batch={self.batch_size})" if self.batched else "unbatched"
         if self.shards > 1:
             mode += f", {self.shards} shards"
+        if self.resharded:
+            mode += f" -> resharded to {self.reshard_to}"
         lines = [
             f"workload {self.app}: {self.num_clients} clients, {self.ops} ops, {mode}",
             f"  ops: ok={self.succeeded} failed={self.failed} "
@@ -135,6 +173,25 @@ class WorkloadReport:
             f"  network: sent={self.messages_sent} delivered={self.messages_delivered} "
             f"dropped={self.messages_dropped} duplicated={self.messages_duplicated}",
         ]
+        if self.latency is not None:
+            lines.append(
+                f"  latency: mean={self.latency.mean_ms():.3f} ms "
+                f"p95={self.latency.p95_ms():.3f} ms "
+                f"p99={self.latency.p99_ms():.3f} ms"
+            )
+        if self.shard_latency:
+            per_shard = " ".join(
+                f"s{shard}:{stats.count}ops/{stats.mean_ms():.2f}ms"
+                for shard, stats in sorted(self.shard_latency.items())
+            )
+            lines.append(f"  per-shard: {per_shard}")
+        if self.resharded:
+            lines.append(
+                f"  reshard: at op {self.ops_before_reshard}, "
+                f"{self.reshard_sim_seconds * 1000:.1f} ms sim migration; "
+                f"sim throughput {self.pre_reshard_sim_ops_per_sec:.0f} -> "
+                f"{self.post_reshard_sim_ops_per_sec:.0f} ops/sec"
+            )
         if self.consistency_issues:
             for issue in self.consistency_issues:
                 lines.append(f"  CONSISTENCY: {issue}")
@@ -162,6 +219,19 @@ class WorkloadReport:
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
             "consistent": self.consistent,
+            "latency": self.latency.to_dict() if self.latency else None,
+            "shard_latency": {
+                shard: stats.to_dict()
+                for shard, stats in sorted(self.shard_latency.items())
+            },
+            "resharded": self.resharded,
+            "reshard_to": self.reshard_to,
+            "ops_before_reshard": self.ops_before_reshard,
+            "sim_seconds_before_reshard": self.sim_seconds_before_reshard,
+            "reshard_sim_seconds": self.reshard_sim_seconds,
+            "pre_reshard_sim_ops_per_sec": self.pre_reshard_sim_ops_per_sec,
+            "post_reshard_sim_ops_per_sec": self.post_reshard_sim_ops_per_sec,
+            "reshard_summary": self.reshard_summary,
         }
 
 
@@ -189,6 +259,9 @@ class _KeyBackupAdapter:
         self.client = KeyBackupClient(self.service, audit_before_use=False)
         generator = WorkloadGenerator(seed)
         self.items = list(zip(generator.user_ids(ops), generator.secrets(ops, bits=248)))
+
+    def routing_key(self, op_index: int):
+        return self.items[op_index][0]
 
     def step(self, op_index: int) -> None:
         user_id, secret = self.items[op_index]
@@ -237,6 +310,11 @@ class _PrioAdapter:
         self.values = WorkloadGenerator(seed).telemetry_values(ops, 0, 100)
         self.accepted: list[int] = []
         self.unclean = 0
+
+    def routing_key(self, op_index: int):
+        # One submission per op, counter starts at zero, so the op's index
+        # is its submission index.
+        return self.client.submission_key(op_index)
 
     def step(self, op_index: int) -> None:
         value = self.values[op_index]
@@ -300,6 +378,9 @@ class _ThresholdSignAdapter:
         self.all_signers = list(range(1, self.service.num_signers + 1))
         self.robust = False  # set by the workload driver when faults are active
 
+    def routing_key(self, op_index: int):
+        return self.messages[op_index]
+
     def step(self, op_index: int) -> None:
         transaction = self.client.sign_transaction_failover(self.messages[op_index])
         if not self.client.verify(transaction):
@@ -334,6 +415,9 @@ class _OdohAdapter:
         self.deployment = self.service.deployment
         self.client = ObliviousDnsClient(self.service, audit_before_use=False)
         self.resolved = 0
+
+    def routing_key(self, op_index: int):
+        return self.names[op_index]
 
     def _check(self, name: str, response) -> None:
         if not response.found or response.address != self.records[name]:
@@ -405,12 +489,19 @@ class MultiClientWorkload:
         events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
         rpc_attempts: send attempts per request (retries are safe against the
             at-most-once servers).
+        reshard_at_op: grow the service *live* just before this operation
+            index (a batched run fires it at the containing span boundary);
+            the report then carries per-segment simulated throughput so the
+            pre- and post-reshard capacity can be compared.
+        reshard_to: the shard count the live reshard grows to (must exceed
+            ``shards``).
     """
 
     def __init__(self, app: str, num_clients: int = 100, ops_per_client: int = 1,
                  seed: int = 2022, batched: bool = True, batch_size: int = 128,
                  shards: int = 1, service_time: float = 0.0,
-                 rules: tuple = (), events: tuple = (), rpc_attempts: int = 3):
+                 rules: tuple = (), events: tuple = (), rpc_attempts: int = 3,
+                 reshard_at_op: int | None = None, reshard_to: int = 0):
         if app not in _ADAPTERS:
             raise ValueError(f"unknown workload app {app!r} "
                              f"(expected one of {sorted(_ADAPTERS)})")
@@ -422,6 +513,12 @@ class MultiClientWorkload:
             raise ValueError("a workload needs at least one shard")
         if service_time < 0:
             raise ValueError("service_time cannot be negative")
+        if reshard_at_op is not None:
+            if not 1 <= reshard_at_op < num_clients * ops_per_client:
+                raise ValueError("reshard_at_op must fall inside the run "
+                                 "(after the first op, before the last)")
+            if reshard_to <= shards:
+                raise ValueError("reshard_to must exceed the starting shard count")
         self.app = app
         self.num_clients = num_clients
         self.ops_per_client = ops_per_client
@@ -434,15 +531,20 @@ class MultiClientWorkload:
         self.rules = tuple(rules)
         self.events = tuple(events)
         self.rpc_attempts = rpc_attempts
+        self.reshard_at_op = reshard_at_op
+        self.reshard_to = reshard_to
 
     @classmethod
     def from_scenario(cls, scenario, num_clients: int = 100,
                       batched: bool = True, batch_size: int = 128) -> "MultiClientWorkload":
         """Build a load run from a scenario's fault plan.
 
-        The scenario contributes its application, seed, probabilistic rules,
-        scheduled events, and retry budget; the load harness contributes
-        volume. This is how the PR-1 matrix composes with throughput runs.
+        The scenario contributes its application, shard layout, seed,
+        probabilistic rules, scheduled events, and retry budget; the load
+        harness contributes volume. This is how the PR-1 matrix composes
+        with throughput runs — sharded and reshard scenarios included
+        (shard-named events resolve against the same shard count they were
+        written for).
         """
         return cls(
             app=scenario.app,
@@ -451,6 +553,7 @@ class MultiClientWorkload:
             seed=scenario.seed,
             batched=batched,
             batch_size=batch_size,
+            shards=scenario.shards,
             rules=scenario.rules,
             events=scenario.events,
             rpc_attempts=scenario.rpc_attempts,
@@ -478,16 +581,44 @@ class MultiClientWorkload:
                                 ops=self.total_ops, batched=self.batched,
                                 batch_size=self.batch_size if self.batched else 0,
                                 shards=self.shards, service_time=self.service_time)
+        op_latencies: list[tuple[int, float]] = []  # (op index, sim latency)
+
+        def reshard_now() -> None:
+            before = network.clock.now()
+            report.ops_before_reshard = report.succeeded
+            report.sim_seconds_before_reshard = before - sim_started
+            # A failed reshard is a run outcome, not a harness crash: a
+            # planning abort leaves the old epoch serving; a mid-migration
+            # failure commits with unmoved keys pinned (the coordinator
+            # attaches its report). The load keeps flowing either way.
+            try:
+                reshard_report = plane.reshard(self.reshard_to)
+            except ReshardError as exc:
+                reshard_report = getattr(exc, "report", None)
+                report.reshard_summary = (reshard_report.to_dict()
+                                          if reshard_report is not None else {})
+                report.reshard_summary["error"] = str(exc)
+            else:
+                report.reshard_summary = reshard_report.to_dict()
+            report.reshard_sim_seconds = network.clock.now() - before
+            report.resharded = plane.num_shards == self.reshard_to
+            report.reshard_to = self.reshard_to
+
         sim_started = network.clock.now()
         wall_started = time.perf_counter()
         if self.batched:
             op_index = 0
             while op_index < self.total_ops:
                 count = min(self.batch_size, self.total_ops - op_index)
+                if (self.reshard_at_op is not None and not report.resharded
+                        and op_index <= self.reshard_at_op < op_index + count):
+                    reshard_now()
                 for event in self.events:
                     if op_index <= event.at_op < op_index + count:
                         event.apply(context)
+                span_started = network.clock.now()
                 outcomes = adapter.run_span(op_index, count)
+                span_latency = network.clock.now() - span_started
                 for offset, outcome in enumerate(outcomes):
                     if isinstance(outcome, Exception):
                         report.failed += 1
@@ -495,11 +626,15 @@ class MultiClientWorkload:
                                                 type(outcome).__name__))
                     else:
                         report.succeeded += 1
+                        op_latencies.append((op_index + offset, span_latency))
                 op_index += count
         else:
             for op_index in range(self.total_ops):
+                if op_index == self.reshard_at_op and not report.resharded:
+                    reshard_now()
                 for event in plan.events_at(op_index):
                     event.apply(context)
+                op_started = network.clock.now()
                 try:
                     adapter.step(op_index)
                 except ReproError as exc:
@@ -507,10 +642,13 @@ class MultiClientWorkload:
                     report.failures.append((op_index, type(exc).__name__))
                 else:
                     report.succeeded += 1
+                    op_latencies.append((op_index,
+                                         network.clock.now() - op_started))
         report.wall_seconds = time.perf_counter() - wall_started
         report.sim_seconds = network.clock.now() - sim_started
         report.retries = plane.rpc_retry_total()
         plane.unroute()
+        self._attach_latency(report, adapter, plane, op_latencies)
 
         stats = network.stats
         report.messages_sent = stats.messages_sent
@@ -520,6 +658,22 @@ class MultiClientWorkload:
         report.consistency_issues = adapter.consistency_issues()
         return report
 
+    def _attach_latency(self, report, adapter, plane, op_latencies) -> None:
+        """Summarize per-op sim latency, overall and broken down by shard.
+
+        Each op is attributed to the shard its routing key lands on under the
+        *final* ring, so a resharded run's breakdown reflects the grown fleet.
+        """
+        if not op_latencies:
+            return
+        report.latency = summarize([latency for _, latency in op_latencies])
+        per_shard: dict[int, list[float]] = {}
+        for op_index, latency in op_latencies:
+            shard = plane.shard_for(adapter.routing_key(op_index))
+            per_shard.setdefault(shard, []).append(latency)
+        report.shard_latency = {shard: summarize(samples)
+                                for shard, samples in sorted(per_shard.items())}
+
     def _event_context(self, network, deployment, adapter):
         """A scenario-compatible context so scheduled events can fire here."""
         from repro.sim.adversary import ScheduledCompromise
@@ -527,4 +681,5 @@ class MultiClientWorkload:
 
         return ScenarioContext(network, deployment, adapter,
                                ScheduledCompromise(deployment),
-                               deployment.client_address)
+                               deployment.client_address,
+                               plane=adapter.plane)

@@ -1,0 +1,391 @@
+"""Tests for live resharding: ring stability properties, the epoch router's
+fail-safe guarantees, the migration coordinator, and the scatter negative
+paths the migration drivers rely on."""
+
+import pytest
+
+from repro.errors import KeyMigratingError, ReshardError, ServiceSpecError
+from repro.net.latency import lan_profile
+from repro.net.transport import FaultDecision, Network
+from repro.service import (
+    HashRing,
+    MigrationOutcome,
+    RingDiff,
+    ServiceSpec,
+    ShardedService,
+    ShardMigrator,
+)
+from repro.core.deployment import Deployment
+from repro.core.package import CodePackage, DeveloperIdentity
+
+COUNTER_APP = '''
+def init(config):
+    previous = config.get("previous_state")
+    if previous:
+        return previous
+    return {"items": {}}
+
+def handle(method, params, state):
+    if method == "put":
+        state["items"][params["key"]] = params["value"]
+        return {"stored": True}
+    if method == "get":
+        return {"value": state["items"].get(params["key"])}
+    if method == "keys":
+        return {"keys": sorted(state["items"].keys())}
+    if method == "pop":
+        return {"removed": state["items"].pop(params["key"], None) is not None}
+    raise ValueError("unknown method: " + method)
+'''
+
+
+def make_plane(shards=2, domains=1, name="resvc", **spec_kwargs):
+    package = CodePackage(name, "1.0.0", "python", COUNTER_APP)
+    spec = ServiceSpec(name=name, packages=(package,), domains_per_shard=domains,
+                       shard_count=shards, include_developer_domain=False,
+                       **spec_kwargs)
+    return spec.synthesize(DeveloperIdentity(f"{name}-dev"))
+
+
+class CounterMigrator(ShardMigrator):
+    """Moves the counter app's items between shards (domain 0 holds them)."""
+
+    def shard_keys(self, plane, shard_index):
+        return plane.invoke_on_shard(shard_index, 0, "keys", {})["value"]["keys"]
+
+    def migrate(self, plane, source, target, keys):
+        outcome = MigrationOutcome()
+        for key in keys:
+            value = plane.invoke_on_shard(source, 0, "get",
+                                          {"key": key})["value"]["value"]
+            plane.invoke_on_shard(target, 0, "put", {"key": key, "value": value})
+            plane.invoke_on_shard(source, 0, "pop", {"key": key})
+            outcome.moved.append(key)
+            outcome.records_moved += 1
+        return outcome
+
+
+# ---------------------------------------------------------------------------
+# HashRing stability properties
+# ---------------------------------------------------------------------------
+
+class TestRingProperties:
+    KEYS = [f"key-{i}" for i in range(2000)]
+
+    @pytest.mark.parametrize("shard_count", [2, 3, 4, 7])
+    def test_growing_moves_about_one_over_n_plus_one(self, shard_count):
+        """N -> N+1 moves ~1/(N+1) of keys, far from a modulo reshuffle."""
+        ring = HashRing(shard_count)
+        diff = ring.diff(ring.grow(shard_count + 1), self.KEYS)
+        expected = 1.0 / (shard_count + 1)
+        assert diff.moved_fraction <= expected * 1.6 + 0.02, (
+            f"{shard_count}->{shard_count + 1} moved {diff.moved_fraction:.2%}, "
+            f"expected about {expected:.2%}"
+        )
+        assert diff.moved_fraction > 0
+        # Every move lands on the new shard — existing arcs never trade keys.
+        assert all(target == shard_count for _, _, target in diff.moved)
+
+    @pytest.mark.parametrize("shard_count", [2, 4, 8])
+    def test_spread_stays_under_docstring_bound(self, shard_count):
+        """The largest shard carries < 1.6x the mean at 128 vnodes."""
+        ring = HashRing(shard_count, vnodes=128)
+        counts = ring.distribution(f"user-{i}" for i in range(20000))
+        mean = sum(counts) / len(counts)
+        assert max(counts) < 1.6 * mean, counts
+
+    def test_distinct_salts_give_uncorrelated_placements(self):
+        """Two services' rings place the same keys independently."""
+        a = HashRing(4, salt=b"repro/service/alpha")
+        b = HashRing(4, salt=b"repro/service/beta")
+        agreements = sum(1 for key in self.KEYS
+                         if a.shard_for(key) == b.shard_for(key))
+        # Independent placement agrees ~1/4 of the time; anything close to
+        # half would mean the salts are correlated.
+        assert 0.15 < agreements / len(self.KEYS) < 0.40
+
+    def test_diff_requires_matching_salts(self):
+        with pytest.raises(ValueError):
+            HashRing(2, salt=b"a").diff(HashRing(3, salt=b"b"), ["k"])
+
+    def test_grow_preserves_vnodes_and_salt(self):
+        ring = HashRing(2, vnodes=64, salt=b"custom")
+        grown = ring.grow(5)
+        assert (grown.shard_count, grown.vnodes, grown.salt) == (5, 64, b"custom")
+
+    def test_diff_groups_by_route(self):
+        ring = HashRing(2)
+        diff = ring.diff(ring.grow(4), self.KEYS[:500])
+        routes = diff.by_route()
+        assert sum(len(keys) for keys in routes.values()) == diff.moved_count
+        assert all(source in (0, 1) and target in (2, 3)
+                   for source, target in routes)
+
+    def test_empty_diff(self):
+        ring = HashRing(3)
+        diff = ring.diff(ring.grow(4), [])
+        assert diff.moved_fraction == 0.0 and diff.moved_count == 0
+        assert isinstance(diff, RingDiff)
+
+
+# ---------------------------------------------------------------------------
+# Epoch router + coordinator
+# ---------------------------------------------------------------------------
+
+class TestLiveReshard:
+    def _loaded_plane(self, keys, shards=2):
+        plane = make_plane(shards=shards)
+        plane.migrator = CounterMigrator()
+        for key in keys:
+            plane.invoke(key, 0, "put", {"key": key, "value": f"v-{key}"})
+        return plane
+
+    def test_reshard_moves_minimal_keys_and_flips_epoch(self):
+        keys = [f"key-{i}" for i in range(40)]
+        plane = self._loaded_plane(keys)
+        before = {key: plane.shard_for(key) for key in keys}
+        report = plane.reshard(4)
+        assert report.ok and plane.epoch == 1 and plane.num_shards == 4
+        assert report.new_shard_count == 4
+        # Unmoved keys kept their placement; every key's record is readable
+        # from its new owner.
+        for key in keys:
+            after = plane.shard_for(key)
+            if after == before[key]:
+                continue
+            assert after >= 2  # moves only land on grown shards
+        for key in keys:
+            value = plane.invoke(key, 0, "get", {"key": key})["value"]["value"]
+            assert value == f"v-{key}"
+        assert report.diff.moved_count == report.migrated_keys > 0
+
+    def test_reshard_requires_growth_and_a_spec(self):
+        plane = self._loaded_plane(["a", "b"])
+        with pytest.raises(ReshardError):
+            plane.reshard(2)
+        with pytest.raises(ReshardError):
+            plane.reshard(1)
+        package = CodePackage("bare", "1.0.0", "python", COUNTER_APP)
+        deployment = Deployment("bare", DeveloperIdentity("bare-dev"))
+        deployment.publish_and_install(package)
+        adopted = ShardedService.adopt(deployment)
+        with pytest.raises(ReshardError):
+            adopted.reshard(3)
+
+    def test_moving_keys_fail_safely_during_migration(self):
+        """Mid-migration, a moving key's routing raises instead of guessing."""
+        plane = self._loaded_plane([f"key-{i}" for i in range(10)])
+        plane.begin_epoch(["key-3"])
+        with pytest.raises(KeyMigratingError):
+            plane.shard_for("key-3")
+        # Scatter isolates the refusal to the moving key's own call.
+        outcomes = plane.scatter([("key-3", 0, "get", {"key": "key-3"}),
+                                  ("key-4", 0, "get", {"key": "key-4"})])
+        assert isinstance(outcomes[0], KeyMigratingError)
+        assert outcomes[1]["value"]["value"] == "v-key-4"
+        plane.commit_epoch(plane.ring)
+        assert plane.shard_for("key-3") in range(plane.num_shards)
+
+    def test_failed_migration_pins_key_then_finish_drains_it(self):
+        """A key whose records cannot move keeps routing to its old shard."""
+        keys = [f"key-{i}" for i in range(30)]
+        plane = self._loaded_plane(keys)
+        moved = plane.ring.diff(plane.ring.grow(4), keys).moved
+        victim = moved[0][0]
+
+        class FlakyMigrator(CounterMigrator):
+            def migrate(self, plane, source, target, keys):
+                outcome = super().migrate(plane, source, target,
+                                          [k for k in keys if k != victim])
+                if victim in keys:
+                    outcome.failed[victim] = "injected migration failure"
+                return outcome
+
+        plane.migrator = FlakyMigrator()
+        report = plane.reshard(4)
+        assert not report.ok and victim in report.failed_keys
+        assert plane.pending_migration_keys == 1
+        # The pinned key still routes to the shard that holds its records.
+        assert plane.invoke(victim, 0, "get",
+                            {"key": victim})["value"]["value"] == f"v-{victim}"
+        # Draining with a healthy migrator moves it and drops the override.
+        plane.migrator = CounterMigrator()
+        drain = plane.finish_reshard()
+        assert drain.migrated_keys == 1 and plane.pending_migration_keys == 0
+        assert plane.shard_for(victim) == plane.ring.shard_for(victim)
+        assert plane.invoke(victim, 0, "get",
+                            {"key": victim})["value"]["value"] == f"v-{victim}"
+
+    def test_planning_failure_rolls_back_and_retry_reuses_spare_shards(self):
+        """An abort before any record moves restores the old epoch, and a
+        retry must reuse the parked shards (their network endpoints are
+        already registered — synthesizing twins would collide)."""
+        keys = [f"key-{i}" for i in range(12)]
+        plane = self._loaded_plane(keys)
+        network = Network(clock=plane.clock, default_latency=lan_profile())
+        plane.route_via_network(network, attempts=1)
+
+        class UnenumerableMigrator(CounterMigrator):
+            def shard_keys(self, plane, shard_index):
+                raise ReshardError("shard unreachable")
+
+        plane.migrator = UnenumerableMigrator()
+        with pytest.raises(ReshardError):
+            plane.reshard(4)
+        # Old epoch intact: two shards, old ring, no keys stuck mid-move,
+        # and the synthesized shards parked for reuse.
+        assert plane.epoch == 0 and plane.num_shards == 2
+        assert plane.ring.shard_count == 2 and not plane._moving
+        assert sorted(plane._spare_shards) == [2, 3]
+        for key in keys:
+            assert plane.invoke(key, 0, "get",
+                                {"key": key})["value"]["value"] == f"v-{key}"
+        # Retry with a healthy migrator succeeds on the same network.
+        plane.migrator = CounterMigrator()
+        report = plane.reshard(4)
+        assert report.ok and plane.epoch == 1 and plane.num_shards == 4
+        assert not plane._spare_shards
+        for key in keys:
+            assert plane.invoke(key, 0, "get",
+                                {"key": key})["value"]["value"] == f"v-{key}"
+
+    def test_migrator_crash_mid_migration_commits_and_pins(self):
+        """Once records may have moved there is no rollback: the epoch
+        commits, completed routes keep their new owner, and everything the
+        crash left behind is pinned to its source — zero lost records."""
+        keys = [f"key-{i}" for i in range(30)]
+        plane = self._loaded_plane(keys)
+
+        class ExplodesOnSecondRoute(CounterMigrator):
+            calls = 0
+
+            def migrate(self, plane, source, target, keys):
+                type(self).calls += 1
+                if type(self).calls > 1:
+                    raise RuntimeError("boom")
+                return super().migrate(plane, source, target, keys)
+
+        plane.migrator = ExplodesOnSecondRoute()
+        with pytest.raises(ReshardError) as excinfo:
+            plane.reshard(4)
+        report = excinfo.value.report
+        assert plane.epoch == 1 and plane.num_shards == 4
+        assert report.migrated_keys > 0 and report.failed_keys
+        assert plane.pending_migration_keys == len(report.failed_keys)
+        # Every key — moved, pinned, or untouched — is still readable.
+        for key in keys:
+            assert plane.invoke(key, 0, "get",
+                                {"key": key})["value"]["value"] == f"v-{key}"
+        plane.migrator = CounterMigrator()
+        drain = plane.finish_reshard()
+        assert drain.migrated_keys == len(report.failed_keys)
+        assert plane.pending_migration_keys == 0
+
+    def test_stale_source_records_are_cleaned_on_finish(self):
+        """A moved key whose source cleanup was lost stays authoritative on
+        the target (never pinned back to a partially deleted source) and is
+        cleaned up by finish_reshard()."""
+        keys = [f"key-{i}" for i in range(30)]
+        plane = self._loaded_plane(keys)
+        cleaned = []
+
+        class LeakyMigrator(CounterMigrator):
+            def migrate(self, plane, source, target, keys):
+                # Copy without deleting: every key moves but leaves a stale
+                # source copy behind.
+                outcome = MigrationOutcome()
+                for key in keys:
+                    value = plane.invoke_on_shard(
+                        source, 0, "get", {"key": key})["value"]["value"]
+                    plane.invoke_on_shard(target, 0, "put",
+                                          {"key": key, "value": value})
+                    outcome.moved.append(key)
+                    outcome.records_moved += 1
+                outcome.stale = list(keys)
+                return outcome
+
+            def cleanup(self, plane, shard_index, keys):
+                for key in keys:
+                    plane.invoke_on_shard(shard_index, 0, "pop", {"key": key})
+                cleaned.extend(keys)
+                return list(keys)
+
+        plane.migrator = LeakyMigrator()
+        report = plane.reshard(4)
+        assert not report.ok and report.stale_keys and not report.failed_keys
+        assert len(plane.pending_cleanups()) == len(report.stale_keys)
+        # Moved keys route to their ring owner (the target), not the source.
+        for key in report.stale_keys:
+            assert plane.shard_for(key) == plane.ring.shard_for(key) >= 2
+        drain = plane.finish_reshard()
+        assert sorted(cleaned) == sorted(report.stale_keys)
+        assert not plane.pending_cleanups() and drain.migrated_keys == 0
+        # After cleanup, exactly one shard holds each stale key's record.
+        for key in report.stale_keys:
+            holders = [
+                shard_index for shard_index in range(plane.num_shards)
+                if plane.invoke_on_shard(shard_index, 0, "get",
+                                         {"key": key})["value"]["value"] is not None
+            ]
+            assert holders == [plane.ring.shard_for(key)]
+
+    def test_resharded_plane_joins_network_and_service_times(self):
+        plane = self._loaded_plane([f"key-{i}" for i in range(16)])
+        network = Network(clock=plane.clock, default_latency=lan_profile())
+        plane.route_via_network(network, attempts=2)
+        plane.set_service_time(0.001)
+        report = plane.reshard(4)
+        assert report.ok
+        # Grown shards are routed on the same network with the same model;
+        # an invoke against one crosses the wire.
+        grown = plane.shards[3]
+        assert grown._rpc_clients is not None
+        before = network.stats.messages_sent
+        plane.invoke_on_shard(3, 0, "get", {"key": "?"})
+        assert network.stats.messages_sent > before
+        assert all(server.service_model is not None
+                   and server.service_model.per_request == 0.001
+                   for server in grown._servers)
+
+
+# ---------------------------------------------------------------------------
+# Scatter negative paths (what the migration drivers lean on)
+# ---------------------------------------------------------------------------
+
+class TestScatterNegativePaths:
+    def test_empty_call_list_returns_empty(self):
+        plane = make_plane(shards=2)
+        assert plane.scatter_to_shards([]) == []
+        assert plane.scatter([]) == []
+
+    def test_out_of_range_shard_index_rejected(self):
+        plane = make_plane(shards=2)
+        with pytest.raises(ServiceSpecError):
+            plane.scatter_to_shards([(2, 0, "get", {"key": "k"})])
+        with pytest.raises(ServiceSpecError):
+            plane.scatter_to_shards([(-1, 0, "get", {"key": "k"})])
+
+    def test_per_call_failure_isolation_over_lossy_network(self):
+        """Calls the network eats fail alone; co-batched calls still land."""
+        plane = make_plane(shards=2)
+        network = Network(clock=plane.clock, default_latency=lan_profile())
+        plane.route_via_network(network, attempts=1)
+        doomed = plane.shards[1].domains[0].domain_id
+
+        def drop_to_shard_one(message):
+            if message.destination == doomed:
+                return FaultDecision(drop=True)
+            return None
+
+        network.add_fault_hook(drop_to_shard_one)
+        outcomes = plane.scatter_to_shards([
+            (0, 0, "put", {"key": "a", "value": 1}),
+            (1, 0, "put", {"key": "b", "value": 2}),
+            (0, 0, "put", {"key": "c", "value": 3}),
+        ])
+        assert outcomes[0]["value"]["stored"] and outcomes[2]["value"]["stored"]
+        assert isinstance(outcomes[1], Exception)
+        network.remove_fault_hook(drop_to_shard_one)
+        # The healthy shard's state took the writes; the lost one took none.
+        assert plane.invoke_on_shard(0, 0, "get", {"key": "a"})["value"]["value"] == 1
+        assert plane.invoke_on_shard(1, 0, "get", {"key": "b"})["value"]["value"] is None

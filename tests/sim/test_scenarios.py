@@ -23,11 +23,19 @@ from repro.sim.faults import (
     DropFault,
     DuplicateFault,
     FaultPlan,
+    FinishReshard,
     PartitionLink,
     ReorderFault,
+    ReshardService,
     UnannouncedUpdate,
 )
-from repro.sim.scenarios import Scenario, ScenarioRunner, default_matrix
+from repro.sim.scenarios import (
+    Scenario,
+    ScenarioRunner,
+    default_matrix,
+    reshard_matrix,
+    sharded_matrix,
+)
 
 MATRIX = default_matrix()
 
@@ -45,6 +53,34 @@ class TestMatrixShape:
         assert {DropFault, DelayFault, ReorderFault, DuplicateFault} <= rule_types
         assert {PartitionLink, CrashParty, CompromiseDomain, UnannouncedUpdate} <= event_types
 
+    def test_matrix_covers_sharded_deployments(self):
+        """The fault taxonomy also runs against multi-shard service planes."""
+        sharded = [s for s in sharded_matrix() if s.shards > 1]
+        assert len(sharded) >= 4
+        assert {s.app for s in sharded} >= {"keybackup", "threshold_sign",
+                                            "prio", "odoh"}
+        rule_types = {type(rule) for s in sharded for rule in s.rules}
+        assert {DropFault, DelayFault, ReorderFault, DuplicateFault} <= rule_types
+        # And the sharded family is part of the default sweep.
+        assert {s.name for s in sharded} <= {s.name for s in MATRIX}
+
+    def test_matrix_covers_live_resharding(self):
+        """Every app reshards 2 -> 4 live, under each named fault family."""
+        reshards = reshard_matrix()
+        assert {s.app for s in reshards} == {"keybackup", "threshold_sign",
+                                             "prio", "odoh"}
+        for scenario in reshards:
+            grows = [e for e in scenario.events if isinstance(e, ReshardService)]
+            assert len(grows) == 1 and scenario.shards == 2 and grows[0].shards == 4
+        event_types = {type(e) for s in reshards for e in s.events}
+        rule_types = {type(rule) for s in reshards for rule in s.rules}
+        # The migration itself is attacked: loss, a crash mid-handoff, a
+        # partition during migration, and a compromised source.
+        assert DropFault in rule_types
+        assert {CrashParty, PartitionLink, CompromiseDomain,
+                FinishReshard} <= event_types
+        assert {s.name for s in reshards} <= {s.name for s in MATRIX}
+
     def test_scenario_names_unique(self):
         names = [s.name for s in MATRIX]
         assert len(names) == len(set(names))
@@ -56,6 +92,8 @@ class TestMatrixShape:
             Scenario(name="x", app="prio", ops=0)
         with pytest.raises(ValueError):
             Scenario(name="x", app="prio", min_success_rate=1.5)
+        with pytest.raises(ValueError):
+            Scenario(name="x", app="prio", shards=0)
 
 
 @pytest.mark.parametrize("scenario", MATRIX, ids=[s.name for s in MATRIX])
@@ -71,6 +109,18 @@ def test_scenario_safety_and_liveness(scenario):
     assert report.audit_ok == scenario.expect_audit_ok
     for kind in scenario.expect_detection_kinds:
         assert kind in report.detected_kinds
+    if any(isinstance(event, ReshardService) for event in scenario.events):
+        checked = {r.name for r in report.invariants}
+        # The epoch must commit, and the app-level conservation invariant
+        # (zero lost or duplicated records, or its app-specific equivalent)
+        # must have been checked, not skipped.
+        assert "reshard-epoch-committed" in checked
+        conservation = {"keybackup": "reshard-conserves-records",
+                        "odoh": "reshard-conserves-records",
+                        "prio": "aggregate-matches-accepted-submissions",
+                        "threshold_sign": "reshard-preserves-signing"}
+        assert conservation[scenario.app] in checked, checked
+        assert report.reshards and report.reshards[0].new_shard_count == 4
 
 
 class TestDeterminism:
@@ -107,6 +157,82 @@ class TestDeterminism:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "ALL SAFETY INVARIANTS HELD" in result.stdout
+
+
+class TestReshardScenarios:
+    def test_crash_mid_handoff_pins_keys_then_drains_them(self):
+        """The crash scenario exercises the full pin-and-drain lifecycle:
+        the crashed source defeats part of the migration (keys stay pinned,
+        routed to their old shard), and the FinishReshard event after
+        recovery moves them — deterministically, per the scenario seed."""
+        scenario = next(s for s in MATRIX
+                        if s.name == "keybackup-reshard-crash-mid-handoff")
+        report = ScenarioRunner(scenario).run()
+        grow, drain = report.reshards
+        assert grow.pending >= 1, "the crash was expected to pin at least one key"
+        assert drain.migrated_keys >= 1 and not drain.failed_keys
+        assert report.all_invariants_ok
+
+    def test_partition_during_migration_pins_keys_then_drains_them(self):
+        scenario = next(s for s in MATRIX
+                        if s.name == "odoh-reshard-partition-during-migration")
+        report = ScenarioRunner(scenario).run()
+        grow, drain = report.reshards
+        assert grow.pending >= 1
+        assert drain.migrated_keys >= 1 and not drain.failed_keys
+        assert report.all_invariants_ok
+
+    def test_context_records_a_reshard_failure_instead_of_crashing(self):
+        """A reshard the faults defeat is a scenario outcome: the context
+        records the error (and the committed report, when migration already
+        moved records) and the run continues to its invariants."""
+        from repro.sim.adversary import ScheduledCompromise
+        from repro.sim.scenarios.apps import make_driver
+        from repro.sim.scenarios.runner import ScenarioContext
+
+        driver = make_driver("keybackup", 2022, 4, shards=2)
+        for op_index in range(4):
+            driver.step(op_index)
+
+        def exploding_migrate(plane, source, target, keys):
+            raise RuntimeError("boom")
+
+        driver.plane.migrator.migrate = exploding_migrate
+        ctx = ScenarioContext(None, driver.deployment, driver,
+                              ScheduledCompromise(driver.deployment),
+                              "client", plane=driver.plane)
+        ctx.reshard(4)  # must not raise
+        assert ctx.reshard_errors and "boom" in ctx.reshard_errors[0]
+        # The epoch committed with every moving key pinned — nothing lost.
+        assert driver.plane.epoch == 1
+        assert ctx.reshard_reports[0].failed_keys
+        invariants = driver.finish(ctx)
+        assert all(result.ok for result in invariants), [
+            (result.name, result.detail) for result in invariants if not result.ok]
+
+    def test_compromise_targets_a_nonprimary_shard(self):
+        """CompromiseDomain(shard_index=N) breaches the named shard's TEE,
+        and the fleet-wide audit catches it."""
+        from repro.sim.adversary import ScheduledCompromise
+        from repro.sim.scenarios.apps import make_driver
+        from repro.sim.scenarios.runner import ScenarioContext
+
+        driver = make_driver("keybackup", 2022, 2, shards=2)
+        ctx = ScenarioContext(None, driver.deployment, driver,
+                              ScheduledCompromise(driver.deployment),
+                              "client", plane=driver.plane)
+        ctx.compromise(1, shard_index=1)
+        assert driver.plane.shards[1].domains[1].enclave.memory.breached
+        assert not driver.plane.shards[0].domains[1].enclave.memory.breached
+        ok, kinds = driver.audit_outcome()
+        assert not ok and "attestation-failure" in kinds
+
+    def test_reshard_scenario_replays_identically(self):
+        scenario = next(s for s in MATRIX if s.name == "keybackup-reshard-lossy")
+        first = ScenarioRunner(scenario).run()
+        second = ScenarioRunner(scenario).run()
+        assert first.format() == second.format()
+        assert first.to_dict() == second.to_dict()
 
 
 class TestTransportFaults:

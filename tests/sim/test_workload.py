@@ -56,6 +56,101 @@ class TestCleanNetworkRuns:
         with pytest.raises(ValueError):
             MultiClientWorkload("prio", batch_size=0)
 
+    def test_latency_breakdown_covers_every_shard(self):
+        report = MultiClientWorkload("prio", num_clients=24, batched=True,
+                                     batch_size=8, shards=2, rpc_attempts=1).run()
+        assert report.latency is not None and report.latency.count == 24
+        assert report.latency.p99 >= report.latency.p95 > 0
+        assert set(report.shard_latency) == {0, 1}
+        assert sum(stats.count for stats in report.shard_latency.values()) == 24
+        as_dict = report.to_dict()
+        assert as_dict["latency"]["p99"] == report.latency.p99
+        assert set(as_dict["shard_latency"]) == {0, 1}
+
+    def test_unbatched_latency_is_per_operation(self):
+        report = MultiClientWorkload("prio", num_clients=10, batched=False,
+                                     rpc_attempts=1).run()
+        assert report.latency is not None and report.latency.count == 10
+        # One round trip per share per server: every op takes real sim time.
+        assert report.latency.minimum > 0
+
+
+class TestLiveReshardWorkload:
+    def test_rejects_bad_reshard_parameters(self):
+        with pytest.raises(ValueError):
+            MultiClientWorkload("prio", num_clients=10, reshard_at_op=0,
+                                reshard_to=4)
+        with pytest.raises(ValueError):
+            MultiClientWorkload("prio", num_clients=10, reshard_at_op=10,
+                                reshard_to=4)
+        with pytest.raises(ValueError):
+            MultiClientWorkload("prio", num_clients=10, shards=2,
+                                reshard_at_op=5, reshard_to=2)
+
+    @pytest.mark.parametrize("app", ["keybackup", "prio"])
+    def test_batched_run_survives_a_mid_run_reshard(self, app):
+        report = MultiClientWorkload(app, num_clients=24, batched=True,
+                                     batch_size=8, shards=2, rpc_attempts=1,
+                                     reshard_at_op=12, reshard_to=4).run()
+        assert report.succeeded == report.ops, report.failures[:3]
+        assert report.consistent, report.consistency_issues
+        assert report.resharded and report.reshard_to == 4
+        # Batched mode fires the reshard at the span boundary containing the
+        # requested op (span [8, 16) holds op 12).
+        assert report.ops_before_reshard == 8
+        assert report.reshard_summary["new_shard_count"] == 4
+        assert report.reshard_summary["failed_keys"] == 0
+        # Segment accounting: pre + migration + post = the whole run.
+        assert 0 < report.sim_seconds_before_reshard < report.sim_seconds
+        assert report.reshard_sim_seconds > 0
+        # Post-reshard ops are attributed to the grown fleet.
+        assert any(shard >= 2 for shard in report.shard_latency)
+
+    def test_unbatched_run_reshards_at_the_exact_op(self):
+        report = MultiClientWorkload("odoh", num_clients=8, batched=False,
+                                     shards=2, rpc_attempts=1,
+                                     reshard_at_op=4, reshard_to=3).run()
+        assert report.succeeded == report.ops, report.failures[:3]
+        assert report.consistent
+        assert report.resharded and report.ops_before_reshard == 4
+
+    def test_from_scenario_forwards_the_shard_layout(self):
+        """A sharded/reshard scenario composes into a load run with the same
+        shard count, so its shard-named events hit real addresses."""
+        from repro.sim.scenarios.matrix import reshard_matrix, sharded_matrix
+
+        sharded = next(s for s in sharded_matrix()
+                       if s.name == "prio-reorder-jitter-4shards")
+        workload = MultiClientWorkload.from_scenario(sharded, num_clients=12)
+        assert workload.shards == sharded.shards == 4
+        report = workload.run()
+        assert report.shards == 4 and report.consistent
+
+        reshard = next(s for s in reshard_matrix()
+                       if s.name == "prio-reshard-under-load")
+        workload = MultiClientWorkload.from_scenario(reshard, num_clients=12,
+                                                     batch_size=4)
+        assert workload.shards == 2
+        report = workload.run()
+        # The scenario's ReshardService event fired mid-run: the plane grew
+        # from the scenario's declared 2 shards to 4.
+        assert report.consistent
+        assert any(shard >= 2 for shard in report.shard_latency), report.shard_latency
+
+    def test_segment_throughput_appears_in_report_output(self):
+        report = MultiClientWorkload("prio", num_clients=30, batched=True,
+                                     batch_size=15, shards=2, rpc_attempts=1,
+                                     service_time=0.001,
+                                     reshard_at_op=15, reshard_to=4).run()
+        assert report.pre_reshard_sim_ops_per_sec > 0
+        assert report.post_reshard_sim_ops_per_sec > 0
+        text = report.format()
+        assert "resharded to 4" in text and "reshard: at op 15" in text
+        as_dict = report.to_dict()
+        assert as_dict["resharded"] is True
+        assert as_dict["post_reshard_sim_ops_per_sec"] == (
+            report.post_reshard_sim_ops_per_sec)
+
 
 class TestFaultComposition:
     def test_lossy_network_with_retries_stays_exact(self):
