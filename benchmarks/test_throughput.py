@@ -23,6 +23,12 @@ Three series land in ``BENCH_throughput.json`` at the repository root:
   forwarding costs, and its own seeds, which keep the consistent-hash
   placement of both segments representative (a finite key sample can land
   lopsided; the seed is part of the recorded experiment configuration).
+* **concurrent** — the discrete-event core: keybackup and prio driven with
+  Poisson arrivals on the event loop (``MultiClientWorkload(concurrent=True)``),
+  every op its own task, so requests genuinely overlap and per-shard queue
+  depth is observable. The series is additive — it records offered load,
+  peak in-flight count, and the per-shard queue high-water marks without
+  touching the three pinned series above or their tuned seeds.
 
 Assertions here are **deterministic**: they compare simulated-time ratios and
 message counts, which depend only on protocol structure, never on container
@@ -76,12 +82,29 @@ RESHARD_OPS = ({"keybackup": 120, "prio": 300} if SMOKE else
 RESHARD_SEEDS = {"keybackup": 2116, "prio": 2106}
 RESHARD_MIN_SCALING = 1.8
 
+# The concurrent series: the discrete-event core under Poisson arrivals.
+# Offered load (arrival rate x service time x ops) far exceeds one shard's
+# capacity, so ops pile up in flight and the per-shard service queues show a
+# real high-water mark — the observable the synchronous harness cannot have.
+CONCURRENT_APPS = ("keybackup", "prio")
+CONCURRENT_SHARDS = 2
+CONCURRENT_ARRIVAL_RATE = 20_000.0
+CONCURRENT_SERVICE_TIME = 300e-6
+CONCURRENT_OPS = ({"keybackup": 60, "prio": 150} if SMOKE else
+                  {"keybackup": 300, "prio": 300})
+# The offered load exceeds one server's capacity, so queueing delay grows
+# over the run — that is the point of the series. The wave timeout must sit
+# well above the end-of-run delay or the tail of the run times out instead
+# of queueing (an open-loop overload measures waiting, not liveness).
+CONCURRENT_OP_TIMEOUT = 1.0
+
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            os.pardir, "BENCH_throughput.json")
 
 _RESULTS: dict[str, dict] = {}
 _SHARDED: dict[str, dict] = {}
 _RESHARD: dict[str, dict] = {}
+_CONCURRENT: dict[str, dict] = {}
 
 
 def _measure(app: str, batched: bool, shards: int = 1,
@@ -214,11 +237,56 @@ def test_reshard_throughput_app(app):
     )
 
 
+@pytest.mark.parametrize("app", CONCURRENT_APPS)
+def test_concurrent_event_core_app(app):
+    """The event core must show genuine overlap and observable queueing.
+
+    Every assertion is a pure function of the seeded event schedule: tasks
+    arrive by a seeded Poisson process and interleave in deterministic
+    timestamp order, so in-flight counts and queue high-water marks are the
+    same on every machine.
+    """
+    ops = CONCURRENT_OPS[app]
+    report = MultiClientWorkload(
+        app, num_clients=ops, ops_per_client=1, seed=2022,
+        shards=CONCURRENT_SHARDS, concurrent=True,
+        arrival_rate=CONCURRENT_ARRIVAL_RATE,
+        service_time=CONCURRENT_SERVICE_TIME, rpc_attempts=1,
+        op_timeout=CONCURRENT_OP_TIMEOUT,
+    ).run()
+    assert report.succeeded == report.ops, (
+        f"{app} concurrent series: {report.failed} operations failed: "
+        f"{report.failures[:3]}"
+    )
+    assert report.consistent, report.consistency_issues
+    _CONCURRENT[app] = {
+        "ops": report.ops,
+        "shards": CONCURRENT_SHARDS,
+        "arrival_rate": CONCURRENT_ARRIVAL_RATE,
+        "service_time": CONCURRENT_SERVICE_TIME,
+        "sim_seconds": round(report.sim_seconds, 6),
+        "sim_ops_per_sec": round(report.sim_ops_per_sec, 1),
+        "max_in_flight": report.max_in_flight,
+        "shard_queue_depth": {str(shard): depth for shard, depth
+                              in sorted(report.shard_queue_depth.items())},
+        "wall_seconds": round(report.wall_seconds, 4),
+    }
+    assert report.max_in_flight > 1, (
+        f"{app}: no two ops ever overlapped on the event core"
+    )
+    assert report.shard_queue_depth and all(
+        depth > 0 for depth in report.shard_queue_depth.values()), (
+        f"{app}: a shard never saw a queued request: "
+        f"{report.shard_queue_depth}"
+    )
+
+
 def test_write_throughput_baseline():
     """Aggregate the per-app results into BENCH_throughput.json."""
     missing = [app for app in OPS if app not in _RESULTS]
     missing += [app for app in SHARD_APPS if app not in _SHARDED]
     missing += [app for app in RESHARD_APPS if app not in _RESHARD]
+    missing += [app for app in CONCURRENT_APPS if app not in _CONCURRENT]
     if missing:
         pytest.skip(f"per-app measurements did not run for {missing}")
     fast_apps = sorted(app for app, result in _RESULTS.items()
@@ -240,6 +308,10 @@ def test_write_throughput_baseline():
         "apps_with_2x_shard_scaling": scaling_apps,
         "reshard": _RESHARD,
         "apps_with_reshard_scaling": reshard_apps,
+        "concurrent": _CONCURRENT,
+        "apps_with_true_concurrency": sorted(
+            app for app, result in _CONCURRENT.items()
+            if result["max_in_flight"] > 1),
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)

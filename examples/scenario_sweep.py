@@ -9,21 +9,52 @@ seeded: two runs with the same seed print byte-identical reports.
 Usage::
 
     PYTHONPATH=src python examples/scenario_sweep.py [seed]
-        [--filter substring[,substring...]] [--json PATH]
+        [--filter substring[,substring...]] [--json PATH] [--timeout-s N]
 
 ``--filter`` keeps only scenarios whose name contains one of the given
 substrings (e.g. ``--filter 4shards,reshard`` runs the sharded and reshard
 families); ``--json`` additionally writes every report's plain-data form to
-a file (what CI uploads as an artifact).
+a file (what CI uploads as an artifact); ``--timeout-s`` aborts the sweep if
+any single scenario runs longer than N wall seconds — the guard CI uses so a
+hung event loop fails the job in seconds instead of eating the runner's
+job timeout.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
 
 from repro.sim.scenarios import ScenarioRunner, default_matrix
+
+
+@contextlib.contextmanager
+def _scenario_deadline(name: str, timeout_s: int):
+    """Abort with a clear message if one scenario exceeds ``timeout_s``.
+
+    Uses ``signal.alarm`` where available (POSIX main thread); elsewhere the
+    guard degrades to a no-op rather than failing the sweep — the simulation
+    itself is deterministic, so a hang is a code bug, not a platform race.
+    """
+    if timeout_s <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"scenario {name!r} exceeded the {timeout_s}s per-scenario budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(timeout_s)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated name substrings to keep")
     parser.add_argument("--json", default="",
                         help="also write the reports as JSON to this path")
+    parser.add_argument("--timeout-s", type=int, default=0,
+                        help="abort if any one scenario exceeds this many "
+                             "wall seconds (0 = no guard)")
     args = parser.parse_args(argv)
 
     scenarios = default_matrix(args.seed)
@@ -50,7 +84,8 @@ def main(argv: list[str] | None = None) -> int:
     print("=" * 64)
     reports = []
     for scenario in scenarios:
-        report = ScenarioRunner(scenario).run()
+        with _scenario_deadline(scenario.name, args.timeout_s):
+            report = ScenarioRunner(scenario).run()
         reports.append(report)
         print(report.format())
         print("-" * 64)

@@ -357,6 +357,17 @@ class Deployment:
             return 0
         return sum(server.duplicates_answered for server in self._servers)
 
+    def max_queue_depths(self) -> list[int]:
+        """Per-domain high-water service-queue depth (empty if never attached).
+
+        The observable left behind by the serial service queue: how many
+        application calls were simultaneously queued or in service on each
+        domain's RPC server at the worst moment of the run.
+        """
+        if self._servers is None:
+            return []
+        return [server.max_queue_depth for server in self._servers]
+
 
 class PendingInvokeBatch:
     """An in-flight application batch from :meth:`Deployment.begin_invoke_batch`.
@@ -373,6 +384,20 @@ class PendingInvokeBatch:
         self._attempts = attempts
         self._chunk_results = chunk_results
         self._outcomes: list | None = None
+
+    def wait_event(self, timeout: float = 0.25):
+        """Resolve inside an event loop; returns what :meth:`collect` returns.
+
+        A generator for :class:`repro.net.eventloop.EventLoop` — it defers to
+        :meth:`PendingRpcBatch.wait_event` for the waiting/retransmission and
+        then unpacks outcomes without pumping the network. For an unrouted
+        (already complete) batch it finishes without yielding at all.
+        """
+        if (self._outcomes is None and self._chunk_results is None
+                and self._rpc_batch is not None):
+            yield from self._rpc_batch.wait_event(attempts=self._attempts,
+                                                  timeout=timeout)
+        return self.collect()
 
     def collect(self) -> list:
         """Wait for (and unpack) every call's outcome, in call order."""

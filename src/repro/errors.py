@@ -20,6 +20,7 @@ __all__ = [
     "TransportClosedError",
     "RpcError",
     "TimeoutError",
+    "SimulationError",
     "EnclaveError",
     "AttestationError",
     "MeasurementMismatchError",
@@ -106,6 +107,11 @@ class RpcError(NetworkError):
 
 class TimeoutError(NetworkError):  # noqa: A001 - deliberate shadowing inside package
     """A blocking network operation exceeded its deadline."""
+
+
+class SimulationError(NetworkError):
+    """The discrete-event simulation itself misbehaved (e.g. a non-quiescing
+    event loop exceeded its event budget)."""
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,9 @@ socket hops. This package reproduces that communication structure in process:
   constant, uniform);
 * :mod:`repro.net.transport` — an in-memory network of addressable endpoints
   with delivery queues and per-message accounting;
+* :mod:`repro.net.eventloop` — a discrete-event scheduler over the transport's
+  delivery queue: simulated tasks yield on send/receive so thousands of
+  requests can be genuinely in flight at once;
 * :mod:`repro.net.rpc` — a small request/response RPC layer on top of the
   transport using the canonical codec;
 * :mod:`repro.net.vsock` — a vsock-style socket hop/proxy pair that models the
@@ -27,6 +30,7 @@ from repro.net.latency import (
     wan_profile,
 )
 from repro.net.transport import Endpoint, Message, Network, NetworkStats
+from repro.net.eventloop import EventLoop, SimTask, Sleep, WaitBatch
 from repro.net.rpc import RpcClient, RpcServer
 from repro.net.vsock import SocketHop, VsockProxyChain
 
@@ -42,6 +46,10 @@ __all__ = [
     "Message",
     "Network",
     "NetworkStats",
+    "EventLoop",
+    "SimTask",
+    "Sleep",
+    "WaitBatch",
     "RpcClient",
     "RpcServer",
     "SocketHop",

@@ -4,6 +4,12 @@ Protocol code charges transmission latency and processing delays to the
 simulated clock rather than sleeping, so experiments that sweep network
 latency (e.g. the update-propagation ablation) run in milliseconds of wall
 time while still reporting realistic end-to-end latencies.
+
+Two drivers advance the clock: the synchronous transport pump
+(:meth:`repro.net.transport.Network.run_until_idle`) and the discrete-event
+scheduler (:class:`repro.net.eventloop.EventLoop`), which interleaves
+message deliveries with task timers in timestamp order. Both only ever move
+time forward via :meth:`SimClock.advance_to`, so they compose within one run.
 """
 
 from __future__ import annotations

@@ -22,18 +22,20 @@ way instead of one round trip per request.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DecodingError, RpcError, TimeoutError
+from repro.net.eventloop import WaitBatch
 from repro.net.transport import Endpoint, Message, Network
 from repro.wire.codec import decode, encode
 from repro.wire.framing import frame_message, split_frames
 
 __all__ = ["RpcServer", "RpcClient", "BoundedIdSet", "PendingRpcBatch",
-           "ServiceTimeModel"]
+           "ServiceTimeModel", "ServiceQueue"]
 
 # How many completed request ids each endpoint remembers for duplicate-response
 # filtering. Old duplicates beyond this window are indistinguishable from
@@ -96,6 +98,50 @@ class ServiceTimeModel:
         return requests * self.per_request + payload_bytes * self.per_byte
 
 
+class ServiceQueue:
+    """Observable accounting for a server's serial service queue.
+
+    The busy-until scalar says *when* the server drains but not *how deep* the
+    line is. This queue keeps both: every admitted work unit (one application
+    call) gets a completion timestamp on the server's serial timeline, so
+    ``depth(now)`` is the number of units still queued or in service and
+    ``max_depth`` is the high-water mark — the head-of-line blocking that the
+    capacity model in docs/performance.md describes, now measurable.
+    """
+
+    def __init__(self):
+        self.busy_until = 0.0
+        self.max_depth = 0
+        self.total_units = 0
+        self._completions: list[float] = []  # heap of per-unit finish times
+
+    def enqueue(self, now: float, units: int, cost: float) -> float:
+        """Admit ``units`` work units costing ``cost`` seconds in total.
+
+        Returns the delay until the *last* of them completes (the response
+        leaves when the whole payload's work has drained), preserving the
+        busy-until semantics exactly.
+        """
+        self._expire(now)
+        start = max(now, self.busy_until)
+        self.busy_until = start + cost
+        per_unit = cost / units if units > 0 else 0.0
+        for index in range(1, units + 1):
+            heapq.heappush(self._completions, start + per_unit * index)
+        self.total_units += units
+        self.max_depth = max(self.max_depth, len(self._completions))
+        return self.busy_until - now
+
+    def depth(self, now: float) -> int:
+        """Work units still queued or in service at simulated time ``now``."""
+        self._expire(now)
+        return len(self._completions)
+
+    def _expire(self, now: float) -> None:
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+
+
 class RpcServer:
     """Dispatches incoming RPC requests to registered handler functions.
 
@@ -127,7 +173,7 @@ class RpcServer:
         self.malformed_frames = 0
         self.batches_served = 0
         self.service_model = service_model
-        self.busy_until = 0.0
+        self.queue = ServiceQueue()
         self._at_most_once = at_most_once
         self._cache_size = cache_size
         self._response_cache: OrderedDict[tuple, bytes] = OrderedDict()
@@ -225,6 +271,24 @@ class RpcServer:
                     return max(1, len(inner))
         return 1
 
+    @property
+    def busy_until(self) -> float:
+        """When the serial service queue drains (simulated seconds)."""
+        return self.queue.busy_until
+
+    @busy_until.setter
+    def busy_until(self, value: float) -> None:
+        self.queue.busy_until = value
+
+    def queue_depth(self) -> int:
+        """Work units still queued or in service right now."""
+        return self.queue.depth(self.endpoint.network.clock.now())
+
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the service queue over this server's lifetime."""
+        return self.queue.max_depth
+
     def _service_delay(self, executed: int, message: Message) -> float:
         """Seconds this payload's responses wait for the serial service queue.
 
@@ -234,9 +298,8 @@ class RpcServer:
         if self.service_model is None or executed == 0:
             return 0.0
         now = self.endpoint.network.clock.now()
-        start = max(now, self.busy_until)
-        self.busy_until = start + self.service_model.cost(executed, len(message.payload))
-        return self.busy_until - now
+        return self.queue.enqueue(
+            now, executed, self.service_model.cost(executed, len(message.payload)))
 
     def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "method" not in request or "id" not in request:
@@ -464,6 +527,36 @@ class PendingRpcBatch:
             else:
                 results.append(response.get("result"))
         return results
+
+    def wait_event(self, attempts: int = 3, timeout: float = 0.25):
+        """Resolve this batch inside an event loop instead of pumping.
+
+        A generator for :class:`repro.net.eventloop.EventLoop`: it yields
+        :class:`~repro.net.eventloop.WaitBatch` commands and resumes when
+        every response arrived (``"complete"``), ``timeout`` simulated
+        seconds elapsed (``"timeout"``), or the network went fully idle
+        (``"idle"``). On the latter two it retransmits the still-unanswered
+        requests with their original ids and bytes — the same at-most-once
+        retry discipline as :meth:`collect`, but without ever draining the
+        network on the waiter's behalf, so other tasks' requests stay
+        genuinely in flight alongside this one. After the generator returns,
+        :meth:`collect` unpacks results without pumping.
+        """
+        client = self.client
+        if not self._resolved:
+            for attempt in range(max(1, attempts)):
+                if not self.pending:
+                    break
+                if attempt > 0:
+                    client.retries += len(self.pending)
+                    client.endpoint.send(client.server_address, b"".join(
+                        frame for request_id, _, frame in self.requests
+                        if request_id in self.pending
+                    ))
+                yield WaitBatch(self, timeout)
+            for request_id, _, _ in self.requests:
+                client._completed.add(request_id)
+            self._resolved = True
 
     def _resolve(self, attempts: int) -> None:
         client = self.client

@@ -1,10 +1,26 @@
 """An in-memory simulated network of addressable endpoints.
 
-The network is synchronous and single-threaded: sends enqueue messages, and
-:meth:`Network.run_until_idle` drains the queue in delivery-time order,
-invoking receiver handlers (or parking messages in inboxes for endpoints that
-poll). Latency is charged to a :class:`~repro.net.clock.SimClock` per link, and
-per-endpoint statistics are collected for the benchmark harness.
+The network is single-threaded: sends enqueue messages on a delivery-time
+heap, and deliveries happen in timestamp order, invoking receiver handlers
+(or parking messages in inboxes for endpoints that poll). Latency is charged
+to a :class:`~repro.net.clock.SimClock` per link, and per-endpoint statistics
+are collected for the benchmark harness.
+
+Two drivers consume the queue:
+
+* :meth:`Network.run_until_idle` drains it synchronously — the original
+  pump-to-quiescence model, still used by direct calls and unit tests;
+* :meth:`Network.deliver_next` delivers exactly one message, which is what
+  the discrete-event scheduler (:mod:`repro.net.eventloop`) interleaves with
+  task timers so thousands of requests can be genuinely in flight at once.
+  Delivery observers (:meth:`Network.add_delivery_observer`) let the
+  scheduler route responses to waiting tasks no matter which driver performed
+  the delivery.
+
+Message accounting is conservative: every send is either delivered, dropped
+(partition, fault, crashed or closed destination), or still pending, so
+``sent + duplicated == delivered + dropped + pending`` holds at all times
+(see :meth:`NetworkStats.conserved`).
 
 Adversarial network conditions are injected through two mechanisms:
 
@@ -92,6 +108,24 @@ class NetworkStats:
         """Record one message lost to a partition, fault, or crashed endpoint."""
         self.messages_dropped += 1
 
+    def conserved(self, pending: int = 0) -> bool:
+        """Whether every message is accounted for.
+
+        ``sent + duplicated == delivered + dropped + pending``: duplicates
+        enter the queue without counting as sends, and every queue entry ends
+        as exactly one delivery or one drop, so the identity must hold at any
+        quiescent point (and, with ``pending``, at any point at all).
+        """
+        return (self.messages_sent + self.messages_duplicated
+                == self.messages_delivered + self.messages_dropped + pending)
+
+    def conservation_detail(self, pending: int = 0) -> str:
+        """Human-readable form of the conservation identity (for invariants)."""
+        return (f"sent {self.messages_sent} + duplicated "
+                f"{self.messages_duplicated} vs delivered "
+                f"{self.messages_delivered} + dropped {self.messages_dropped}"
+                + (f" + pending {pending}" if pending else ""))
+
 
 class Endpoint:
     """A network endpoint identified by a string address.
@@ -159,6 +193,10 @@ class Network:
         self._partitions: set[tuple[str, str]] = set()
         self._fault_hooks: list[Callable[[Message], Optional[FaultDecision]]] = []
         self._down: set[str] = set()
+        # Called after each successful delivery (handler already run or message
+        # parked); the event loop uses this to wake tasks waiting on responses
+        # regardless of whether run_until_idle or deliver_next did the work.
+        self._delivery_observers: list[Callable[[Message], None]] = []
 
     # ------------------------------------------------------------------
     # Topology
@@ -252,7 +290,11 @@ class Network:
         if destination not in self._endpoints:
             raise NetworkError(f"no endpoint registered at {destination!r}")
         if (source, destination) in self._partitions:
-            # Partitioned links silently drop traffic, as a real network would.
+            # Partitioned links silently lose traffic, as a real network
+            # would. The bytes still left the sender, so the send is recorded
+            # (keeping sent == delivered + dropped conservative) — but with
+            # zero latency, since nothing ever traverses the link.
+            self.stats.record_send(source, destination, len(payload), 0.0)
             self.stats.record_drop()
             return
         model = self._link_latency.get((source, destination), self.default_latency)
@@ -265,20 +307,84 @@ class Network:
             deliver_at=self.clock.now() + latency + max(0.0, extra_delay),
         )
         decision = self._consult_faults(message) if self._fault_hooks else None
-        self.stats.record_send(source, destination, len(payload), latency)
         if decision is not None and decision.drop:
+            # The latency sample above is kept (seeded latency models stay on
+            # the same stream whether or not a fault fires) but none of it is
+            # charged to total_latency: a dropped message has no delivery
+            # latency, and charging it inflated every mean-latency report.
+            self.stats.record_send(source, destination, len(payload), 0.0)
             self.stats.record_drop()
             return
+        self.stats.record_send(source, destination, len(payload), latency)
         if decision is not None and decision.extra_delay > 0:
             message = replace(message, deliver_at=message.deliver_at + decision.extra_delay)
         self._enqueue(message)
         if decision is not None and decision.duplicates > 0:
+            fault_delay = decision.extra_delay if decision.extra_delay > 0 else 0.0
+            base = message.sent_at + max(0.0, extra_delay) + fault_delay
             for _ in range(decision.duplicates):
-                self._enqueue(message)
+                # Each copy samples its own link latency, so a duplicate can
+                # arrive before *or* after the original — dedup is exercised
+                # under genuine reordering, not a same-instant echo.
+                self._enqueue(replace(
+                    message, deliver_at=base + model.sample(len(payload))))
                 self.stats.messages_duplicated += 1
 
     def _enqueue(self, message: Message) -> None:
         heapq.heappush(self._queue, (message.deliver_at, next(self._sequence), message))
+
+    def add_delivery_observer(self, observer: Callable[[Message], None]) -> None:
+        """Call ``observer`` after every successful delivery.
+
+        The observer runs after the receiving endpoint has seen the message
+        (handler already invoked, or message parked in the inbox), so it can
+        react to the *consequences* of the delivery — e.g. the event loop
+        waking a task whose response just landed.
+        """
+        self._delivery_observers.append(observer)
+
+    def remove_delivery_observer(self, observer: Callable) -> None:
+        """Remove a previously installed delivery observer (no-op if absent)."""
+        if observer in self._delivery_observers:
+            self._delivery_observers.remove(observer)
+
+    def next_delivery_at(self) -> Optional[float]:
+        """Timestamp of the earliest queued message, or ``None`` when idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def deliver_next(self) -> Optional[Message]:
+        """Deliver the earliest queued message; returns it, or ``None``.
+
+        Undeliverable entries at the head of the queue (closed or unregistered
+        destination, crashed party) are recorded as drops and skipped, so a
+        ``None`` return means the queue is empty. The clock advances to the
+        delivered message's timestamp.
+        """
+        while self._queue:
+            _, _, message = heapq.heappop(self._queue)
+            endpoint = self._endpoints.get(message.destination)
+            if endpoint is None or endpoint.closed:
+                # The destination disappeared while the bytes were in flight;
+                # they are lost, and the stats must say so or the conservation
+                # identity (sent + duplicated == delivered + dropped) breaks.
+                self.stats.record_drop()
+                continue
+            if message.destination in self._down:
+                # A crashed party never reads the bytes; they are simply lost.
+                self.stats.record_drop()
+                continue
+            self.clock.advance_to(message.deliver_at)
+            self.stats.record_delivery()
+            if endpoint.on_message is not None:
+                endpoint.on_message(message)
+            else:
+                endpoint.inbox.append(message)
+            for observer in self._delivery_observers:
+                observer(message)
+            return message
+        return None
 
     def run_until_idle(self, max_steps: int = 100_000) -> int:
         """Deliver queued messages until the queue is empty; returns deliveries made."""
@@ -288,21 +394,8 @@ class Network:
             steps += 1
             if steps > max_steps:
                 raise NetworkError("network did not quiesce (possible message loop)")
-            _, _, message = heapq.heappop(self._queue)
-            endpoint = self._endpoints.get(message.destination)
-            if endpoint is None or endpoint.closed:
-                continue
-            if message.destination in self._down:
-                # A crashed party never reads the bytes; they are simply lost.
-                self.stats.record_drop()
-                continue
-            self.clock.advance_to(message.deliver_at)
-            self.stats.record_delivery()
-            delivered += 1
-            if endpoint.on_message is not None:
-                endpoint.on_message(message)
-            else:
-                endpoint.inbox.append(message)
+            if self.deliver_next() is not None:
+                delivered += 1
         return delivered
 
     def pending(self) -> int:

@@ -32,7 +32,7 @@ from repro.service.reshard import (
     ShardMigrator,
 )
 from repro.service.ring import HashRing, RingDiff
-from repro.service.sharded import ShardedService
+from repro.service.sharded import PendingScatter, ShardedService
 from repro.service.spec import PackageBinding, ServiceSpec
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "HashRing",
     "RingDiff",
     "ShardedService",
+    "PendingScatter",
     "ServiceClient",
     "ShardMigrator",
     "MigrationOutcome",

@@ -183,6 +183,15 @@ class ReshardCoordinator:
                 "drain protocol this plane does not implement"
             )
         migrator = plane.migrator or ShardMigrator()
+        # Quiesce barrier: when requests are genuinely in flight (the
+        # discrete-event workload), writes still on the wire would be
+        # invisible to the key enumeration below and their records could be
+        # stranded on a pre-reshard shard. Drain the network first so the
+        # plan sees every record that was accepted before the reshard began;
+        # requests issued after this point fail safely as KeyMigratingError
+        # until the epoch commits.
+        if plane._network is not None:
+            plane._network.run_until_idle()
         started = plane.clock.now()
         report = ReshardReport(
             service=plane.spec.name,

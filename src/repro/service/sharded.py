@@ -31,7 +31,57 @@ from repro.errors import KeyMigratingError, ReshardError, ServiceSpecError
 from repro.net.transport import Network
 from repro.service.ring import HashRing
 
-__all__ = ["ShardedService"]
+__all__ = ["ShardedService", "PendingScatter"]
+
+
+class PendingScatter:
+    """An in-flight scatter begun by :meth:`ShardedService.begin_scatter`.
+
+    Every group's batch payload is already on the wire. :meth:`collect`
+    gathers synchronously (the first collect pumps the shared network);
+    :meth:`wait_event` gathers inside a discrete-event loop, waiting on each
+    group's batch without draining the network, so *other* tasks' scatters
+    stay concurrently in flight. Calls whose keys were caught mid-migration
+    are pre-resolved to their :class:`~repro.errors.KeyMigratingError`.
+    """
+
+    def __init__(self, size: int, groups: dict, handles: dict,
+                 premapped: dict | None = None):
+        self._size = size
+        self._groups = groups      # (shard, domain) -> [(position, entry, params)]
+        self._handles = handles    # (shard, domain) -> PendingInvokeBatch
+        self._premapped = premapped or {}  # position -> outcome
+
+    def _seed_outcomes(self) -> list:
+        outcomes: list = [None] * self._size
+        for position, outcome in self._premapped.items():
+            outcomes[position] = outcome
+        return outcomes
+
+    def collect(self) -> list:
+        """Gather every call's outcome, in call order (pumps the network)."""
+        outcomes = self._seed_outcomes()
+        for group_key, group in self._groups.items():
+            for (position, _, _), outcome in zip(
+                    group, self._handles[group_key].collect()):
+                outcomes[position] = outcome
+        return outcomes
+
+    def wait_event(self, timeout: float = 0.25):
+        """Event-loop form of :meth:`collect`; same outcomes, no pumping.
+
+        A generator for :class:`repro.net.eventloop.EventLoop`: waits on each
+        shard group's in-flight batch in turn. Responses for a group arrive
+        (and are routed to it) regardless of which group the task is currently
+        blocked on, so waiting group-by-group loses no concurrency.
+        """
+        outcomes = self._seed_outcomes()
+        for group_key, group in self._groups.items():
+            results = yield from self._handles[group_key].wait_event(
+                timeout=timeout)
+            for (position, _, _), outcome in zip(group, results):
+                outcomes[position] = outcome
+        return outcomes
 
 
 class ShardedService:
@@ -191,22 +241,32 @@ class ShardedService:
         including a key caught mid-migration, which fails only its own call
         with :class:`~repro.errors.KeyMigratingError`.
         """
+        return self.begin_scatter(calls, chunk_size=chunk_size).collect()
+
+    def begin_scatter(self, calls, chunk_size: int = 128) -> PendingScatter:
+        """Route, group, and *send* a keyed batch; return the in-flight handle.
+
+        The split-phase form of :meth:`scatter`: every shard group's payload
+        is on the wire when this returns, and nothing has been delivered.
+        Gather with :meth:`PendingScatter.collect` (synchronous pump) or
+        :meth:`PendingScatter.wait_event` (inside an event loop, leaving the
+        network to other tasks). Keys caught mid-migration resolve to their
+        :class:`~repro.errors.KeyMigratingError` without failing the rest.
+        """
         calls = list(calls)
-        outcomes: list = [None] * len(calls)
-        routed = []
-        positions = []
+        premapped: dict[int, object] = {}
+        groups: dict[tuple[int, int], list[tuple[int, str, dict]]] = {}
         for position, (key, domain_index, entry, params) in enumerate(calls):
             try:
                 shard_index = self.shard_for(key)
             except KeyMigratingError as exc:
-                outcomes[position] = exc
+                premapped[position] = exc
                 continue
-            routed.append((shard_index, domain_index, entry, params))
-            positions.append(position)
-        for position, outcome in zip(
-                positions, self.scatter_to_shards(routed, chunk_size=chunk_size)):
-            outcomes[position] = outcome
-        return outcomes
+            groups.setdefault((shard_index, domain_index), []).append(
+                (position, entry, params)
+            )
+        return PendingScatter(len(calls), groups,
+                              self._begin_groups(groups, chunk_size), premapped)
 
     def scatter_to_shards(self, calls, chunk_size: int = 128) -> list:
         """Scatter with explicit shard indices instead of routing keys.
@@ -216,9 +276,12 @@ class ShardedService:
         the ODoH client routes by query name *before* encrypting, so the
         operator never needs the plaintext name to pick a shard).
         """
+        return self.begin_scatter_to_shards(calls, chunk_size=chunk_size).collect()
+
+    def begin_scatter_to_shards(self, calls,
+                                chunk_size: int = 128) -> PendingScatter:
+        """Split-phase :meth:`scatter_to_shards`; see :meth:`begin_scatter`."""
         calls = list(calls)
-        if not calls:
-            return []
         groups: dict[tuple[int, int], list[tuple[int, str, dict]]] = {}
         for position, (shard_index, domain_index, entry, params) in enumerate(calls):
             if not 0 <= shard_index < len(self.shards):
@@ -229,9 +292,15 @@ class ShardedService:
             groups.setdefault((shard_index, domain_index), []).append(
                 (position, entry, params)
             )
+        return PendingScatter(len(calls), groups,
+                              self._begin_groups(groups, chunk_size))
+
+    def _begin_groups(self, groups: dict, chunk_size: int) -> dict:
         # Send phase: every group's payload goes on the wire before any
         # delivery happens. This ordering is the whole point — see the module
-        # docstring and docs/architecture.md ("scatter before pump").
+        # docstring and docs/architecture.md ("scatter before pump"). The
+        # gather phase lives on the PendingScatter: its first collect pumps
+        # the shared network to idle, or wait_event defers to the event loop.
         handles = {}
         for (shard_index, domain_index), group in groups.items():
             handles[(shard_index, domain_index)] = (
@@ -241,13 +310,7 @@ class ShardedService:
                     chunk_size=chunk_size,
                 )
             )
-        # Gather phase: the first collect pumps the shared network to idle,
-        # delivering every shard's traffic; later collects just read inboxes.
-        outcomes: list = [None] * len(calls)
-        for group_key, group in groups.items():
-            for (position, _, _), outcome in zip(group, handles[group_key].collect()):
-                outcomes[position] = outcome
-        return outcomes
+        return handles
 
     # ------------------------------------------------------------------
     # Networking and capacity
@@ -294,6 +357,19 @@ class ShardedService:
         """Duplicates deduplicated by every shard's at-most-once servers
         (shards grown by a mid-run reshard included)."""
         return sum(shard.duplicates_answered_total() for shard in self.shards)
+
+    def max_queue_depth_per_shard(self) -> dict[int, int]:
+        """High-water service-queue depth per shard (max over its domains).
+
+        Zero for a shard that was never attached to a network or never had a
+        service model installed — depth is only observable where a serial
+        queue actually exists.
+        """
+        depths: dict[int, int] = {}
+        for shard_index, shard in enumerate(self.shards):
+            per_domain = shard.max_queue_depths()
+            depths[shard_index] = max(per_domain) if per_domain else 0
+        return depths
 
     @property
     def is_migrating(self) -> bool:

@@ -10,16 +10,22 @@ __all__ = ["LatencyStats", "summarize"]
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary statistics over a set of latency samples (seconds)."""
+    """Summary statistics over a set of latency samples (seconds).
+
+    Every field is required: ``p99`` used to default to ``0.0``, which let
+    any call site constructing the dataclass directly (rather than via
+    :func:`summarize`) silently report a zero tail. Construct through
+    :func:`summarize` unless you genuinely have all the moments in hand.
+    """
 
     count: int
     mean: float
     median: float
     p95: float
+    p99: float
     minimum: float
     maximum: float
     stddev: float
-    p99: float = 0.0
 
     def mean_ms(self) -> float:
         """Mean in milliseconds (what the paper's Table 3 reports)."""

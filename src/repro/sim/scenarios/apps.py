@@ -57,6 +57,15 @@ class ScenarioDriver:
         """Run workload operation ``op_index``; raises ``ReproError`` on failure."""
         raise NotImplementedError
 
+    def op_task(self, ctx, op_index: int, timeout: float = 0.25):
+        """The op as a generator for the discrete-event loop.
+
+        Same wire traffic and bookkeeping as :meth:`step`, but yields while
+        its requests are outstanding so other ops can interleave. Only used
+        by concurrent scenarios.
+        """
+        raise NotImplementedError
+
     def finish(self, ctx) -> list[InvariantResult]:
         """Application-specific safety invariants, checked after the workload."""
         raise NotImplementedError
@@ -104,6 +113,18 @@ class KeyBackupDriver(ScenarioDriver):
         recovered = self.client.recover_key_any(user)
         if recovered != secret:
             raise ApplicationError(f"recovered key for {user!r} does not match the original")
+
+    def op_task(self, ctx, op_index: int, timeout: float = 0.25):
+        from repro.sim.asyncops import keybackup_op
+
+        user = self._users[op_index]
+        secret = self._secrets[op_index]
+        # backed_up records at store-completion (not op completion): the
+        # record-conservation check must count a user whose shares all
+        # landed even if the op's recover leg later failed.
+        return keybackup_op(
+            self.client, user, secret, timeout=timeout,
+            on_stored=lambda: self.backed_up.append((user, secret)))
 
     def finish(self, ctx) -> list[InvariantResult]:
         summary = self.service.simulate_developer_compromise()
@@ -169,6 +190,18 @@ class ThresholdSignDriver(ScenarioDriver):
         transaction = self.client.sign_transaction_failover(self._messages[op_index])
         if not self.client.verify(transaction):
             raise ApplicationError("threshold signature did not verify")
+
+    def op_task(self, ctx, op_index: int, timeout: float = 0.25):
+        from repro.sim.asyncops import sign_op
+
+        def task():
+            transaction = yield from sign_op(self.client,
+                                             self._messages[op_index],
+                                             timeout=timeout)
+            if not self.client.verify(transaction):
+                raise ApplicationError("threshold signature did not verify")
+
+        return task()
 
     def finish(self, ctx) -> list[InvariantResult]:
         # Steal every key share the fallen TEEs expose and try to sign with
@@ -268,6 +301,23 @@ class PrioDriver(ScenarioDriver):
             raise
         self.accepted_values.append(value)
 
+    def op_task(self, ctx, op_index: int, timeout: float = 0.25):
+        from repro.sim.asyncops import prio_op
+
+        def task():
+            value = self._values[op_index]
+            try:
+                yield from prio_op(self.client, value, op_index, timeout=timeout)
+            except PartialSubmissionError:
+                self.torn_submissions += 1
+                raise
+            except Exception:
+                self.failed_submissions += 1
+                raise
+            self.accepted_values.append(value)
+
+        return task()
+
     def finish(self, ctx) -> list[InvariantResult]:
         invariants = []
         if self.torn_submissions == 0 and self.failed_submissions == 0:
@@ -351,6 +401,18 @@ class OdohDriver(ScenarioDriver):
         if not response.found or response.address != self.records[name]:
             raise ApplicationError(f"wrong answer for {name!r}")
         self.resolved += 1
+
+    def op_task(self, ctx, op_index: int, timeout: float = 0.25):
+        from repro.sim.asyncops import odoh_op
+
+        def task():
+            name = self._names[op_index]
+            response = yield from odoh_op(self.client, name, timeout=timeout)
+            if not response.found or response.address != self.records[name]:
+                raise ApplicationError(f"wrong answer for {name!r}")
+            self.resolved += 1
+
+        return task()
 
     def finish(self, ctx) -> list[InvariantResult]:
         view = self.service.proxy_view()

@@ -20,6 +20,8 @@ The runner composes everything the engine needs for one scenario:
 
 from __future__ import annotations
 
+import random
+
 from repro.core.package import CodePackage
 from repro.errors import ReproError, ReshardError
 from repro.net.latency import lan_profile
@@ -168,6 +170,8 @@ class ScenarioRunner:
         plane = driver.plane
         network = Network(clock=deployment.clock, default_latency=lan_profile())
         plane.route_via_network(network, attempts=scenario.rpc_attempts)
+        if scenario.service_time > 0:
+            plane.set_service_time(scenario.service_time)
         plan = FaultPlan(scenario.rules, scenario.events, seed=scenario.seed + 1)
         plan.install(network)
         ctx = ScenarioContext(network, deployment, driver,
@@ -182,21 +186,25 @@ class ScenarioRunner:
         latencies: list[float] = []
         started_at = network.clock.now()
 
-        for op_index in range(scenario.ops):
-            ctx.current_op = op_index
-            for event in plan.events_at(op_index):
-                event.apply(ctx)
-            op_started = network.clock.now()
-            try:
-                driver.step(op_index)
-            except ReproError as exc:
-                report.failed += 1
-                report.failures.append((op_index, type(exc).__name__))
-            else:
-                report.succeeded += 1
-            latencies.append(network.clock.now() - op_started)
+        if scenario.concurrent:
+            self._run_concurrent(ctx, plan, driver, network, report, latencies)
+        else:
+            for op_index in range(scenario.ops):
+                ctx.current_op = op_index
+                for event in plan.events_at(op_index):
+                    event.apply(ctx)
+                op_started = network.clock.now()
+                try:
+                    driver.step(op_index)
+                except ReproError as exc:
+                    report.failed += 1
+                    report.failures.append((op_index, type(exc).__name__))
+                else:
+                    report.succeeded += 1
+                latencies.append(network.clock.now() - op_started)
 
         report.retries = plane.rpc_retry_total()
+        report.shard_queue_depth = plane.max_queue_depth_per_shard()
         plane.unroute()
 
         stats = network.stats
@@ -217,12 +225,61 @@ class ScenarioRunner:
         report.invariants.extend(driver.finish(ctx))
         return report
 
+    def _run_concurrent(self, ctx: ScenarioContext, plan: FaultPlan, driver,
+                        network: Network, report: ScenarioReport,
+                        latencies: list) -> None:
+        """Drive the ops as overlapping tasks on the discrete-event loop.
+
+        Each op arrives at its own seeded Poisson time and runs as a
+        generator that yields while its requests are on the wire, so
+        scheduled events — a live reshard included — fire while every
+        earlier-arriving, unfinished op is genuinely in flight.
+        """
+        from repro.net.eventloop import EventLoop
+
+        scenario = self.scenario
+        loop = EventLoop(network)
+        arrivals = random.Random(scenario.seed + 2)
+        in_flight = {"count": 0, "max": 0}
+
+        def op_wrapper(op_index: int):
+            ctx.current_op = op_index
+            reshards_before = len(ctx.reshard_reports)
+            count_at_start = in_flight["count"]
+            for event in plan.events_at(op_index):
+                event.apply(ctx)
+            if len(ctx.reshard_reports) > reshards_before:
+                report.in_flight_at_reshard = count_at_start
+            in_flight["count"] += 1
+            in_flight["max"] = max(in_flight["max"], in_flight["count"])
+            op_started = network.clock.now()
+            try:
+                yield from driver.op_task(ctx, op_index)
+            except ReproError as exc:
+                report.failed += 1
+                report.failures.append((op_index, type(exc).__name__))
+            else:
+                report.succeeded += 1
+            finally:
+                in_flight["count"] -= 1
+            latencies.append(network.clock.now() - op_started)
+
+        arrival_offset = 0.0
+        started = network.clock.now()
+        for op_index in range(scenario.ops):
+            arrival_offset += arrivals.expovariate(scenario.arrival_rate)
+            loop.spawn(op_wrapper(op_index), name=f"op-{op_index}",
+                       start_at=started + arrival_offset)
+        loop.run()
+        report.max_in_flight = in_flight["max"]
+
     # ------------------------------------------------------------------
     # Generic invariants (checked for every app)
     # ------------------------------------------------------------------
     def _generic_invariants(self, ctx: ScenarioContext, report: ScenarioReport,
                             log_baseline: dict) -> list[InvariantResult]:
         invariants = [self._append_only_invariant(ctx, log_baseline),
+                      self._conservation_invariant(ctx),
                       self._audit_invariant(report)]
         if ctx.unannounced_digests:
             invariants.append(self._unannounced_update_invariant(ctx, report))
@@ -254,6 +311,22 @@ class ScenarioRunner:
         return InvariantResult("digest-log-append-only", True,
                                f"{len(domains)} domain logs verified "
                                "against their attested heads")
+
+    def _conservation_invariant(self, ctx: ScenarioContext) -> InvariantResult:
+        """Transport accounting stayed exact across the whole run.
+
+        Every message that entered the network — original sends and
+        fault-injected duplicates alike — must be counted as exactly one
+        delivery or one drop (plus whatever is still queued when the run
+        ends, e.g. a delayed duplicate nobody waited for). A leak here means
+        some network path forgot to record its outcome, and every
+        loss/latency number in the report becomes untrustworthy.
+        """
+        stats = ctx.network.stats
+        pending = ctx.network.pending()
+        return InvariantResult("network-conserves-messages",
+                               stats.conserved(pending=pending),
+                               stats.conservation_detail(pending=pending))
 
     def _audit_invariant(self, report: ScenarioReport) -> InvariantResult:
         scenario = self.scenario

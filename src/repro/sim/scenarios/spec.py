@@ -39,6 +39,15 @@ class Scenario:
         expect_audit_ok: whether the end-of-run audit should pass.
         expect_detection_kinds: evidence kinds the audit must produce (e.g.
             ``("unpublished-code",)`` for a malicious-update scenario).
+        concurrent: drive ops as overlapping tasks on the discrete-event
+            loop (Poisson arrivals at ``arrival_rate``) instead of one at a
+            time — scheduled events then fire while earlier ops are
+            genuinely in flight.
+        arrival_rate: mean op arrivals per simulated second in concurrent
+            mode (required > 0 when ``concurrent=True``).
+        service_time: simulated seconds each trust domain spends per
+            request (0 = infinitely fast servers); concurrent scenarios
+            need it non-zero for queueing to be observable.
         description: one line for reports and the docs.
     """
 
@@ -53,6 +62,9 @@ class Scenario:
     min_success_rate: float = 1.0
     expect_audit_ok: bool = True
     expect_detection_kinds: tuple = ()
+    concurrent: bool = False
+    arrival_rate: float = 0.0
+    service_time: float = 0.0
     description: str = ""
 
     def __post_init__(self):
@@ -64,6 +76,10 @@ class Scenario:
             raise ValueError("a scenario needs at least one shard")
         if not 0.0 <= self.min_success_rate <= 1.0:
             raise ValueError("min_success_rate must be within [0, 1]")
+        if self.concurrent and self.arrival_rate <= 0:
+            raise ValueError("a concurrent scenario needs a positive arrival_rate")
+        if self.service_time < 0:
+            raise ValueError("service_time cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -95,6 +111,10 @@ class ScenarioReport:
     detected_kinds: tuple = ()
     invariants: list = field(default_factory=list)
     reshards: list = field(default_factory=list)  # ReshardReport per epoch
+    # Discrete-event concurrency (populated for concurrent scenarios).
+    max_in_flight: int = 0
+    in_flight_at_reshard: int = 0
+    shard_queue_depth: dict = field(default_factory=dict)  # shard -> depth
 
     @property
     def ops(self) -> int:
@@ -148,6 +168,16 @@ class ScenarioReport:
                 f"{reshard.migrated_keys} keys / {reshard.records_moved} records "
                 f"moved, {reshard.pending} pinned"
             )
+        if self.scenario.concurrent:
+            lines.append(
+                f"  in-flight: max={self.max_in_flight}"
+                + (f" (at reshard: {self.in_flight_at_reshard})"
+                   if self.reshards else "")
+            )
+        if any(self.shard_queue_depth.values()):
+            depths = " ".join(f"s{shard}:{depth}" for shard, depth
+                              in sorted(self.shard_queue_depth.items()))
+            lines.append(f"  max queue depth: {depths}")
         audit_text = "ok" if self.audit_ok else "FAILED (misbehavior flagged)"
         detected = ", ".join(sorted(self.detected_kinds)) or "none"
         lines.append(f"  audit: {audit_text}; evidence kinds: {detected}")
@@ -175,4 +205,9 @@ class ScenarioReport:
             "invariants": {result.name: result.ok for result in self.invariants},
             "shards": self.scenario.shards,
             "reshards": [reshard.to_dict() for reshard in self.reshards],
+            "concurrent": self.scenario.concurrent,
+            "max_in_flight": self.max_in_flight,
+            "in_flight_at_reshard": self.in_flight_at_reshard,
+            "shard_queue_depth": {shard: depth for shard, depth
+                                  in sorted(self.shard_queue_depth.items())},
         }

@@ -98,6 +98,15 @@ class WorkloadReport:
     sim_seconds_before_reshard: float = 0.0
     reshard_sim_seconds: float = 0.0
     reshard_summary: dict = field(default_factory=dict)
+    # Discrete-event concurrency (populated when concurrent=True).
+    concurrent: bool = False
+    arrival_rate: float = 0.0
+    max_in_flight: int = 0
+    in_flight_at_reshard: int = 0
+    # Per-shard high-water mark of requests queued behind the serial service
+    # queues (max over the shard's domains). Populated for every mode; only
+    # a concurrent run with a non-zero service time can push it above 1.
+    shard_queue_depth: dict = field(default_factory=dict)  # shard -> depth
 
     @property
     def pre_reshard_sim_ops_per_sec(self) -> float:
@@ -158,7 +167,12 @@ class WorkloadReport:
 
     def format(self) -> str:
         """A deterministic multi-line text report (throughput is rounded)."""
-        mode = f"batched (batch={self.batch_size})" if self.batched else "unbatched"
+        if self.concurrent:
+            mode = f"concurrent (rate={self.arrival_rate:.0f}/s)"
+        elif self.batched:
+            mode = f"batched (batch={self.batch_size})"
+        else:
+            mode = "unbatched"
         if self.shards > 1:
             mode += f", {self.shards} shards"
         if self.resharded:
@@ -185,6 +199,16 @@ class WorkloadReport:
                 for shard, stats in sorted(self.shard_latency.items())
             )
             lines.append(f"  per-shard: {per_shard}")
+        if self.concurrent:
+            lines.append(
+                f"  in-flight: max={self.max_in_flight}"
+                + (f" (at reshard: {self.in_flight_at_reshard})"
+                   if self.resharded else "")
+            )
+        if any(self.shard_queue_depth.values()):
+            depths = " ".join(f"s{shard}:{depth}" for shard, depth
+                              in sorted(self.shard_queue_depth.items()))
+            lines.append(f"  max queue depth: {depths}")
         if self.resharded:
             lines.append(
                 f"  reshard: at op {self.ops_before_reshard}, "
@@ -232,6 +256,12 @@ class WorkloadReport:
             "pre_reshard_sim_ops_per_sec": self.pre_reshard_sim_ops_per_sec,
             "post_reshard_sim_ops_per_sec": self.post_reshard_sim_ops_per_sec,
             "reshard_summary": self.reshard_summary,
+            "concurrent": self.concurrent,
+            "arrival_rate": self.arrival_rate,
+            "max_in_flight": self.max_in_flight,
+            "in_flight_at_reshard": self.in_flight_at_reshard,
+            "shard_queue_depth": {shard: depth for shard, depth
+                                  in sorted(self.shard_queue_depth.items())},
         }
 
 
@@ -286,6 +316,12 @@ class _KeyBackupAdapter:
                 outcomes[position] = True
         return outcomes
 
+    def op_task(self, op_index: int, timeout: float):
+        from repro.sim.asyncops import keybackup_op
+
+        user_id, secret = self.items[op_index]
+        return keybackup_op(self.client, user_id, secret, timeout=timeout)
+
     def consistency_issues(self) -> list[str]:
         return []
 
@@ -333,6 +369,21 @@ class _PrioAdapter:
             else:
                 self.unclean += 1
         return outcomes
+
+    def op_task(self, op_index: int, timeout: float):
+        from repro.sim.asyncops import prio_op
+
+        def task():
+            value = self.values[op_index]
+            try:
+                yield from prio_op(self.client, value, op_index, timeout=timeout)
+            except ReproError:
+                self.unclean += 1
+                raise
+            self.accepted.append(value)
+            return True
+
+        return task()
 
     def consistency_issues(self) -> list[str]:
         from repro.apps.prio import FIELD_MODULUS
@@ -395,6 +446,12 @@ class _ThresholdSignAdapter:
         return self.client.sign_transactions(self.messages[start:start + count],
                                              signer_indices=signers)
 
+    def op_task(self, op_index: int, timeout: float):
+        from repro.sim.asyncops import sign_op
+
+        return sign_op(self.client, self.messages[op_index], timeout=timeout,
+                       candidate_signers=self.all_signers)
+
     def consistency_issues(self) -> list[str]:
         return []
 
@@ -427,6 +484,17 @@ class _OdohAdapter:
     def step(self, op_index: int) -> None:
         name = self.names[op_index]
         self._check(name, self.client.resolve(name))
+
+    def op_task(self, op_index: int, timeout: float):
+        from repro.sim.asyncops import odoh_op
+
+        def task():
+            name = self.names[op_index]
+            response = yield from odoh_op(self.client, name, timeout=timeout)
+            self._check(name, response)
+            return True
+
+        return task()
 
     def run_span(self, start: int, count: int) -> list:
         span = self.names[start:start + count]
@@ -495,13 +563,27 @@ class MultiClientWorkload:
             pre- and post-reshard capacity can be compared.
         reshard_to: the shard count the live reshard grows to (must exceed
             ``shards``).
+        concurrent: drive ops as overlapping tasks on the discrete-event
+            loop instead of serially. Each op arrives at its own simulated
+            time (Poisson arrivals at ``arrival_rate``) and runs as a
+            generator that yields while its requests are on the wire, so
+            hundreds of ops are genuinely in flight at once — queueing,
+            tail latency, and reshard-under-load become measurable.
+            ``batched`` is ignored in this mode.
+        arrival_rate: mean op arrivals per simulated second in concurrent
+            mode (required > 0 when ``concurrent=True``).
+        op_timeout: per-wave response timeout (simulated seconds) for
+            concurrent ops; each wave retransmits up to ``rpc_attempts``
+            times before the op fails with a timeout.
     """
 
     def __init__(self, app: str, num_clients: int = 100, ops_per_client: int = 1,
                  seed: int = 2022, batched: bool = True, batch_size: int = 128,
                  shards: int = 1, service_time: float = 0.0,
                  rules: tuple = (), events: tuple = (), rpc_attempts: int = 3,
-                 reshard_at_op: int | None = None, reshard_to: int = 0):
+                 reshard_at_op: int | None = None, reshard_to: int = 0,
+                 concurrent: bool = False, arrival_rate: float = 0.0,
+                 op_timeout: float = 0.25):
         if app not in _ADAPTERS:
             raise ValueError(f"unknown workload app {app!r} "
                              f"(expected one of {sorted(_ADAPTERS)})")
@@ -519,6 +601,10 @@ class MultiClientWorkload:
                                  "(after the first op, before the last)")
             if reshard_to <= shards:
                 raise ValueError("reshard_to must exceed the starting shard count")
+        if concurrent and arrival_rate <= 0:
+            raise ValueError("concurrent mode needs a positive arrival_rate")
+        if op_timeout <= 0:
+            raise ValueError("op_timeout must be positive")
         self.app = app
         self.num_clients = num_clients
         self.ops_per_client = ops_per_client
@@ -533,6 +619,9 @@ class MultiClientWorkload:
         self.rpc_attempts = rpc_attempts
         self.reshard_at_op = reshard_at_op
         self.reshard_to = reshard_to
+        self.concurrent = concurrent
+        self.arrival_rate = arrival_rate
+        self.op_timeout = op_timeout
 
     @classmethod
     def from_scenario(cls, scenario, num_clients: int = 100,
@@ -554,9 +643,12 @@ class MultiClientWorkload:
             batched=batched,
             batch_size=batch_size,
             shards=scenario.shards,
+            service_time=scenario.service_time,
             rules=scenario.rules,
             events=scenario.events,
             rpc_attempts=scenario.rpc_attempts,
+            concurrent=scenario.concurrent,
+            arrival_rate=scenario.arrival_rate,
         )
 
     def run(self) -> WorkloadReport:
@@ -577,10 +669,13 @@ class MultiClientWorkload:
         plan.install(network)
         context = self._event_context(network, deployment, adapter)
 
+        batched = self.batched and not self.concurrent
         report = WorkloadReport(app=self.app, num_clients=self.num_clients,
-                                ops=self.total_ops, batched=self.batched,
-                                batch_size=self.batch_size if self.batched else 0,
-                                shards=self.shards, service_time=self.service_time)
+                                ops=self.total_ops, batched=batched,
+                                batch_size=self.batch_size if batched else 0,
+                                shards=self.shards, service_time=self.service_time,
+                                concurrent=self.concurrent,
+                                arrival_rate=self.arrival_rate)
         op_latencies: list[tuple[int, float]] = []  # (op index, sim latency)
 
         def reshard_now() -> None:
@@ -606,7 +701,10 @@ class MultiClientWorkload:
 
         sim_started = network.clock.now()
         wall_started = time.perf_counter()
-        if self.batched:
+        if self.concurrent:
+            self._drive_concurrent(adapter, network, plan, context, report,
+                                   op_latencies, reshard_now, sim_started)
+        elif self.batched:
             op_index = 0
             while op_index < self.total_ops:
                 count = min(self.batch_size, self.total_ops - op_index)
@@ -647,6 +745,7 @@ class MultiClientWorkload:
         report.wall_seconds = time.perf_counter() - wall_started
         report.sim_seconds = network.clock.now() - sim_started
         report.retries = plane.rpc_retry_total()
+        report.shard_queue_depth = plane.max_queue_depth_per_shard()
         plane.unroute()
         self._attach_latency(report, adapter, plane, op_latencies)
 
@@ -657,6 +756,50 @@ class MultiClientWorkload:
         report.messages_duplicated = stats.messages_duplicated
         report.consistency_issues = adapter.consistency_issues()
         return report
+
+    def _drive_concurrent(self, adapter, network, plan, context, report,
+                          op_latencies, reshard_now, sim_started) -> None:
+        """Run every op as its own task on the discrete-event loop.
+
+        Ops arrive at seeded Poisson times and overlap for real: while one
+        op's requests sit in a server's service queue or ride the wire,
+        other ops make progress. Scheduled events (and the live reshard)
+        fire at the moment their target op *starts* — with every
+        earlier-arriving, still-unfinished op genuinely in flight.
+        """
+        from repro.net.eventloop import EventLoop
+
+        loop = EventLoop(network)
+        arrivals = random.Random(self.seed + 2)
+        in_flight = {"count": 0, "max": 0}
+
+        def op_wrapper(op_index: int):
+            if op_index == self.reshard_at_op and not report.resharded:
+                report.in_flight_at_reshard = in_flight["count"]
+                reshard_now()
+            for event in plan.events_at(op_index):
+                event.apply(context)
+            in_flight["count"] += 1
+            in_flight["max"] = max(in_flight["max"], in_flight["count"])
+            op_started = network.clock.now()
+            try:
+                yield from adapter.op_task(op_index, self.op_timeout)
+            except ReproError as exc:
+                report.failed += 1
+                report.failures.append((op_index, type(exc).__name__))
+            else:
+                report.succeeded += 1
+                op_latencies.append((op_index, network.clock.now() - op_started))
+            finally:
+                in_flight["count"] -= 1
+
+        arrival_offset = 0.0
+        for op_index in range(self.total_ops):
+            arrival_offset += arrivals.expovariate(self.arrival_rate)
+            loop.spawn(op_wrapper(op_index), name=f"op-{op_index}",
+                       start_at=sim_started + arrival_offset)
+        loop.run()
+        report.max_in_flight = in_flight["max"]
 
     def _attach_latency(self, report, adapter, plane, op_latencies) -> None:
         """Summarize per-op sim latency, overall and broken down by shard.

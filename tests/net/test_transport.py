@@ -4,8 +4,8 @@ import pytest
 
 from repro.errors import NetworkError, TransportClosedError
 from repro.net.clock import SimClock
-from repro.net.latency import ConstantLatency
-from repro.net.transport import Network
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.transport import FaultDecision, Network
 
 
 class TestEndpointsAndDelivery:
@@ -138,3 +138,83 @@ class TestPartitions:
         bob.send("alice", b"x")
         network.run_until_idle()
         assert alice.receive() is None
+
+
+class TestConservation:
+    """Every message that enters the network is counted exactly once.
+
+    ``sent + duplicated == delivered + dropped (+ pending)`` — the identity
+    the scenario runner asserts after every run. Each test here targets a
+    path that used to leak from the accounting.
+    """
+
+    def test_clean_traffic_conserves(self):
+        network = Network()
+        alice = network.endpoint("alice")
+        network.endpoint("bob")
+        alice.send("bob", b"x")
+        assert network.stats.conserved(pending=network.pending())
+        network.run_until_idle()
+        assert network.stats.conserved()
+
+    def test_closed_destination_drop_is_recorded(self):
+        """The delivery-time drop (endpoint closed after send) must count."""
+        network = Network()
+        alice = network.endpoint("alice")
+        bob = network.endpoint("bob")
+        alice.send("bob", b"x")
+        bob.close()
+        network.run_until_idle()
+        assert network.stats.messages_dropped == 1
+        assert network.stats.conserved(), network.stats.conservation_detail()
+
+    def test_downed_destination_drop_is_recorded(self):
+        network = Network()
+        alice = network.endpoint("alice")
+        network.endpoint("bob")
+        alice.send("bob", b"x")
+        network.crash("bob")
+        network.run_until_idle()
+        assert network.stats.messages_dropped == 1
+        assert network.stats.conserved(), network.stats.conservation_detail()
+
+    def test_partitioned_send_counts_as_sent_and_dropped(self):
+        network = Network()
+        alice = network.endpoint("alice")
+        network.endpoint("bob")
+        network.partition("alice", "bob")
+        alice.send("bob", b"x")
+        assert network.stats.messages_sent == 1
+        assert network.stats.messages_dropped == 1
+        assert network.stats.conserved()
+
+    def test_fault_dropped_send_charges_no_latency(self):
+        """A message that never rode the wire must not inflate total_latency
+        (it used to charge its sampled link latency despite being dropped)."""
+        network = Network(default_latency=ConstantLatency(0.01))
+        alice = network.endpoint("alice")
+        network.endpoint("bob")
+        network.add_fault_hook(lambda message: FaultDecision(drop=True))
+        alice.send("bob", b"x")
+        assert network.stats.messages_dropped == 1
+        assert network.stats.total_latency == 0.0
+        assert network.stats.conserved()
+
+    def test_duplicate_copies_get_independent_delivery_times(self):
+        """Fault-injected duplicates must not arrive in lockstep with the
+        original: each copy samples its own link latency (they used to share
+        one deliver_at, so reordering between copies was impossible)."""
+        clock = SimClock()
+        network = Network(clock=clock,
+                          default_latency=UniformLatency(0.01, 0.05, seed=7))
+        alice = network.endpoint("alice")
+        bob = network.endpoint("bob")
+        arrivals = []
+        bob.on_message = lambda message: arrivals.append(clock.now())
+        network.add_fault_hook(lambda message: FaultDecision(duplicates=2))
+        alice.send("bob", b"x")
+        network.run_until_idle()
+        assert len(arrivals) == 3
+        assert len(set(arrivals)) == 3
+        assert network.stats.messages_duplicated == 2
+        assert network.stats.conserved(), network.stats.conservation_detail()
