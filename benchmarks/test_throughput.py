@@ -29,6 +29,13 @@ Three series land in ``BENCH_throughput.json`` at the repository root:
   depth is observable. The series is additive — it records offered load,
   peak in-flight count, and the per-shard queue high-water marks without
   touching the three pinned series above or their tuned seeds.
+* **elastic** — the metrics-driven control loop closing end to end: a
+  Poisson flash crowd overruns two shards, the autoscaler
+  (:mod:`repro.service.autoscaler`) grows the plane from the *observed*
+  windowed p99 and live queue depth, then shrinks back once the spike
+  subsides, with the cooldown and hysteresis keeping it at exactly one
+  grow and one shrink. Additive like the concurrent series — its own
+  seed, zero effect on the pinned series above.
 
 Assertions here are **deterministic**: they compare simulated-time ratios and
 message counts, which depend only on protocol structure, never on container
@@ -98,6 +105,24 @@ CONCURRENT_OPS = ({"keybackup": 60, "prio": 150} if SMOKE else
 # of queueing (an open-loop overload measures waiting, not liveness).
 CONCURRENT_OP_TIMEOUT = 1.0
 
+# The elastic series: the autoscaler demo. Arrivals run at 60/s, spike to
+# 700/s between ops 30 and 90, then fall to 25/s — against a 4ms service
+# time two shards saturate during the spike, so the windowed p99 and the
+# live queue depth breach the policy and the plane grows to 4; once the
+# spike subsides the calm streak shrinks it back to 2. Deterministic like
+# every concurrent run: the whole schedule derives from the seed.
+ELASTIC_APP = "keybackup"
+ELASTIC_OPS = 200
+ELASTIC_SEED = 2140
+ELASTIC_SHARDS = 2
+ELASTIC_SERVICE_TIME = 4e-3
+ELASTIC_ARRIVAL_RATE = 60.0
+ELASTIC_ARRIVAL_PHASES = ((30, 700.0), (90, 25.0))
+ELASTIC_POLICY_KNOBS = dict(
+    p99_high_s=0.05, queue_high=8, p99_low_s=0.02, queue_low=1,
+    min_shards=2, max_shards=4, cooldown_s=0.3,
+    breach_streak=2, clear_streak=4, sample_interval_s=0.1)
+
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            os.pardir, "BENCH_throughput.json")
 
@@ -105,6 +130,7 @@ _RESULTS: dict[str, dict] = {}
 _SHARDED: dict[str, dict] = {}
 _RESHARD: dict[str, dict] = {}
 _CONCURRENT: dict[str, dict] = {}
+_ELASTIC: dict[str, dict] = {}
 
 
 def _measure(app: str, batched: bool, shards: int = 1,
@@ -281,12 +307,65 @@ def test_concurrent_event_core_app(app):
     )
 
 
+def test_elastic_autoscaler_round_trip():
+    """The autoscaler must grow into a flash crowd and shrink back out.
+
+    Everything asserted is a pure function of the seeded event schedule:
+    the spike saturates two shards, the monitor's windowed p99 and queue
+    depth breach the policy, the plane grows to 4, and the post-spike calm
+    streak shrinks it back to 2 — exactly one episode each way, so the
+    cooldown and hysteresis demonstrably prevent flapping, and no operator
+    gate refuses a transition in a healthy run.
+    """
+    from repro.service.autoscaler import AutoscalerPolicy
+
+    report = MultiClientWorkload(
+        ELASTIC_APP, num_clients=ELASTIC_OPS, ops_per_client=1,
+        seed=ELASTIC_SEED, shards=ELASTIC_SHARDS, concurrent=True,
+        arrival_rate=ELASTIC_ARRIVAL_RATE,
+        arrival_phases=ELASTIC_ARRIVAL_PHASES,
+        service_time=ELASTIC_SERVICE_TIME,
+        autoscale_policy=AutoscalerPolicy(**ELASTIC_POLICY_KNOBS),
+    ).run()
+    assert report.succeeded == report.ops, (
+        f"elastic series: {report.failed} operations failed: "
+        f"{report.failures[:3]}"
+    )
+    assert report.consistent, report.consistency_issues
+    fired = [d for d in report.autoscale_decisions if d.get("fired")]
+    gated = [d for d in report.autoscale_decisions if d.get("gated_by")]
+    _ELASTIC[ELASTIC_APP] = {
+        "ops": report.ops,
+        "seed": ELASTIC_SEED,
+        "shards": ELASTIC_SHARDS,
+        "service_time": ELASTIC_SERVICE_TIME,
+        "arrival_rate": ELASTIC_ARRIVAL_RATE,
+        "arrival_phases": [list(phase) for phase in ELASTIC_ARRIVAL_PHASES],
+        "policy": dict(ELASTIC_POLICY_KNOBS),
+        "decisions": len(report.autoscale_decisions),
+        "fired": [{"time_s": round(d["time_s"], 4), "action": d["action"],
+                   "from_shards": d["from_shards"],
+                   "to_shards": d["to_shards"]} for d in fired],
+        "gated": len(gated),
+        "final_shards": report.final_shards,
+        "sim_seconds": round(report.sim_seconds, 6),
+        "sim_ops_per_sec": round(report.sim_ops_per_sec, 1),
+        "wall_seconds": round(report.wall_seconds, 4),
+    }
+    assert report.autoscaled
+    assert [d["action"] for d in fired] == ["grow", "shrink"], fired
+    assert not gated, gated
+    assert report.final_shards == ELASTIC_SHARDS
+
+
 def test_write_throughput_baseline():
     """Aggregate the per-app results into BENCH_throughput.json."""
     missing = [app for app in OPS if app not in _RESULTS]
     missing += [app for app in SHARD_APPS if app not in _SHARDED]
     missing += [app for app in RESHARD_APPS if app not in _RESHARD]
     missing += [app for app in CONCURRENT_APPS if app not in _CONCURRENT]
+    if ELASTIC_APP not in _ELASTIC:
+        missing.append(ELASTIC_APP + " (elastic)")
     if missing:
         pytest.skip(f"per-app measurements did not run for {missing}")
     fast_apps = sorted(app for app, result in _RESULTS.items()
@@ -312,6 +391,11 @@ def test_write_throughput_baseline():
         "apps_with_true_concurrency": sorted(
             app for app, result in _CONCURRENT.items()
             if result["max_in_flight"] > 1),
+        "elastic": _ELASTIC,
+        "apps_with_elastic_round_trip": sorted(
+            app for app, result in _ELASTIC.items()
+            if [f["action"] for f in result["fired"]] == ["grow", "shrink"]
+            and result["final_shards"] == result["shards"]),
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)

@@ -14,13 +14,13 @@ construction), so the proxy forwards only opaque ciphertext.
 
 from __future__ import annotations
 
-import secrets
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.common import constant_time_equal
 from repro.core.client import AuditingClient
 from repro.core.package import CodePackage, DeveloperIdentity
+from repro.crypto import rng
 from repro.crypto.hashes import hkdf, hmac_sha256
 from repro.crypto.keys import SigningKey, VerifyingKey
 from repro.crypto.secp256k1 import SECP256K1
@@ -442,7 +442,7 @@ class ObliviousDnsClient:
         ephemeral = SigningKey.generate()
         shared_point = self._resolver_table.multiply(ephemeral.scalar)
         key = hkdf(SECP256K1.encode_point(shared_point), info=b"repro/odoh/key", length=32)
-        plaintext = encode({"name": name, "padding": secrets.token_bytes(16)})
+        plaintext = encode({"name": name, "padding": rng.token_bytes(16)})
         stream = hkdf(key, info=b"repro/odoh/query-stream", length=len(plaintext))
         ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
         envelope = {

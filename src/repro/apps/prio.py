@@ -15,9 +15,9 @@ zero-knowledge SNIPs; DESIGN.md notes the substitution).
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 
+from repro.crypto import rng
 from repro.core.package import CodePackage, DeveloperIdentity
 from repro.errors import ApplicationError, ReproError
 from repro.service import PackageBinding, ServiceClient, ServiceSpec, ShardMigrator
@@ -67,10 +67,48 @@ def handle(method, params, state):
         state["submissions"] = state["submissions"] + 1
         return {"accepted": True, "submissions": state["submissions"]}
     if method == "read_partial_sum":
-        return {"partial_sum": state["accumulator"], "submissions": state["submissions"]}
+        return {"partial_sum": state["accumulator"], "submissions": state["submissions"],
+                "sealed": state.get("sealed") is not None}
+    if method == "seal_accumulator":
+        # First step of a shrink evacuation: snapshot the accumulator so the
+        # operator can fold it into a surviving shard. Idempotent — a retry
+        # gets the same snapshot (same seal_seq) until clear_sealed. The
+        # live accumulator keeps serving; clear_sealed subtracts exactly the
+        # sealed portion, so submissions arriving mid-evacuation survive.
+        sealed = state.get("sealed")
+        if sealed is None:
+            seq = state.get("seal_seq", 0) + 1
+            state["seal_seq"] = seq
+            sealed = {"partial_sum": state["accumulator"],
+                      "submissions": state["submissions"],
+                      "seal_seq": seq}
+            state["sealed"] = sealed
+        return sealed
+    if method == "absorb":
+        # Fold a retiring shard's sealed accumulator share into this one.
+        # Deduplicated by token so a torn evacuation retried end to end can
+        # never double-count.
+        token = params["token"]
+        absorbed = state.get("absorbed", [])
+        if token not in absorbed:
+            absorbed.append(token)
+            state["absorbed"] = absorbed
+            state["accumulator"] = (state["accumulator"] + params["partial_sum"]) % FIELD_MODULUS
+            state["submissions"] = state["submissions"] + params["submissions"]
+        return {"absorbed": True, "submissions": state["submissions"]}
+    if method == "clear_sealed":
+        # Last step: the sealed portion now provably lives on the target, so
+        # subtract it here (copy-then-delete, not move-then-hope).
+        sealed = state.get("sealed")
+        if sealed is not None:
+            state["accumulator"] = (state["accumulator"] - sealed["partial_sum"]) % FIELD_MODULUS
+            state["submissions"] = state["submissions"] - sealed["submissions"]
+            state["sealed"] = None
+        return {"cleared": True}
     if method == "reset":
         state["accumulator"] = 0
         state["submissions"] = 0
+        state["sealed"] = None
         return {"reset": True}
     raise ValueError("unknown method: " + method)
 '''
@@ -80,14 +118,22 @@ APP_VERSION = "1.0.0"
 
 
 class _PrioShardMigrator(ShardMigrator):
-    """Prepares fresh aggregation shards; accumulated state never moves.
+    """Grow configures fresh shards; shrink folds accumulators sideways.
 
-    Additive aggregation composes across shards — every shard's partial sums
-    and submission counters stay exactly where they are and
+    Additive aggregation composes across shards — on a *grow* every shard's
+    partial sums and submission counters stay exactly where they are and
     :meth:`PrivateAggregationDeployment.aggregate` keeps summing over all of
-    them — so the epoch transition only has to configure the new server
-    groups. Post-reshard submissions route to the grown ring; pre-reshard
-    counters are conserved in place.
+    them, so the epoch transition only has to configure the new server
+    groups. No routing key ever addresses an accumulator, so keyed
+    migration (:meth:`shard_keys`) stays empty in both directions.
+
+    A *shrink* is where that unkeyed state matters: a retiring shard's
+    accumulator shares must fold into a survivor before the shard detaches,
+    or their submissions vanish from the aggregate. :meth:`residue` reports
+    the shares still holding state and :meth:`evacuate` moves them with a
+    seal → absorb → clear protocol that is idempotent end to end — a torn
+    evacuation retried by ``finish_reshard`` can neither lose nor
+    double-count a share (absorbs deduplicate by seal token).
     """
 
     def __init__(self, service: "PrivateAggregationDeployment"):
@@ -98,6 +144,38 @@ class _PrioShardMigrator(ShardMigrator):
             for server_index in range(self.service.num_servers):
                 plane.invoke_on_shard(shard_index, server_index, "configure",
                                       {"max_value": self.service.max_value})
+
+    def residue(self, plane, shard_index: int) -> int:
+        """Accumulator shares on ``shard_index`` still holding state."""
+        residue = 0
+        for server_index in range(self.service.num_servers):
+            share = plane.invoke_on_shard(shard_index, server_index,
+                                          "read_partial_sum", {})["value"]
+            if share["submissions"] or share.get("sealed"):
+                residue += 1
+        return residue
+
+    def evacuate(self, plane, source: int, target: int) -> int:
+        """Fold ``source``'s accumulator shares into ``target``, share-wise.
+
+        Server ``i`` of the retiring shard folds into server ``i`` of the
+        survivor, so no party ever sees more than its own share of any sum
+        — the privacy argument is untouched by elasticity.
+        """
+        moved = 0
+        for server_index in range(self.service.num_servers):
+            sealed = plane.invoke_on_shard(source, server_index,
+                                           "seal_accumulator", {})["value"]
+            if sealed["submissions"] or sealed["partial_sum"]:
+                token = (f"shard{source}:server{server_index}:"
+                         f"seal{sealed['seal_seq']}")
+                plane.invoke_on_shard(target, server_index, "absorb",
+                                      {"token": token,
+                                       "partial_sum": sealed["partial_sum"],
+                                       "submissions": sealed["submissions"]})
+                moved += 1
+            plane.invoke_on_shard(source, server_index, "clear_sealed", {})
+        return moved
 
 
 class PrivateAggregationDeployment:
@@ -203,7 +281,7 @@ class PrivateAggregationClient:
         # counter would start every session at the same key and pile the
         # whole fleet's first submissions onto one shard. Pass an explicit
         # ``session_tag`` for reproducible routing (the load harness does).
-        self._session_tag = session_tag or secrets.token_hex(8)
+        self._session_tag = session_tag or rng.token_hex(8)
         self._submission_counter = 0
 
     def audit(self):
@@ -311,7 +389,7 @@ class PrivateAggregationClient:
 
     @staticmethod
     def _additive_shares(value: int, count: int) -> list[int]:
-        shares = [secrets.randbelow(FIELD_MODULUS) for _ in range(count - 1)]
+        shares = [rng.randbelow(FIELD_MODULUS) for _ in range(count - 1)]
         last = (value - sum(shares)) % FIELD_MODULUS
         shares.append(last)
         return shares

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import hmac
-import secrets
+
+from repro.crypto import rng
 
 __all__ = [
     "constant_time_equal",
@@ -27,10 +28,14 @@ def constant_time_equal(a: bytes, b: bytes) -> bool:
 
 
 def random_bytes(n: int) -> bytes:
-    """Return ``n`` cryptographically secure random bytes."""
+    """Return ``n`` random bytes (cryptographically secure outside replay).
+
+    Drawn through :mod:`repro.crypto.rng` so simulation drivers can make the
+    stream deterministic for same-seed replay.
+    """
     if n < 0:
         raise ValueError("cannot request a negative number of random bytes")
-    return secrets.token_bytes(n)
+    return rng.token_bytes(n)
 
 
 def to_hex(data: bytes) -> str:

@@ -368,6 +368,17 @@ class Deployment:
             return []
         return [server.max_queue_depth for server in self._servers]
 
+    def queue_depths(self) -> list[int]:
+        """Per-domain service-queue depth *right now* (empty if never attached).
+
+        Unlike :meth:`max_queue_depths` this is instantaneous, so it can fall
+        as load subsides — the signal an autoscaler needs to decide a shard
+        fleet is idle, where the high-water mark only ever ratchets up.
+        """
+        if self._servers is None:
+            return []
+        return [server.queue_depth() for server in self._servers]
+
 
 class PendingInvokeBatch:
     """An in-flight application batch from :meth:`Deployment.begin_invoke_batch`.

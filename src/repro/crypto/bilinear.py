@@ -180,7 +180,7 @@ class BilinearGroup:
     def random_scalar(self, rng=None) -> int:
         """Sample a random scalar in [1, r)."""
         if rng is None:
-            import secrets
+            from repro.crypto.rng import randbelow
 
-            return 1 + secrets.randbelow(self.order - 1)
+            return 1 + randbelow(self.order - 1)
         return 1 + rng.randrange(self.order - 1)

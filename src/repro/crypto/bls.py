@@ -13,7 +13,6 @@ public keys in G2) matches libBLS.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 
 from repro.crypto.bilinear import (
@@ -84,7 +83,9 @@ class BlsKeyPair:
 def bls_keygen(seed: bytes | None = None) -> BlsKeyPair:
     """Generate a BLS key pair, optionally deterministically from a seed."""
     if seed is None:
-        secret = 1 + secrets.randbelow(BLS_SCALAR_ORDER - 1)
+        from repro.crypto.rng import randbelow
+
+        secret = 1 + randbelow(BLS_SCALAR_ORDER - 1)
     else:
         secret = 1 + _GROUP.hash_to_scalar(seed, domain="repro/bls/keygen") % (
             BLS_SCALAR_ORDER - 1

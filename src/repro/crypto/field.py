@@ -170,12 +170,12 @@ class PrimeField:
 
         Args:
             rng: optional ``random.Random``-like object with ``randrange``;
-                defaults to a cryptographically secure source.
+                defaults to the library source (:mod:`repro.crypto.rng`).
         """
         if rng is None:
-            import secrets
+            from repro.crypto.rng import randbelow
 
-            return self(secrets.randbelow(self.modulus))
+            return self(randbelow(self.modulus))
         return self(rng.randrange(self.modulus))
 
     def elements(self, values: Iterable[int]) -> list[FieldElement]:

@@ -8,7 +8,6 @@ objects around without caring about the algorithm.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 
 from repro.crypto.secp256k1 import SECP256K1, Point
@@ -70,7 +69,9 @@ class SigningKey:
     @classmethod
     def generate(cls) -> "SigningKey":
         """Sample a fresh uniformly random signing key."""
-        return cls(1 + secrets.randbelow(SECP256K1.n - 1))
+        from repro.crypto.rng import randbelow
+
+        return cls(1 + randbelow(SECP256K1.n - 1))
 
     @classmethod
     def from_seed(cls, seed: bytes) -> "SigningKey":

@@ -1,0 +1,69 @@
+"""Routable randomness for the crypto layer.
+
+Every random draw the library makes — Shamir polynomial coefficients, signing
+and BLS key scalars, ODoH padding, Prio session tags and blinding shares —
+goes through this module. By default each helper delegates to the OS CSPRNG
+(:mod:`secrets`), which is the right source for anything resembling
+production use.
+
+The simulator, however, promises *bit-identical replay under a fixed seed*,
+and OS randomness breaks that promise in a subtle way: random bignums
+occasionally encode one byte shorter (a leading zero byte), the byte length
+of a message feeds the byte-proportional service-cost model, and suddenly two
+"identical" runs report different simulated latencies. The workload and
+scenario drivers therefore install a seeded deterministic generator for the
+duration of a run via :func:`deterministic`; outside that window the module
+behaves exactly like :mod:`secrets`.
+
+The deterministic generator is **not** cryptographically secure and is never
+active unless a simulation driver explicitly asks for it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random as _random
+import secrets as _secrets
+
+__all__ = ["randbelow", "token_bytes", "token_hex", "deterministic"]
+
+# The active deterministic generator, or None for the OS CSPRNG.
+_generator: _random.Random | None = None
+
+
+def randbelow(upper: int) -> int:
+    """A uniform integer in ``[0, upper)``, like ``secrets.randbelow``."""
+    if _generator is None:
+        return _secrets.randbelow(upper)
+    return _generator.randrange(upper)
+
+
+def token_bytes(n: int) -> bytes:
+    """``n`` random bytes, like ``secrets.token_bytes``."""
+    if _generator is None:
+        return _secrets.token_bytes(n)
+    return _generator.randbytes(n)
+
+
+def token_hex(n: int) -> str:
+    """``n`` random bytes as lowercase hex, like ``secrets.token_hex``."""
+    return token_bytes(n).hex()
+
+
+@contextlib.contextmanager
+def deterministic(seed: int):
+    """Route the crypto layer's randomness through a seeded DRBG.
+
+    Scoped and re-entrant: the previous source (usually the OS CSPRNG) is
+    restored on exit, and nesting installs a fresh stream without disturbing
+    the outer one. The seed is domain-separated from the workload's own
+    ``random.Random(seed)`` streams so crypto draws never correlate with
+    arrival times or fault decisions derived from the same scenario seed.
+    """
+    global _generator
+    previous = _generator
+    _generator = _random.Random(f"repro-crypto-rng:{seed}")
+    try:
+        yield
+    finally:
+        _generator = previous

@@ -9,10 +9,10 @@ is reused by Feldman VSS, the DKG, and threshold BLS key generation.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 
 from repro.crypto.field import FieldElement, PrimeField
+from repro.crypto.rng import randbelow
 from repro.errors import SecretSharingError, ThresholdError
 
 __all__ = ["Share", "ShamirSecretSharing", "horner_evaluate_many"]
@@ -113,7 +113,7 @@ class ShamirSecretSharing:
     def _random_polynomial(self, secret: FieldElement) -> list[FieldElement]:
         coefficients = [secret]
         for _ in range(self.threshold - 1):
-            coefficients.append(self.field(secrets.randbelow(self.field.modulus)))
+            coefficients.append(self.field(randbelow(self.field.modulus)))
         return coefficients
 
     def _evaluate(self, coefficients: list[FieldElement], x: FieldElement) -> FieldElement:

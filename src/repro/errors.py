@@ -42,6 +42,7 @@ __all__ = [
     "DeploymentError",
     "ServiceSpecError",
     "ReshardError",
+    "InvalidReshardError",
     "KeyMigratingError",
     "AuditError",
     "MisbehaviorDetected",
@@ -212,6 +213,15 @@ class DeploymentError(FrameworkError):
 
 class ReshardError(FrameworkError):
     """A live resharding operation could not be performed."""
+
+
+class InvalidReshardError(ReshardError):
+    """A requested shard-count transition is degenerate (``n < 1``, ``n`` equal
+    to the current count, or a plane still draining a previous shrink).
+
+    Raised during validation, strictly before any shard is synthesized or any
+    record moves — a degenerate request must leave the plane untouched.
+    """
 
 
 class KeyMigratingError(ReshardError):

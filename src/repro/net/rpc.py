@@ -320,13 +320,21 @@ class RpcServer:
 class RpcClient:
     """Issues RPC calls to a server address over the simulated network."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, network: Network, endpoint: Endpoint, server_address: str):
         self.network = network
         self.endpoint = endpoint
         self.server_address = server_address
         self.retries = 0
+        # Request ids are drawn from one counter per *network*, not per
+        # process: ids must be unique across every client that can reach a
+        # server (at-most-once dedup keys on them), but they must NOT depend
+        # on process history — the id is encoded into the request bytes, so
+        # its digit width feeds the byte-proportional service-cost model,
+        # and a process-global counter would make replay latencies depend on
+        # how much traffic *earlier* simulations happened to send.
+        if not hasattr(network, "rpc_request_ids"):
+            network.rpc_request_ids = itertools.count(1)
+        self._ids = network.rpc_request_ids
         # Completed request ids are shared across every client on this
         # endpoint, so any of them can discard a stale duplicate response no
         # matter which client originally issued the request. The record is

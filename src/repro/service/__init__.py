@@ -16,15 +16,33 @@ layer that makes the claim concrete on the client side:
 * :mod:`repro.service.client` — :class:`ServiceClient`, the session facade
   (audit-before-use policies, at-most-once retries, failover walks, batch
   chunking) the four app clients are thin adapters over;
-* :mod:`repro.service.reshard` — epoch-based live resharding: grow a running
-  service, migrate moved keys' state through the app's
-  :class:`ShardMigrator` over the simulated network, and commit a new epoch
-  with no lost, duplicated, or silently misrouted records.
+* :mod:`repro.service.reshard` — epoch-based live resharding in both
+  directions: grow or shrink a running service, migrate moved keys' state
+  through the app's :class:`ShardMigrator` over the simulated network, and
+  commit a new epoch with no lost, duplicated, or silently misrouted
+  records;
+* :mod:`repro.service.autoscaler` / :mod:`repro.service.gates` — the elastic
+  control loop: :class:`Autoscaler` watches per-shard p99 and queue depth
+  and issues reshards through operator gates (heartbeat, cooldown,
+  post-move reconciliation) with breach/clear hysteresis.
 
 See docs/architecture.md for the capacity model and how the pieces compose.
 """
 
+from repro.service.autoscaler import (
+    AutoscaleDecision,
+    Autoscaler,
+    AutoscalerPolicy,
+    MetricsSample,
+    percentile,
+)
 from repro.service.client import ServiceClient
+from repro.service.gates import (
+    CooldownGate,
+    GateResult,
+    HeartbeatGate,
+    ReconciliationGate,
+)
 from repro.service.reshard import (
     MigrationOutcome,
     ReshardCoordinator,
@@ -47,4 +65,13 @@ __all__ = [
     "MigrationOutcome",
     "ReshardCoordinator",
     "ReshardReport",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "AutoscaleDecision",
+    "MetricsSample",
+    "percentile",
+    "GateResult",
+    "HeartbeatGate",
+    "CooldownGate",
+    "ReconciliationGate",
 ]

@@ -1,38 +1,50 @@
-"""Epoch-based live resharding: grow a running service without losing a key.
+"""Epoch-based live resharding: resize a running service without losing a key.
 
 The consistent-hash ring (:mod:`repro.service.ring`) has always *advertised*
 stability under resharding; this module is the machinery that cashes the
-claim in on a live service. A reshard is one epoch transition:
+claim in on a live service — in both directions. A reshard is one epoch
+transition:
 
-1. **Synthesize.** The new shards are built from the same
+1. **Synthesize** (grow only). The new shards are built from the same
    :class:`~repro.service.ServiceSpec` as the originals — measured enclaves,
    published packages, the shared clock and vendor roots — and joined to the
-   plane's network wiring and service-time model.
+   plane's network wiring and service-time model. A shrink synthesizes
+   nothing; its targets are the surviving shards.
 2. **Plan.** The application's :class:`ShardMigrator` enumerates the keys each
-   old shard actually holds; diffing the old ring against the grown ring
-   yields the minimal moved-key set (~``1 - N/M`` of the keyspace for
-   ``N → M`` shards; everything else never moves).
+   old shard actually holds; diffing the old ring against the resized ring
+   yields the minimal moved-key set (~``1 - N/M`` of the keyspace for a
+   ``N → M`` grow, exactly the retiring shards' keys — ~``k/N`` — for a
+   ``N → N-k`` shrink; everything else never moves).
 3. **Migrate.** Moved keys are marked *in motion* — keyed routing fails
    safely with :class:`~repro.errors.KeyMigratingError` instead of guessing
    an owner — while the migrator copies records source → target over the
    simulated network (so packet loss, partitions, and crashes hit migration
    traffic exactly as they hit request traffic), verifies the copy, and only
    then deletes the source records.
-4. **Commit.** The plane flips to the new ring and bumps its epoch. Keys
-   whose records could not be moved (crashed source, partitioned target) are
-   pinned to the shard that still holds them via *epoch overrides* — routed
-   correctly, never silently misrouted — until :meth:`ShardedService.
-   finish_reshard` drains them after the fault heals.
+4. **Verify** (shrink only). Each retiring shard is re-enumerated after the
+   evacuation: any key the migrator left behind — or never reported — is
+   pinned rather than released, so a record can be stranded on a shard about
+   to retire only with an override still routing to it.
+5. **Commit, then retire.** The plane flips to the resized ring and bumps its
+   epoch. Keys whose records could not be moved (crashed source, partitioned
+   target) are pinned to the shard that still holds them via *epoch
+   overrides* — routed correctly, never silently misrouted — until
+   :meth:`ShardedService.finish_reshard` drains them after the fault heals.
+   A retiring shard that evacuated cleanly is detached on the spot (its
+   queues and service model leave the plane with it); one still holding
+   pinned or stale records stays attached as a *draining* shard and is
+   detached by ``finish_reshard`` once empty.
 
-The invariant the scenario matrix pins: across the epoch boundary, no record
-is lost and no record ends up authoritative on two shards.
+The invariant the scenario matrix pins: across the epoch boundary, in either
+direction, no record is lost and no record ends up authoritative on two
+shards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReshardError
+from repro.errors import InvalidReshardError, ReshardError
 from repro.service.ring import RingDiff
 
 __all__ = ["MigrationOutcome", "ShardMigrator", "ReshardReport",
@@ -98,6 +110,28 @@ class ShardMigrator:
         """
         return list(keys)
 
+    def residue(self, plane, shard_index: int) -> int:
+        """Records on ``shard_index`` that no routing key addresses.
+
+        Keyed migration only moves state reachable through
+        :meth:`shard_keys`; services that accumulate *unkeyed* state (an
+        additive aggregate, say) report it here so a shrink knows a retiring
+        shard is not yet empty. A nonzero residue after :meth:`evacuate`
+        keeps the shard attached and draining instead of detaching it blind.
+        """
+        return 0
+
+    def evacuate(self, plane, source: int, target: int) -> int:
+        """Fold ``source``'s unkeyed residue into surviving shard ``target``.
+
+        Called once per retiring shard during a shrink, and again by
+        ``finish_reshard`` while the shard drains. Must be copy-then-delete
+        and idempotent under end-to-end retries: the residue may only
+        disappear from ``source`` once ``target`` provably holds it, and a
+        retried fold must never double-count. Returns records moved.
+        """
+        return 0
+
 
 @dataclass
 class ReshardReport:
@@ -108,7 +142,9 @@ class ReshardReport:
     new_shard_count: int
     epoch: int
     diff: RingDiff | None = None
-    provisioned: list = field(default_factory=list)  # new shard names
+    provisioned: list = field(default_factory=list)  # new shard names (grow)
+    retired: list = field(default_factory=list)  # detached shard names (shrink)
+    draining: list = field(default_factory=list)  # retiring shards still pinned
     migrated_keys: int = 0
     records_moved: int = 0
     failed_keys: dict = field(default_factory=dict)  # key -> error string
@@ -138,6 +174,10 @@ class ReshardReport:
             f"  migrated: {self.migrated_keys} keys / {self.records_moved} records "
             f"in {self.sim_seconds * 1000:.1f} ms sim",
         ]
+        if self.retired:
+            lines.append(f"  retired shards detached: {sorted(self.retired)}")
+        if self.draining:
+            lines.append(f"  retiring shards still draining: {sorted(self.draining)}")
         if self.failed_keys:
             lines.append(f"  pinned to old shards: {sorted(self.failed_keys)}")
         if self.stale_keys:
@@ -157,6 +197,8 @@ class ReshardReport:
             "records_moved": self.records_moved,
             "failed_keys": len(self.failed_keys),
             "stale_keys": len(self.stale_keys),
+            "retired": list(self.retired),
+            "draining": list(self.draining),
             "sim_seconds": self.sim_seconds,
         }
 
@@ -168,7 +210,14 @@ class ReshardCoordinator:
         self.plane = plane
 
     def reshard(self, new_shard_count: int) -> ReshardReport:
-        """Grow the plane to ``new_shard_count`` shards; see the module doc."""
+        """Resize the plane to ``new_shard_count`` shards; see the module doc.
+
+        ``new_shard_count`` above the current count grows (synthesize →
+        plan → migrate → commit); below it shrinks (plan → evacuate →
+        verify → commit → retire). Degenerate requests raise
+        :class:`~repro.errors.InvalidReshardError` before any shard is
+        synthesized or any record moves.
+        """
         plane = self.plane
         if plane.spec is None:
             raise ReshardError(
@@ -176,11 +225,22 @@ class ReshardCoordinator:
                 "new shards; reshard a spec-built service instead"
             )
         old_count = len(plane.shards)
-        if new_shard_count <= old_count:
-            raise ReshardError(
-                f"resharding only grows a service ({old_count} -> "
-                f"{new_shard_count} requested); retiring shards would need a "
-                "drain protocol this plane does not implement"
+        if new_shard_count < 1:
+            raise InvalidReshardError(
+                f"cannot reshard to {new_shard_count} shards: a service "
+                "keeps at least one shard (shrinking to zero would orphan "
+                "every record)"
+            )
+        if new_shard_count == old_count:
+            raise InvalidReshardError(
+                f"the service already has {old_count} shards; a reshard "
+                "must change the shard count"
+            )
+        if plane.draining_shards():
+            raise InvalidReshardError(
+                f"shards {plane.draining_shards()} are still draining from a "
+                "previous shrink; call finish_reshard() before resharding "
+                "again"
             )
         migrator = plane.migrator or ShardMigrator()
         # Quiesce barrier: when requests are genuinely in flight (the
@@ -199,32 +259,40 @@ class ReshardCoordinator:
             new_shard_count=new_shard_count,
             epoch=plane.epoch + 1,
         )
-        new_indices = list(range(old_count, new_shard_count))
+        growing = new_shard_count > old_count
+        new_indices = list(range(old_count, new_shard_count)) if growing else []
+        retiring = [] if growing else list(range(new_shard_count, old_count))
         try:
-            # 1. Synthesize and wire up the new shards (invisible to keyed
-            # routing until commit). A shard left over from an aborted
-            # attempt is reused — its endpoints are already on the network,
-            # so synthesizing a twin would collide on addresses.
-            developer = plane.primary.developer
-            vendors = plane.primary.vendors
-            for shard_index in new_indices:
-                deployment = plane._spare_shards.pop(shard_index, None)
-                if deployment is None:
-                    deployment = plane.spec.synthesize_shard(
-                        shard_index, developer, plane.clock, vendors)
-                plane.attach_shard(deployment)
-                report.provisioned.append(deployment.name)
-            migrator.provision(plane, new_indices)
+            # 1. Synthesize and wire up the new shards (grow only — a
+            # shrink's targets are the surviving shards, which already
+            # exist). New shards stay invisible to keyed routing until
+            # commit. A shard left over from an aborted attempt or an
+            # earlier shrink is reused — its endpoints are already on the
+            # network, so synthesizing a twin would collide on addresses.
+            if growing:
+                developer = plane.primary.developer
+                vendors = plane.primary.vendors
+                for shard_index in new_indices:
+                    deployment = plane._spare_shards.pop(shard_index, None)
+                    if deployment is None:
+                        deployment = plane.spec.synthesize_shard(
+                            shard_index, developer, plane.clock, vendors)
+                    plane.attach_shard(deployment)
+                    report.provisioned.append(deployment.name)
+                migrator.provision(plane, new_indices)
 
-            # 2. Plan: where every key's state lives now vs the grown ring.
-            # Enumeration asks the shards themselves (over the network when
-            # routed), so the plan reflects reality, including keys pinned by
-            # a previous epoch's overrides.
+            # 2. Plan: where every key's state lives now vs the resized
+            # ring. Enumeration asks the shards themselves (over the network
+            # when routed), so the plan reflects reality, including keys
+            # pinned by a previous epoch's overrides. For a shrink the moved
+            # set is exactly the retiring shards' keys (plus any pinned key
+            # whose override no longer matches its ring owner): surviving
+            # arcs are unchanged, so nothing moves between survivors.
             owned: dict = {}
             for shard_index in range(old_count):
                 for key in migrator.shard_keys(plane, shard_index):
                     owned[key] = shard_index
-            new_ring = plane.ring.grow(new_shard_count)
+            new_ring = plane.ring.resize(new_shard_count)
             report.diff = plane.ring.diff(new_ring, owned.keys())
             moves: dict[tuple[int, int], list] = {}
             for key, source in owned.items():
@@ -276,12 +344,69 @@ class ReshardCoordinator:
                         report.failed_keys[key] = f"migration interrupted: {exc}"
                         unmigrated[key] = source
 
-        # 4. Commit the epoch; stale overrides for keys that moved are
+        # 3b. Fold unkeyed residue off the retiring shards. State no routing
+        # key addresses (an additive accumulator, say) never appears in the
+        # keyed plan, yet a retiring shard holding it is not empty. Each
+        # retiring shard folds into a deterministic survivor; a shard whose
+        # residue cannot be proven gone stays attached to drain and is
+        # retried by finish_reshard().
+        undrained: set[int] = set()
+        for shard_index in retiring:
+            try:
+                if migrator.residue(plane, shard_index):
+                    report.records_moved += migrator.evacuate(
+                        plane, shard_index, shard_index % new_shard_count)
+                if migrator.residue(plane, shard_index):
+                    undrained.add(shard_index)
+            except Exception:
+                undrained.add(shard_index)
+
+        # 4. Verify (shrink only): re-enumerate each retiring shard after
+        # the evacuation. A record the migrator left behind without reporting
+        # it — or one enumeration missed at plan time — must be pinned, not
+        # released: a retiring shard may only lose its last route once it is
+        # provably empty. Leftovers of keys already reported ``moved`` are
+        # the expected ``stale`` source remnants (the target is
+        # authoritative; cleanup comes later). A shard whose enumeration
+        # itself fails (e.g. every domain crashed) cannot be proven empty
+        # and is kept attached to drain.
+        unverifiable: set[int] = set()
+        for shard_index in retiring:
+            try:
+                leftovers = migrator.shard_keys(plane, shard_index)
+            except Exception:
+                unverifiable.add(shard_index)
+                continue
+            for key in leftovers:
+                if key in moved_keys or key in unmigrated:
+                    continue
+                report.failed_keys[key] = (
+                    "evacuation verification found records still on the "
+                    "retiring shard")
+                unmigrated[key] = shard_index
+
+        # 5. Commit the epoch; stale overrides for keys that moved are
         # dropped, failures stay pinned to the shard holding their records.
+        # Then retire: detach every retiring shard that evacuated cleanly.
+        # Only a contiguous tail can go — detaching an inner index would
+        # renumber the shards behind it under every pinned override — so
+        # walk from the highest index down and stop at the first shard that
+        # must keep draining.
         plane.commit_epoch(new_ring, unmigrated=unmigrated)
         for key in owned:
             if key not in unmigrated:
                 plane.clear_override(key)
+        for shard_index in sorted(retiring, reverse=True):
+            pinned = {shard for _, shard in plane.pending_migrations()}
+            stale = {shard for _, shard in plane.pending_cleanups()}
+            if (shard_index != len(plane.shards) - 1
+                    or shard_index in pinned or shard_index in stale
+                    or shard_index in unverifiable
+                    or shard_index in undrained):
+                break
+            report.retired.append(plane.detach_shard(shard_index).name)
+        report.draining = [plane.shards[index].name
+                           for index in plane.draining_shards()]
         report.epoch = plane.epoch
         report.sim_seconds = plane.clock.now() - started
         if migration_error is not None:
@@ -301,6 +426,8 @@ class ReshardCoordinator:
         re-migrated to their ring owner) and *stale* source records (keys
         that moved but whose source cleanup was lost in flight — cleaned
         up in place). Keys that remain stuck stay queued for the next call.
+        Draining shards a shrink left behind are detached once the drain
+        empties them — the deferred retire step.
         """
         plane = self.plane
         migrator = plane.migrator or ShardMigrator()
@@ -355,6 +482,35 @@ class ReshardCoordinator:
                 continue
             for key in cleaned:
                 plane.clear_stale(key)
+        # Unkeyed residue a faulted shrink left behind is retried the same
+        # way (the evacuate protocol is idempotent, so a fold torn mid-way
+        # resumes without double-counting).
+        undrained: set[int] = set()
+        for shard_index in plane.draining_shards():
+            try:
+                if migrator.residue(plane, shard_index):
+                    report.records_moved += migrator.evacuate(
+                        plane, shard_index,
+                        shard_index % plane.ring.shard_count)
+                if migrator.residue(plane, shard_index):
+                    undrained.add(shard_index)
+            except Exception as exc:
+                drain_error = exc
+                undrained.add(shard_index)
+        # Deferred retire: a shrink's draining shards can finally detach
+        # once the drain emptied them (tail-first, same renumbering rule as
+        # the commit-time retire).
+        for shard_index in sorted(plane.draining_shards(), reverse=True):
+            pinned = {shard for _, shard in plane.pending_migrations()}
+            stale = {shard for _, shard in plane.pending_cleanups()}
+            if (shard_index != len(plane.shards) - 1
+                    or shard_index in pinned or shard_index in stale
+                    or shard_index in undrained):
+                break
+            report.retired.append(plane.detach_shard(shard_index).name)
+        report.draining = [plane.shards[index].name
+                           for index in plane.draining_shards()]
+        report.new_shard_count = len(plane.shards)
         report.sim_seconds = plane.clock.now() - started
         if drain_error is not None:
             error = ReshardError(f"drain failed: {drain_error}")

@@ -9,9 +9,12 @@ needs:
 * **Determinism.** Routing depends only on the shard count, the virtual-node
   count, and the key bytes — every client, the workload driver, and the
   benchmark agree on key placement with no coordination.
-* **Stability under resharding.** Growing from N to N+1 shards moves only the
-  keys that land in the new shard's virtual arcs (~1/(N+1) of the keyspace);
-  a naive ``hash(key) % N`` would remap almost everything.
+* **Stability under resharding — in both directions.** Virtual-node positions
+  depend only on ``(salt, shard, replica)``, so growing from N to N+1 shards
+  moves only the keys landing in the new shard's arcs (~1/(N+1) of the
+  keyspace), and shrinking from N to N-k moves exactly the keys the retired
+  shards owned (~k/N) — surviving shards' arcs are untouched either way. A
+  naive ``hash(key) % N`` would remap almost everything on every transition.
 
 The ring does *not* balance perfectly: with a finite keyspace the largest
 shard typically carries 1.2–1.6x the mean, which is why a 4-shard deployment
@@ -38,6 +41,11 @@ class RingDiff:
     the state, i.e. the application migrators). ``moved`` holds one
     ``(key, source_shard, target_shard)`` triple per key whose owner changes;
     everything else stays put, which is the whole point of consistent hashing.
+
+    The diff is direction-agnostic: for a grow every ``target_shard`` is a
+    freshly added shard, for a shrink every ``source_shard`` is a retiring
+    one, and the moved-fraction/spread properties hold symmetrically
+    (:meth:`source_shards` / :meth:`target_shards` expose either side).
     """
 
     total_keys: int
@@ -61,6 +69,14 @@ class RingDiff:
         for key, source, target in self.moved:
             routes.setdefault((source, target), []).append(key)
         return routes
+
+    def source_shards(self) -> set:
+        """Every shard a moved key leaves (a shrink's retiring shards)."""
+        return {source for _, source, _ in self.moved}
+
+    def target_shards(self) -> set:
+        """Every shard a moved key lands on (a grow's new shards)."""
+        return {target for _, _, target in self.moved}
 
 
 class HashRing:
@@ -121,15 +137,38 @@ class HashRing:
             counts[self.shard_for(key)] += 1
         return counts
 
-    def grow(self, shard_count: int) -> "HashRing":
+    def resize(self, shard_count: int) -> "HashRing":
         """A ring over ``shard_count`` shards with this ring's vnodes and salt.
 
         Because virtual-node positions depend only on ``(salt, shard,
-        replica)``, every existing shard's arcs are preserved exactly; the new
-        shards' arcs are carved out of them. That is what makes the
-        :meth:`diff` between the two rings minimal.
+        replica)``, the arcs of every shard common to both rings are preserved
+        exactly — a grow carves the new shards' arcs out of the existing ones,
+        and a shrink hands the retired shards' arcs back to the survivors that
+        neighbored them. That symmetry is what makes the :meth:`diff` between
+        the two rings minimal in either direction.
         """
         return HashRing(shard_count, vnodes=self.vnodes, salt=self.salt)
+
+    def grow(self, shard_count: int) -> "HashRing":
+        """:meth:`resize` validated as a grow (``shard_count`` must increase)."""
+        if shard_count <= self.shard_count:
+            raise ValueError(
+                f"grow needs more than the current {self.shard_count} shards "
+                f"({shard_count} requested); use shrink() or resize()")
+        return self.resize(shard_count)
+
+    def shrink(self, shard_count: int) -> "HashRing":
+        """:meth:`resize` validated as a shrink (``1 <= shard_count < current``).
+
+        The shrunk ring is exactly the ring a same-parameter service of
+        ``shard_count`` shards would have built from scratch, so
+        grow-then-shrink round-trips placement for every unmoved key.
+        """
+        if not 1 <= shard_count < self.shard_count:
+            raise ValueError(
+                f"shrink needs between 1 and {self.shard_count - 1} shards "
+                f"({shard_count} requested); use grow() or resize()")
+        return self.resize(shard_count)
 
     def diff(self, other: "HashRing", keys) -> RingDiff:
         """Which of ``keys`` change owner when this ring is replaced by ``other``.

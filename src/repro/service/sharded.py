@@ -148,8 +148,19 @@ class ShardedService:
 
     @property
     def num_shards(self) -> int:
-        """How many shards carry the keyspace."""
+        """How many shards are attached (draining shards of a shrink included)."""
         return len(self.shards)
+
+    def draining_shards(self) -> list[int]:
+        """Shard indices beyond the committed ring's coverage.
+
+        Non-empty only after a shrink whose evacuation was defeated for some
+        keys: those shards are out of the ring but still hold pinned records
+        (epoch overrides) or stale leftovers, so they stay attached — routed,
+        served, audited — until :meth:`finish_reshard` drains and detaches
+        them.
+        """
+        return list(range(self.ring.shard_count, len(self.shards)))
 
     @property
     def domains_per_shard(self) -> int:
@@ -371,6 +382,19 @@ class ShardedService:
             depths[shard_index] = max(per_domain) if per_domain else 0
         return depths
 
+    def queue_depth_per_shard(self) -> dict[int, int]:
+        """Instantaneous service-queue depth per shard (max over its domains).
+
+        The live counterpart of :meth:`max_queue_depth_per_shard` — it falls
+        back to zero when load subsides, which is what the autoscaler's
+        scale-down signal needs (a high-water mark only ratchets up).
+        """
+        depths: dict[int, int] = {}
+        for shard_index, shard in enumerate(self.shards):
+            per_domain = shard.queue_depths()
+            depths[shard_index] = max(per_domain) if per_domain else 0
+        return depths
+
     @property
     def is_migrating(self) -> bool:
         """Whether an epoch transition currently has keys mid-move."""
@@ -389,14 +413,17 @@ class ShardedService:
     # Live resharding (epoch-based; see repro.service.reshard)
     # ------------------------------------------------------------------
     def reshard(self, new_shard_count: int):
-        """Grow the service to ``new_shard_count`` shards, live.
+        """Resize the service to ``new_shard_count`` shards, live.
 
-        Synthesizes the new shards from the :class:`ServiceSpec`, migrates
-        every moved key's state through the app's :attr:`migrator` (over the
-        simulated network when routed), and commits a new epoch. Returns the
-        :class:`~repro.service.reshard.ReshardReport`. Raises
-        :class:`~repro.errors.ReshardError` for adopted (spec-less) planes or
-        a non-growing shard count.
+        A grow synthesizes the new shards from the :class:`ServiceSpec`; a
+        shrink evacuates the retiring shards and detaches them. Either way,
+        every moved key's state travels through the app's :attr:`migrator`
+        (over the simulated network when routed) and a new epoch commits.
+        Returns the :class:`~repro.service.reshard.ReshardReport`. Raises
+        :class:`~repro.errors.ReshardError` for adopted (spec-less) planes and
+        :class:`~repro.errors.InvalidReshardError` — before anything moves —
+        for a degenerate transition (``n < 1`` or ``n`` equal to the current
+        count).
         """
         from repro.service.reshard import ReshardCoordinator
 
@@ -430,6 +457,46 @@ class ShardedService:
             deployment.route_via_network(self._network,
                                          attempts=self._route_attempts)
 
+    def detach_shard(self, shard_index: int) -> Deployment:
+        """Remove an evacuated tail shard from the plane (shrink retire step).
+
+        The shard's queues and service model leave the plane with it: it no
+        longer appears in :attr:`shards`, receives no keyed or scatter
+        traffic, reports no queue depth, and is skipped by every fleet-wide
+        audit surface. The deployment object is parked (unrouted) in the
+        spare pool because its endpoint addresses stay registered on the
+        network — deployment names are deterministic, so a later grow back to
+        this index must reattach this exact object rather than synthesize a
+        colliding twin.
+
+        Only the tail shard may be detached: removing an inner index would
+        renumber every shard behind it and silently invalidate epoch
+        overrides pinned by index.
+        """
+        if shard_index != len(self.shards) - 1:
+            raise ReshardError(
+                f"only the tail shard ({len(self.shards) - 1}) can be "
+                f"detached, not {shard_index}; inner removal would renumber "
+                "the shards behind it")
+        if len(self.shards) <= self.ring.shard_count:
+            raise ReshardError(
+                f"shard {shard_index} is still covered by the committed ring "
+                "and cannot be detached")
+        for shard_index_pinned, _ in self._overrides.values():
+            if shard_index_pinned == shard_index:
+                raise ReshardError(
+                    f"shard {shard_index} still holds pinned records and "
+                    "cannot be detached until finish_reshard() drains them")
+        for shard_index_stale, _ in self._stale.values():
+            if shard_index_stale == shard_index:
+                raise ReshardError(
+                    f"shard {shard_index} still holds stale leftovers and "
+                    "cannot be detached until finish_reshard() cleans them")
+        deployment = self.shards.pop()
+        deployment.unroute()
+        self._spare_shards[shard_index] = deployment
+        return deployment
+
     def begin_epoch(self, moving_keys) -> None:
         """Mark ``moving_keys`` as mid-migration (keyed routing fails safely)."""
         if self._moving:
@@ -443,10 +510,18 @@ class ShardedService:
         ``unmigrated`` maps keys whose state could not be moved to the shard
         index that still holds them; they keep routing there (correctly)
         until :meth:`finish_reshard` drains them.
+
+        The ring may cover *fewer* shards than are attached — that is a
+        shrink committing while defeated evacuations leave records pinned on
+        a retiring shard. Such shards are draining (:meth:`draining_shards`):
+        out of the ring, reachable only through overrides, detached by
+        :meth:`finish_reshard` once empty. A ring covering *more* shards than
+        exist would route keys into the void and is rejected.
         """
-        if ring.shard_count != len(self.shards):
+        if ring.shard_count > len(self.shards):
             raise ReshardError(
-                f"ring covers {ring.shard_count} shards but {len(self.shards)} exist"
+                f"ring covers {ring.shard_count} shards but only "
+                f"{len(self.shards)} exist"
             )
         self.ring = ring
         self._moving = frozenset()

@@ -36,7 +36,9 @@ __all__ = [
     "CompromiseDomain",
     "UnannouncedUpdate",
     "ReshardService",
+    "ShrinkService",
     "FinishReshard",
+    "AutoscaleEnabled",
     "FaultPlan",
 ]
 
@@ -226,13 +228,14 @@ class UnannouncedUpdate(ScheduledEvent):
 
 @dataclass(frozen=True)
 class ReshardService(ScheduledEvent):
-    """Grow the service to ``shards`` shards, live, at an operation boundary.
+    """Resize the service to ``shards`` shards, live, at an operation boundary.
 
-    The epoch transition of :mod:`repro.service.reshard`: new shards are
-    synthesized from the spec, moved keys' state migrates over the (possibly
-    faulty) simulated network, and the ring flips. Keys whose migration the
-    network defeats stay pinned to their old shard — routed correctly — and
-    can be drained later by :class:`FinishReshard`.
+    The epoch transition of :mod:`repro.service.reshard`, in either
+    direction: a grow synthesizes new shards from the spec, a shrink
+    evacuates and detaches the retiring ones; moved keys' state migrates
+    over the (possibly faulty) simulated network, and the ring flips. Keys
+    whose migration the network defeats stay pinned to their old shard —
+    routed correctly — and can be drained later by :class:`FinishReshard`.
     """
 
     shards: int = 4
@@ -242,11 +245,43 @@ class ReshardService(ScheduledEvent):
 
 
 @dataclass(frozen=True)
+class ShrinkService(ReshardService):
+    """Shrink the service to ``shards`` shards, live (evacuate → retire).
+
+    Behaviorally :class:`ReshardService` pointed downward — the separate
+    name keeps scenario declarations self-documenting and lets a retiring
+    shard's evacuation be targeted by link faults laid down in advance.
+    """
+
+    shards: int = 2
+
+
+@dataclass(frozen=True)
 class FinishReshard(ScheduledEvent):
-    """Drain a previous reshard's pinned keys (after the fault healed)."""
+    """Drain a previous reshard's pinned keys (after the fault healed);
+    a shrink's still-draining shards detach once the drain empties them."""
 
     def apply(self, ctx) -> None:
         ctx.finish_reshard()
+
+
+@dataclass(frozen=True)
+class AutoscaleEnabled(ScheduledEvent):
+    """Hand the shard count to the metrics-driven autoscaler, mid-run.
+
+    From this operation boundary on, a monitor task samples windowed p99
+    latency and live queue depth at the policy's cadence and grows or
+    shrinks the plane through the operator gates
+    (:mod:`repro.service.gates`). ``policy`` is a
+    :class:`~repro.service.autoscaler.AutoscalerPolicy`; ``None`` uses the
+    defaults. Only meaningful in concurrent scenarios — there is no load to
+    observe between serial ops.
+    """
+
+    policy: object = None
+
+    def apply(self, ctx) -> None:
+        ctx.enable_autoscaler(self.policy)
 
 
 # ---------------------------------------------------------------------------

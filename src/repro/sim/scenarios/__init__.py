@@ -20,6 +20,7 @@ from repro.sim.scenarios.runner import ScenarioContext, ScenarioRunner
 from repro.sim.scenarios.matrix import (
     base_matrix,
     default_matrix,
+    elastic_matrix,
     reshard_matrix,
     sharded_matrix,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "ScenarioRunner",
     "base_matrix",
     "default_matrix",
+    "elastic_matrix",
     "sharded_matrix",
     "reshard_matrix",
     "make_driver",

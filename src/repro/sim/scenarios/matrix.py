@@ -14,12 +14,19 @@ asserted invariant-by-invariant in ``tests/sim/test_scenarios.py``:
 * **reshard** — the "operate it live" family: a 2→4 shard epoch transition
   fired mid-workload, under packet loss, a crash mid-handoff, a partition
   during migration, and a compromised migration source, with invariants
-  asserting zero lost or duplicated records across the epoch boundary.
+  asserting zero lost or duplicated records across the epoch boundary;
+* **elastic** — the bidirectional control plane: a scheduled grow-then-shrink
+  round trip under concurrent load, a crash during a retiring shard's
+  evacuation (pin, drain, detach), and the metrics-driven autoscaler
+  riding out a flash crowd and a diurnal wave through its operator gates
+  (:mod:`repro.service.gates`).
 """
 
 from __future__ import annotations
 
+from repro.service.autoscaler import AutoscalerPolicy
 from repro.sim.faults import (
+    AutoscaleEnabled,
     CompromiseDomain,
     CrashParty,
     DelayFault,
@@ -31,11 +38,22 @@ from repro.sim.faults import (
     RecoverParty,
     ReorderFault,
     ReshardService,
+    ShrinkService,
     UnannouncedUpdate,
 )
 from repro.sim.scenarios.spec import Scenario
 
-__all__ = ["default_matrix", "base_matrix", "sharded_matrix", "reshard_matrix"]
+__all__ = ["default_matrix", "base_matrix", "sharded_matrix", "reshard_matrix",
+           "elastic_matrix"]
+
+# The autoscaler policy the elastic scenarios share: thresholds sized for
+# millisecond-scale simulated ops, a short cooldown so a single run can both
+# grow and shrink, and a 2–4 shard corridor matching the reshard family.
+ELASTIC_POLICY = AutoscalerPolicy(
+    p99_high_s=0.05, queue_high=8, p99_low_s=0.02, queue_low=1,
+    min_shards=2, max_shards=4, cooldown_s=0.3,
+    breach_streak=2, clear_streak=4, sample_interval_s=0.1,
+)
 
 
 def base_matrix(seed: int = 2022) -> list[Scenario]:
@@ -267,6 +285,72 @@ def reshard_matrix(seed: int = 2022) -> list[Scenario]:
     ]
 
 
+def elastic_matrix(seed: int = 2022) -> list[Scenario]:
+    """Bidirectional elasticity: shrink/drain and the autoscaler, live.
+
+    The reshard family proved a grow commits under attack; this family
+    proves the *control plane* — shrink evacuates and retires cleanly, a
+    crash during evacuation pins rather than loses, and the metrics-driven
+    autoscaler takes the shard count through grow-and-return round trips
+    with every record conserved (``reshard-epoch-committed`` +
+    ``network-conserves-messages`` in both directions).
+    """
+    return [
+        Scenario(
+            name="keybackup-elastic-round-trip", app="keybackup",
+            ops=150, shards=2, seed=seed + 40,
+            concurrent=True, arrival_rate=50_000.0, service_time=0.0005,
+            events=(ReshardService(at_op=50, shards=4),
+                    ShrinkService(at_op=110, shards=2)),
+            description="2->4->2 under concurrent Poisson load: the grown "
+                        "epoch serves mid-flight requests, then the shrink "
+                        "evacuates both added shards and retires them with "
+                        "zero records lost or duplicated",
+        ),
+        Scenario(
+            name="keybackup-shrink-crash-during-evacuation", app="keybackup",
+            ops=14, shards=4, seed=seed + 41,
+            events=(CrashParty(at_op=8, party="shard:3:domain:1"),
+                    ShrinkService(at_op=8, shards=2),
+                    RecoverParty(at_op=12, party="shard:3:domain:1"),
+                    FinishReshard(at_op=13)),
+            min_success_rate=0.5,
+            description="one domain of a retiring shard crashes as the "
+                        "evacuation starts: its users' shares stay pinned to "
+                        "the draining shard — routed, never lost — then "
+                        "drain and detach after recovery",
+        ),
+        Scenario(
+            name="keybackup-autoscale-flash-crowd", app="keybackup",
+            ops=200, shards=2, seed=seed + 42,
+            concurrent=True, arrival_rate=60.0,
+            arrival_phases=((30, 700.0), (90, 25.0)),
+            service_time=0.004,
+            events=(AutoscaleEnabled(at_op=0, policy=ELASTIC_POLICY),),
+            min_success_rate=0.95,
+            description="a 12x arrival spike hits at op 30: the autoscaler "
+                        "observes windowed p99 and queue depth, grows 2->4 "
+                        "through the operator gates, then shrinks back once "
+                        "the crowd subsides and the cooldown clears",
+        ),
+        Scenario(
+            name="prio-autoscale-diurnal-wave", app="prio",
+            ops=240, shards=2, seed=seed + 43,
+            concurrent=True, arrival_rate=30.0,
+            arrival_phases=((50, 900.0), (110, 15.0), (150, 900.0), (215, 15.0)),
+            service_time=0.004,
+            events=(AutoscaleEnabled(at_op=0, policy=ELASTIC_POLICY),),
+            min_success_rate=0.95,
+            description="two load peaks with a trough between: the "
+                        "aggregate stays exact while the fleet breathes, and "
+                        "hysteresis plus cooldown keep the shard count from "
+                        "flapping inside each phase",
+        ),
+    ]
+
+
 def default_matrix(seed: int = 2022) -> list[Scenario]:
-    """The full sweep: base taxonomy, sharded variants, and live reshards."""
-    return base_matrix(seed) + sharded_matrix(seed) + reshard_matrix(seed)
+    """The full sweep: base taxonomy, sharded variants, live reshards, and
+    the elastic control plane."""
+    return (base_matrix(seed) + sharded_matrix(seed) + reshard_matrix(seed)
+            + elastic_matrix(seed))

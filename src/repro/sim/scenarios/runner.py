@@ -52,6 +52,7 @@ class ScenarioContext:
         self.unannounced_digests: list[bytes] = []
         self.reshard_reports: list = []
         self.reshard_errors: list[str] = []
+        self.autoscaler = None
         self._compromise_schedules = {0: compromise_schedule}
 
     def resolve(self, party: str) -> str:
@@ -130,6 +131,20 @@ class ScenarioContext:
             if report is not None:
                 self.reshard_reports.append(report)
 
+    def enable_autoscaler(self, policy=None) -> None:
+        """Hand the shard count to the elastic control loop, mid-run.
+
+        Fired by :class:`~repro.sim.faults.AutoscaleEnabled`. The runner's
+        monitor task (spawned for concurrent scenarios carrying that event)
+        starts sampling and deciding the moment this is set.
+        """
+        from repro.service.autoscaler import Autoscaler
+
+        if self.plane is None:
+            raise ValueError("scenario deployment has no service plane to scale")
+        if self.autoscaler is None:
+            self.autoscaler = Autoscaler(self.plane, policy)
+
     @property
     def resharded(self) -> bool:
         """Whether any epoch transition ran during this scenario."""
@@ -162,7 +177,19 @@ class ScenarioRunner:
         self.scenario = scenario
 
     def run(self) -> ScenarioReport:
-        """Execute the scenario and return its report."""
+        """Execute the scenario and return its report.
+
+        Crypto randomness is routed through a DRBG seeded from the scenario
+        seed for the whole run (see :mod:`repro.crypto.rng`), so a scenario
+        replays bit-identically — faults, share polynomials, padding, and
+        the latencies their byte lengths produce included.
+        """
+        from repro.crypto import rng as crypto_rng
+
+        with crypto_rng.deterministic(self.scenario.seed):
+            return self._run()
+
+    def _run(self) -> ScenarioReport:
         scenario = self.scenario
         driver = make_driver(scenario.app, scenario.seed, scenario.ops,
                              shards=scenario.shards)
@@ -218,6 +245,7 @@ class ScenarioRunner:
         report.sim_elapsed_s = network.clock.now() - started_at
         report.latency = summarize(latencies) if latencies else None
         report.reshards = list(ctx.reshard_reports)
+        report.final_shards = plane.ring.shard_count
 
         report.audit_ok, kinds = driver.audit_outcome()
         report.detected_kinds = tuple(sorted(kinds))
@@ -234,13 +262,19 @@ class ScenarioRunner:
         generator that yields while its requests are on the wire, so
         scheduled events — a live reshard included — fire while every
         earlier-arriving, unfinished op is genuinely in flight.
+        ``arrival_phases`` reshape the Poisson process mid-run; an
+        :class:`~repro.sim.faults.AutoscaleEnabled` event additionally gets
+        a monitor task that samples the plane and reshards it through the
+        operator gates while the load flows.
         """
-        from repro.net.eventloop import EventLoop
+        from repro.net.eventloop import EventLoop, Sleep
+        from repro.sim.faults import AutoscaleEnabled
 
         scenario = self.scenario
         loop = EventLoop(network)
         arrivals = random.Random(scenario.seed + 2)
         in_flight = {"count": 0, "max": 0}
+        progress = {"done": 0}
 
         def op_wrapper(op_index: int):
             ctx.current_op = op_index
@@ -262,16 +296,56 @@ class ScenarioRunner:
                 report.succeeded += 1
             finally:
                 in_flight["count"] -= 1
+                progress["done"] += 1
             latencies.append(network.clock.now() - op_started)
+
+        def rate_for(op_index: int) -> float:
+            rate = scenario.arrival_rate
+            for start_op, phase_rate in scenario.arrival_phases:
+                if op_index >= start_op:
+                    rate = phase_rate
+            return rate
+
+        def autoscale_monitor():
+            """Sample the plane at the policy cadence while ops remain.
+
+            Idles cheaply until the AutoscaleEnabled event actually fires
+            (it may sit at any op boundary); the p99 window is every op
+            completed since the previous sample.
+            """
+            from repro.service.autoscaler import percentile
+
+            window_start = 0
+            while progress["done"] < scenario.ops:
+                scaler = ctx.autoscaler
+                yield Sleep(scaler.policy.sample_interval_s
+                            if scaler is not None else 0.05)
+                if scaler is None:
+                    window_start = len(latencies)
+                    continue
+                window = latencies[window_start:]
+                window_start = len(latencies)
+                scaler.observe(p99_s=percentile(window, 0.99))
+
+        if any(isinstance(event, AutoscaleEnabled)
+               for event in scenario.events):
+            loop.spawn(autoscale_monitor(), name="autoscaler")
 
         arrival_offset = 0.0
         started = network.clock.now()
         for op_index in range(scenario.ops):
-            arrival_offset += arrivals.expovariate(scenario.arrival_rate)
+            arrival_offset += arrivals.expovariate(rate_for(op_index))
             loop.spawn(op_wrapper(op_index), name=f"op-{op_index}",
                        start_at=started + arrival_offset)
         loop.run()
         report.max_in_flight = in_flight["max"]
+        if ctx.autoscaler is not None:
+            # The autoscaler's transitions are epoch transitions like any
+            # other: fold them into the scenario's reshard record so the
+            # invariants judge them identically.
+            ctx.reshard_reports.extend(ctx.autoscaler.reshard_reports)
+            report.autoscale_decisions = [decision.to_dict() for decision
+                                          in ctx.autoscaler.decisions]
 
     # ------------------------------------------------------------------
     # Generic invariants (checked for every app)
@@ -367,26 +441,50 @@ class ScenarioRunner:
     def _reshard_invariant(self, ctx: ScenarioContext) -> InvariantResult:
         """Every epoch transition committed and left no key unroutable.
 
-        The ring must cover exactly the shard fleet, no key may still be
-        marked mid-migration, and any key pinned by an epoch override must
-        point at a shard that exists — i.e. requests during and after the
-        reshard either routed correctly or failed safely, never misrouted.
+        In either direction: the ring may never cover more shards than
+        exist (keys would route into the void); a shard attached *beyond*
+        the ring (a shrink still draining) is legitimate only while pinned
+        or stale records justify keeping it; no key may still be marked
+        mid-migration; and any key pinned by an epoch override must point
+        at an attached shard — i.e. requests during and after every
+        transition either routed correctly or failed safely, never
+        misrouted.
         """
         plane = ctx.plane
         if plane.is_migrating:
             return InvariantResult("reshard-epoch-committed", False,
                                    "keys left mid-migration after the run")
-        if plane.ring.shard_count != len(plane.shards):
+        if plane.ring.shard_count > len(plane.shards):
             return InvariantResult(
                 "reshard-epoch-committed", False,
-                f"ring covers {plane.ring.shard_count} shards but "
+                f"ring covers {plane.ring.shard_count} shards but only "
                 f"{len(plane.shards)} exist")
-        grows = [reshard for reshard in ctx.reshard_reports
-                 if reshard.new_shard_count > reshard.old_shard_count]
-        if grows and plane.epoch < len(grows):
+        draining = plane.draining_shards()
+        if draining:
+            referenced = ({shard for _, shard in plane.pending_migrations()}
+                          | {shard for _, shard in plane.pending_cleanups()})
+            try:
+                residual = any(plane.migrator is not None
+                               and plane.migrator.residue(plane, shard)
+                               for shard in draining)
+            except Exception:
+                residual = True  # unreachable shard: draining is justified
+            if not referenced & set(draining) and not residual:
+                return InvariantResult(
+                    "reshard-epoch-committed", False,
+                    f"shards {draining} left draining with no pinned, "
+                    "stale, or residual records justifying them")
+        # Each committed transition stamps its report with the epoch it
+        # produced (drain reports reuse the then-current epoch), so the
+        # distinct epochs recorded must all have been reached — grows and
+        # shrinks alike.
+        epochs = {reshard.epoch for reshard in ctx.reshard_reports
+                  if reshard.epoch > 0}
+        if plane.epoch < len(epochs):
             return InvariantResult("reshard-epoch-committed", False,
-                                   f"{len(grows)} reshards ran but the epoch "
-                                   f"only advanced to {plane.epoch}")
+                                   f"{len(epochs)} epoch transitions were "
+                                   f"recorded but the epoch only advanced "
+                                   f"to {plane.epoch}")
         for key, shard_index in plane.pending_migrations():
             if not 0 <= shard_index < len(plane.shards):
                 return InvariantResult(
@@ -394,8 +492,11 @@ class ScenarioRunner:
                     f"key {key!r} pinned to nonexistent shard {shard_index}")
         pending = plane.pending_migration_keys
         stale = len(plane.pending_cleanups())
-        detail = (f"epoch {plane.epoch} committed across "
-                  f"{len(plane.shards)} shards")
+        detail = (f"epoch {plane.epoch} committed; ring covers "
+                  f"{plane.ring.shard_count} of {len(plane.shards)} "
+                  "attached shards")
+        if draining:
+            detail += f"; shards {draining} still draining"
         if pending:
             detail += f"; {pending} keys pinned to old shards (routed, not lost)"
         if stale:

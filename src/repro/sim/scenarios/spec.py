@@ -45,6 +45,11 @@ class Scenario:
             genuinely in flight.
         arrival_rate: mean op arrivals per simulated second in concurrent
             mode (required > 0 when ``concurrent=True``).
+        arrival_phases: optional load shape for concurrent scenarios — a
+            tuple of ``(start_op, rate)`` pairs with ascending start ops.
+            Arrivals before the first phase use ``arrival_rate``; from each
+            phase's start op onward, its rate applies (one phase models a
+            flash crowd, several model a diurnal wave).
         service_time: simulated seconds each trust domain spends per
             request (0 = infinitely fast servers); concurrent scenarios
             need it non-zero for queueing to be observable.
@@ -64,6 +69,7 @@ class Scenario:
     expect_detection_kinds: tuple = ()
     concurrent: bool = False
     arrival_rate: float = 0.0
+    arrival_phases: tuple = ()
     service_time: float = 0.0
     description: str = ""
 
@@ -80,6 +86,19 @@ class Scenario:
             raise ValueError("a concurrent scenario needs a positive arrival_rate")
         if self.service_time < 0:
             raise ValueError("service_time cannot be negative")
+        if self.arrival_phases:
+            if not self.concurrent:
+                raise ValueError("arrival_phases only shape concurrent scenarios")
+            previous = -1
+            for start_op, rate in self.arrival_phases:
+                if not 0 <= start_op < self.ops:
+                    raise ValueError(f"phase start op {start_op} falls outside "
+                                     "the scenario")
+                if start_op <= previous:
+                    raise ValueError("phase start ops must be ascending")
+                if rate <= 0:
+                    raise ValueError("every phase rate must be positive")
+                previous = start_op
 
 
 @dataclass(frozen=True)
@@ -115,6 +134,9 @@ class ScenarioReport:
     max_in_flight: int = 0
     in_flight_at_reshard: int = 0
     shard_queue_depth: dict = field(default_factory=dict)  # shard -> depth
+    # Elastic control loop (populated when an AutoscaleEnabled event ran).
+    autoscale_decisions: list = field(default_factory=list)  # decision dicts
+    final_shards: int = 0
 
     @property
     def ops(self) -> int:
@@ -178,6 +200,14 @@ class ScenarioReport:
             depths = " ".join(f"s{shard}:{depth}" for shard, depth
                               in sorted(self.shard_queue_depth.items()))
             lines.append(f"  max queue depth: {depths}")
+        if self.autoscale_decisions:
+            fired = [d for d in self.autoscale_decisions if d.get("fired")]
+            gated = [d for d in self.autoscale_decisions if d.get("gated_by")]
+            lines.append(
+                f"  autoscale: {len(self.autoscale_decisions)} decisions, "
+                f"{len(fired)} fired, {len(gated)} gated; "
+                f"final shards={self.final_shards}"
+            )
         audit_text = "ok" if self.audit_ok else "FAILED (misbehavior flagged)"
         detected = ", ".join(sorted(self.detected_kinds)) or "none"
         lines.append(f"  audit: {audit_text}; evidence kinds: {detected}")
@@ -210,4 +240,6 @@ class ScenarioReport:
             "in_flight_at_reshard": self.in_flight_at_reshard,
             "shard_queue_depth": {shard: depth for shard, depth
                                   in sorted(self.shard_queue_depth.items())},
+            "autoscale_decisions": list(self.autoscale_decisions),
+            "final_shards": self.final_shards,
         }

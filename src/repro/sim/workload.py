@@ -103,6 +103,11 @@ class WorkloadReport:
     arrival_rate: float = 0.0
     max_in_flight: int = 0
     in_flight_at_reshard: int = 0
+    # Elastic control loop (populated when an autoscale policy is installed).
+    autoscaled: bool = False
+    final_shards: int = 0
+    autoscale_decisions: list = field(default_factory=list)  # decision dicts
+    autoscale_reshards: list = field(default_factory=list)   # report dicts
     # Per-shard high-water mark of requests queued behind the serial service
     # queues (max over the shard's domains). Populated for every mode; only
     # a concurrent run with a non-zero service time can push it above 1.
@@ -205,6 +210,17 @@ class WorkloadReport:
                 + (f" (at reshard: {self.in_flight_at_reshard})"
                    if self.resharded else "")
             )
+        if self.autoscaled:
+            fired = [d for d in self.autoscale_decisions if d.get("fired")]
+            moves = " -> ".join(
+                str(d["to_shards"])
+                for d in fired) if fired else "none"
+            lines.append(
+                f"  autoscale: {self.shards} -> {moves} shards "
+                f"({len(fired)} transition(s), "
+                f"{len(self.autoscale_decisions)} decisions, "
+                f"final={self.final_shards})"
+            )
         if any(self.shard_queue_depth.values()):
             depths = " ".join(f"s{shard}:{depth}" for shard, depth
                               in sorted(self.shard_queue_depth.items()))
@@ -262,6 +278,10 @@ class WorkloadReport:
             "in_flight_at_reshard": self.in_flight_at_reshard,
             "shard_queue_depth": {shard: depth for shard, depth
                                   in sorted(self.shard_queue_depth.items())},
+            "autoscaled": self.autoscaled,
+            "final_shards": self.final_shards,
+            "autoscale_decisions": list(self.autoscale_decisions),
+            "autoscale_reshards": list(self.autoscale_reshards),
         }
 
 
@@ -557,12 +577,13 @@ class MultiClientWorkload:
         events: scheduled :class:`~repro.sim.faults.ScheduledEvent` instances.
         rpc_attempts: send attempts per request (retries are safe against the
             at-most-once servers).
-        reshard_at_op: grow the service *live* just before this operation
+        reshard_at_op: resize the service *live* just before this operation
             index (a batched run fires it at the containing span boundary);
             the report then carries per-segment simulated throughput so the
             pre- and post-reshard capacity can be compared.
-        reshard_to: the shard count the live reshard grows to (must exceed
-            ``shards``).
+        reshard_to: the shard count the live reshard resizes to — above
+            ``shards`` grows, below it shrinks (evacuate + retire); it must
+            differ from ``shards`` and be at least 1.
         concurrent: drive ops as overlapping tasks on the discrete-event
             loop instead of serially. Each op arrives at its own simulated
             time (Poisson arrivals at ``arrival_rate``) and runs as a
@@ -575,6 +596,16 @@ class MultiClientWorkload:
         op_timeout: per-wave response timeout (simulated seconds) for
             concurrent ops; each wave retransmits up to ``rpc_attempts``
             times before the op fails with a timeout.
+        arrival_phases: optional load shape for concurrent mode — a tuple of
+            ``(start_op, rate)`` pairs with ascending start ops. Arrivals
+            before the first phase use ``arrival_rate``; from each phase's
+            start op onward, its rate applies. A flash crowd is one phase
+            (spike), a diurnal wave is several.
+        autoscale_policy: install a metrics-driven
+            :class:`~repro.service.autoscaler.Autoscaler` for the run
+            (concurrent mode only). A monitor task samples windowed p99 and
+            live queue depth every ``policy.sample_interval_s`` and reshards
+            through the operator gates; the report carries every decision.
     """
 
     def __init__(self, app: str, num_clients: int = 100, ops_per_client: int = 1,
@@ -583,7 +614,8 @@ class MultiClientWorkload:
                  rules: tuple = (), events: tuple = (), rpc_attempts: int = 3,
                  reshard_at_op: int | None = None, reshard_to: int = 0,
                  concurrent: bool = False, arrival_rate: float = 0.0,
-                 op_timeout: float = 0.25):
+                 op_timeout: float = 0.25, arrival_phases: tuple = (),
+                 autoscale_policy=None):
         if app not in _ADAPTERS:
             raise ValueError(f"unknown workload app {app!r} "
                              f"(expected one of {sorted(_ADAPTERS)})")
@@ -599,12 +631,31 @@ class MultiClientWorkload:
             if not 1 <= reshard_at_op < num_clients * ops_per_client:
                 raise ValueError("reshard_at_op must fall inside the run "
                                  "(after the first op, before the last)")
-            if reshard_to <= shards:
-                raise ValueError("reshard_to must exceed the starting shard count")
+            if reshard_to == shards or reshard_to < 1:
+                raise ValueError("reshard_to must differ from the starting "
+                                 "shard count and be at least 1")
         if concurrent and arrival_rate <= 0:
             raise ValueError("concurrent mode needs a positive arrival_rate")
         if op_timeout <= 0:
             raise ValueError("op_timeout must be positive")
+        arrival_phases = tuple(arrival_phases)
+        if arrival_phases:
+            if not concurrent:
+                raise ValueError("arrival_phases only shape concurrent runs")
+            total = num_clients * ops_per_client
+            previous = -1
+            for start_op, rate in arrival_phases:
+                if not 0 <= start_op < total:
+                    raise ValueError(f"phase start op {start_op} falls "
+                                     "outside the run")
+                if start_op <= previous:
+                    raise ValueError("phase start ops must be ascending")
+                if rate <= 0:
+                    raise ValueError("every phase rate must be positive")
+                previous = start_op
+        if autoscale_policy is not None and not concurrent:
+            raise ValueError("the autoscaler samples a live event loop; "
+                             "it needs concurrent mode")
         self.app = app
         self.num_clients = num_clients
         self.ops_per_client = ops_per_client
@@ -622,6 +673,8 @@ class MultiClientWorkload:
         self.concurrent = concurrent
         self.arrival_rate = arrival_rate
         self.op_timeout = op_timeout
+        self.arrival_phases = arrival_phases
+        self.autoscale_policy = autoscale_policy
 
     @classmethod
     def from_scenario(cls, scenario, num_clients: int = 100,
@@ -649,10 +702,24 @@ class MultiClientWorkload:
             rpc_attempts=scenario.rpc_attempts,
             concurrent=scenario.concurrent,
             arrival_rate=scenario.arrival_rate,
+            arrival_phases=getattr(scenario, "arrival_phases", ()),
         )
 
     def run(self) -> WorkloadReport:
-        """Execute the workload and return its report."""
+        """Execute the workload and return its report.
+
+        The whole run — deployment build, key generation, and every
+        operation — executes with the crypto layer's randomness routed
+        through a DRBG seeded from the workload seed, which is what makes
+        same-seed replay bit-identical down to payload byte lengths (and
+        therefore simulated latencies).
+        """
+        from repro.crypto import rng as crypto_rng
+
+        with crypto_rng.deterministic(self.seed):
+            return self._run()
+
+    def _run(self) -> WorkloadReport:
         from repro.net.latency import lan_profile
         from repro.net.transport import Network
         from repro.sim.faults import FaultPlan
@@ -696,7 +763,10 @@ class MultiClientWorkload:
             else:
                 report.reshard_summary = reshard_report.to_dict()
             report.reshard_sim_seconds = network.clock.now() - before
-            report.resharded = plane.num_shards == self.reshard_to
+            # Ring coverage, not attached-shard count: a shrink that left a
+            # retiring shard draining (pinned keys) has still committed its
+            # epoch and serves at the new width.
+            report.resharded = plane.ring.shard_count == self.reshard_to
             report.reshard_to = self.reshard_to
 
         sim_started = network.clock.now()
@@ -746,6 +816,7 @@ class MultiClientWorkload:
         report.sim_seconds = network.clock.now() - sim_started
         report.retries = plane.rpc_retry_total()
         report.shard_queue_depth = plane.max_queue_depth_per_shard()
+        report.final_shards = plane.ring.shard_count
         plane.unroute()
         self._attach_latency(report, adapter, plane, op_latencies)
 
@@ -766,12 +837,19 @@ class MultiClientWorkload:
         other ops make progress. Scheduled events (and the live reshard)
         fire at the moment their target op *starts* — with every
         earlier-arriving, still-unfinished op genuinely in flight.
+
+        ``arrival_phases`` reshape the Poisson process mid-run (flash crowd,
+        diurnal wave); an ``autoscale_policy`` additionally spawns a monitor
+        task that samples windowed p99 and live queue depth at the policy's
+        cadence and reshards the plane through the operator gates while ops
+        are in flight.
         """
-        from repro.net.eventloop import EventLoop
+        from repro.net.eventloop import EventLoop, Sleep
 
         loop = EventLoop(network)
         arrivals = random.Random(self.seed + 2)
         in_flight = {"count": 0, "max": 0}
+        progress = {"done": 0}
 
         def op_wrapper(op_index: int):
             if op_index == self.reshard_at_op and not report.resharded:
@@ -792,14 +870,53 @@ class MultiClientWorkload:
                 op_latencies.append((op_index, network.clock.now() - op_started))
             finally:
                 in_flight["count"] -= 1
+                progress["done"] += 1
+
+        def rate_for(op_index: int) -> float:
+            rate = self.arrival_rate
+            for start_op, phase_rate in self.arrival_phases:
+                if op_index >= start_op:
+                    rate = phase_rate
+            return rate
+
+        def autoscale_monitor(scaler):
+            """Sample the plane at the policy cadence while ops remain.
+
+            The p99 window is every op completed since the previous sample —
+            the same latencies the report summarizes, so a scenario can
+            reconstruct exactly what the autoscaler saw.
+            """
+            from repro.service.autoscaler import percentile
+
+            window_start = 0
+            interval = scaler.policy.sample_interval_s
+            while progress["done"] < self.total_ops:
+                yield Sleep(interval)
+                window = [latency for _, latency
+                          in op_latencies[window_start:]]
+                window_start = len(op_latencies)
+                scaler.observe(p99_s=percentile(window, 0.99))
+
+        scaler = None
+        if self.autoscale_policy is not None:
+            from repro.service.autoscaler import Autoscaler
+
+            scaler = Autoscaler(adapter.plane, self.autoscale_policy)
+            loop.spawn(autoscale_monitor(scaler), name="autoscaler")
 
         arrival_offset = 0.0
         for op_index in range(self.total_ops):
-            arrival_offset += arrivals.expovariate(self.arrival_rate)
+            arrival_offset += arrivals.expovariate(rate_for(op_index))
             loop.spawn(op_wrapper(op_index), name=f"op-{op_index}",
                        start_at=sim_started + arrival_offset)
         loop.run()
         report.max_in_flight = in_flight["max"]
+        if scaler is not None:
+            report.autoscaled = any(d.fired for d in scaler.decisions)
+            report.autoscale_decisions = [d.to_dict()
+                                          for d in scaler.decisions]
+            report.autoscale_reshards = [r.to_dict()
+                                         for r in scaler.reshard_reports]
 
     def _attach_latency(self, report, adapter, plane, op_latencies) -> None:
         """Summarize per-op sim latency, overall and broken down by shard.

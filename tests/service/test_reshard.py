@@ -4,7 +4,12 @@ paths the migration drivers rely on."""
 
 import pytest
 
-from repro.errors import KeyMigratingError, ReshardError, ServiceSpecError
+from repro.errors import (
+    InvalidReshardError,
+    KeyMigratingError,
+    ReshardError,
+    ServiceSpecError,
+)
 from repro.net.latency import lan_profile
 from repro.net.transport import FaultDecision, Network
 from repro.service import (
@@ -128,6 +133,77 @@ class TestRingProperties:
         assert isinstance(diff, RingDiff)
 
 
+class TestRingShrinkProperties:
+    """Mirror-image stability: the diff properties hold for shrinks too."""
+
+    KEYS = [f"key-{i}" for i in range(2000)]
+
+    @pytest.mark.parametrize("shard_count,retire", [(3, 1), (4, 2), (8, 3)])
+    def test_shrinking_moves_about_k_over_n(self, shard_count, retire):
+        """N -> N-k moves ~k/N of keys — only what the retired shards owned."""
+        ring = HashRing(shard_count)
+        survivors = shard_count - retire
+        diff = ring.diff(ring.shrink(survivors), self.KEYS)
+        expected = retire / shard_count
+        assert diff.moved_fraction <= expected * 1.6 + 0.02, (
+            f"{shard_count}->{survivors} moved {diff.moved_fraction:.2%}, "
+            f"expected about {expected:.2%}"
+        )
+        assert diff.moved_fraction > 0
+
+    def test_only_retired_shards_lose_keys(self):
+        """Every moved key leaves a retired shard and lands on a survivor."""
+        ring = HashRing(4)
+        diff = ring.diff(ring.shrink(2), self.KEYS)
+        assert diff.source_shards() == {2, 3}
+        assert diff.target_shards() <= {0, 1}
+        # Keys on surviving shards never trade places between survivors.
+        for key in self.KEYS:
+            if ring.shard_for(key) < 2:
+                assert ring.shrink(2).shard_for(key) == ring.shard_for(key)
+
+    def test_grow_then_shrink_round_trips_placement(self):
+        """grow∘shrink is the identity on routing for every key."""
+        ring = HashRing(2)
+        round_tripped = ring.grow(5).shrink(2)
+        assert all(round_tripped.shard_for(key) == ring.shard_for(key)
+                   for key in self.KEYS)
+
+    def test_shrunk_ring_equals_fresh_ring(self):
+        """Shrinking reproduces exactly the ring a smaller service builds."""
+        shrunk = HashRing(6, vnodes=64, salt=b"custom").shrink(3)
+        fresh = HashRing(3, vnodes=64, salt=b"custom")
+        assert (shrunk.shard_count, shrunk.vnodes, shrunk.salt) == (3, 64, b"custom")
+        assert all(shrunk.shard_for(key) == fresh.shard_for(key)
+                   for key in self.KEYS[:500])
+
+    def test_shrink_salt_decorrelation(self):
+        """Differently salted rings retire different slices of the keyspace."""
+        moved_sets = []
+        for salt in (b"repro/service/alpha", b"repro/service/beta"):
+            ring = HashRing(4, salt=salt)
+            diff = ring.diff(ring.shrink(2), self.KEYS)
+            moved_sets.append({key for key, _, _ in diff.moved})
+        overlap = len(moved_sets[0] & moved_sets[1]) / len(moved_sets[0])
+        # Independent ~50% samples overlap ~50%; near 1.0 would mean the
+        # salts correlate retirement.
+        assert 0.3 < overlap < 0.7, overlap
+
+    def test_resize_direction_validation(self):
+        ring = HashRing(4)
+        with pytest.raises(ValueError):
+            ring.shrink(0)
+        with pytest.raises(ValueError):
+            ring.shrink(4)
+        with pytest.raises(ValueError):
+            ring.shrink(5)
+        with pytest.raises(ValueError):
+            ring.grow(4)
+        with pytest.raises(ValueError):
+            ring.grow(3)
+        assert ring.resize(4).shard_count == 4  # resize itself is unopinionated
+
+
 # ---------------------------------------------------------------------------
 # Epoch router + coordinator
 # ---------------------------------------------------------------------------
@@ -159,12 +235,26 @@ class TestLiveReshard:
             assert value == f"v-{key}"
         assert report.diff.moved_count == report.migrated_keys > 0
 
-    def test_reshard_requires_growth_and_a_spec(self):
+    def test_degenerate_transitions_raise_typed_error_untouched(self):
+        """Same-count, zero, and negative targets fail before anything moves."""
         plane = self._loaded_plane(["a", "b"])
-        with pytest.raises(ReshardError):
-            plane.reshard(2)
-        with pytest.raises(ReshardError):
-            plane.reshard(1)
+
+        class CountingMigrator(CounterMigrator):
+            enumerations = 0
+
+            def shard_keys(self, plane, shard_index):
+                type(self).enumerations += 1
+                return super().shard_keys(plane, shard_index)
+
+        plane.migrator = CountingMigrator()
+        for degenerate in (2, 0, -1):
+            with pytest.raises(InvalidReshardError):
+                plane.reshard(degenerate)
+        # Validation rejected the requests before enumerating a single shard;
+        # the plane is untouched.
+        assert CountingMigrator.enumerations == 0
+        assert plane.epoch == 0 and plane.num_shards == 2
+        # A plane adopted without a spec cannot reshard at all.
         package = CodePackage("bare", "1.0.0", "python", COUNTER_APP)
         deployment = Deployment("bare", DeveloperIdentity("bare-dev"))
         deployment.publish_and_install(package)
@@ -346,6 +436,176 @@ class TestLiveReshard:
         assert all(server.service_model is not None
                    and server.service_model.per_request == 0.001
                    for server in grown._servers)
+
+
+# ---------------------------------------------------------------------------
+# Live shrink: evacuate -> verify -> commit -> retire
+# ---------------------------------------------------------------------------
+
+class TestLiveShrink:
+    def _loaded_plane(self, keys, shards=4):
+        plane = make_plane(shards=shards)
+        plane.migrator = CounterMigrator()
+        for key in keys:
+            plane.invoke(key, 0, "put", {"key": key, "value": f"v-{key}"})
+        return plane
+
+    def test_clean_shrink_evacuates_and_detaches(self):
+        keys = [f"key-{i}" for i in range(40)]
+        plane = self._loaded_plane(keys, shards=4)
+        before = {key: plane.shard_for(key) for key in keys}
+        report = plane.reshard(2)
+        assert report.ok and plane.epoch == 1 and plane.num_shards == 2
+        assert report.new_shard_count == 2
+        assert len(report.retired) == 2 and not report.draining
+        assert plane.draining_shards() == []
+        assert sorted(plane._spare_shards) == [2, 3]
+        # Survivors kept their keys; only retiring shards' keys moved, and
+        # every record is readable from its new owner.
+        for key in keys:
+            after = plane.shard_for(key)
+            if before[key] < 2:
+                assert after == before[key]
+            else:
+                assert after < 2
+            value = plane.invoke(key, 0, "get", {"key": key})["value"]["value"]
+            assert value == f"v-{key}"
+        assert report.diff.moved_count == report.migrated_keys > 0
+        # The retired shards' queues are genuinely gone from the plane: no
+        # scatter route, no queue-depth surface.
+        assert sorted(plane.max_queue_depth_per_shard()) == [0, 1]
+        with pytest.raises(ServiceSpecError):
+            plane.scatter_to_shards([(2, 0, "get", {"key": "k"})])
+
+    def test_failed_evacuation_pins_key_and_keeps_shard_draining(self):
+        """A defeated evacuation leaves the retiring shard attached and
+        routed (via the override) until finish_reshard() drains it."""
+        keys = [f"key-{i}" for i in range(30)]
+        plane = self._loaded_plane(keys, shards=3)
+        victim = next(key for key in keys if plane.shard_for(key) == 2)
+
+        class FlakyMigrator(CounterMigrator):
+            def migrate(self, plane, source, target, keys):
+                outcome = super().migrate(plane, source, target,
+                                          [k for k in keys if k != victim])
+                if victim in keys:
+                    outcome.failed[victim] = "injected evacuation failure"
+                return outcome
+
+        plane.migrator = FlakyMigrator()
+        report = plane.reshard(2)
+        assert not report.ok and victim in report.failed_keys
+        # The retiring shard still holds the victim's records, so it stays
+        # attached — out of the ring but draining.
+        assert plane.ring.shard_count == 2 and plane.num_shards == 3
+        assert plane.draining_shards() == [2]
+        assert report.draining == [plane.shards[2].name] and not report.retired
+        assert plane.shard_for(victim) == 2
+        assert plane.invoke(victim, 0, "get",
+                            {"key": victim})["value"]["value"] == f"v-{victim}"
+        # Another reshard is refused while the drain is outstanding.
+        with pytest.raises(InvalidReshardError):
+            plane.reshard(4)
+        # Healing the migrator and draining moves the victim and finally
+        # detaches the shard.
+        plane.migrator = CounterMigrator()
+        drain = plane.finish_reshard()
+        assert drain.migrated_keys == 1
+        assert drain.retired == [report.draining[0]] and not drain.draining
+        assert plane.num_shards == 2 and plane.draining_shards() == []
+        assert plane.shard_for(victim) == plane.ring.shard_for(victim) < 2
+        assert plane.invoke(victim, 0, "get",
+                            {"key": victim})["value"]["value"] == f"v-{victim}"
+
+    def test_verification_pins_records_the_migrator_never_saw(self):
+        """A record hidden from the evacuation plan is caught by the
+        post-evacuation re-enumeration and pinned, never stranded."""
+        keys = [f"key-{i}" for i in range(30)]
+        plane = self._loaded_plane(keys, shards=4)
+        hidden = next(key for key in keys if plane.shard_for(key) == 3)
+
+        class AmnesiacMigrator(CounterMigrator):
+            hid_once = False
+
+            def shard_keys(self, plane, shard_index):
+                enumerated = super().shard_keys(plane, shard_index)
+                if (shard_index == 3 and not type(self).hid_once
+                        and hidden in enumerated):
+                    type(self).hid_once = True
+                    return [k for k in enumerated if k != hidden]
+                return enumerated
+
+        plane.migrator = AmnesiacMigrator()
+        report = plane.reshard(2)
+        assert not report.ok and hidden in report.failed_keys
+        assert "verification" in report.failed_keys[hidden]
+        # The hidden record's shard is still attached and still routed.
+        assert 3 in plane.draining_shards()
+        assert plane.invoke(hidden, 0, "get",
+                            {"key": hidden})["value"]["value"] == f"v-{hidden}"
+        plane.migrator = CounterMigrator()
+        plane.finish_reshard()
+        assert plane.num_shards == 2
+        for key in keys:
+            assert plane.invoke(key, 0, "get",
+                                {"key": key})["value"]["value"] == f"v-{key}"
+
+    def test_unverifiable_shard_is_never_detached_blind(self):
+        """A retiring shard whose re-enumeration fails cannot be proven
+        empty, so it drains instead of detaching on the spot."""
+        keys = [f"key-{i}" for i in range(20)]
+        plane = self._loaded_plane(keys, shards=4)
+
+        class UnverifiableMigrator(CounterMigrator):
+            planned_tail = False
+
+            def shard_keys(self, plane, shard_index):
+                if shard_index == 3:
+                    if type(self).planned_tail:
+                        raise RuntimeError("shard unreachable for verification")
+                    type(self).planned_tail = True
+                return super().shard_keys(plane, shard_index)
+
+        plane.migrator = UnverifiableMigrator()
+        report = plane.reshard(2)
+        # Every record actually evacuated, but shard 3 cannot prove it — it
+        # (and everything before it, tail-first rule) stays attached.
+        assert report.ok and not report.retired
+        assert plane.draining_shards() == [2, 3]
+        plane.migrator = CounterMigrator()
+        drain = plane.finish_reshard()
+        assert len(drain.retired) == 2 and plane.num_shards == 2
+
+    def test_grow_after_shrink_reuses_parked_shards_on_the_network(self):
+        """2 -> 4 -> 2 -> 4 keeps working on one network: detached shards'
+        endpoints stay registered, so the re-grow must reattach the parked
+        deployments — and placement round-trips for unmoved keys."""
+        keys = [f"key-{i}" for i in range(24)]
+        plane = self._loaded_plane(keys, shards=2)
+        network = Network(clock=plane.clock, default_latency=lan_profile())
+        plane.route_via_network(network, attempts=2)
+        original = {key: plane.shard_for(key) for key in keys}
+
+        grow = plane.reshard(4)
+        assert grow.ok and plane.num_shards == 4
+        grown_names = {shard.name for shard in plane.shards[2:]}
+
+        shrink = plane.reshard(2)
+        assert shrink.ok and plane.num_shards == 2 and plane.epoch == 2
+        assert sorted(plane._spare_shards) == [2, 3]
+        # Shrinking back restores the original placement for every key.
+        for key in keys:
+            assert plane.shard_for(key) == original[key]
+
+        regrow = plane.reshard(4)
+        assert regrow.ok and plane.num_shards == 4 and plane.epoch == 3
+        assert not plane._spare_shards
+        # The re-grown shards are the parked objects, live on the network.
+        assert {shard.name for shard in plane.shards[2:]} == grown_names
+        assert all(shard._rpc_clients is not None for shard in plane.shards)
+        for key in keys:
+            assert plane.invoke(key, 0, "get",
+                                {"key": key})["value"]["value"] == f"v-{key}"
 
 
 # ---------------------------------------------------------------------------

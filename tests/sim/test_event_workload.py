@@ -101,6 +101,46 @@ class TestReshardUnderTrueLoadScenario:
         assert scenario.concurrent and scenario.service_time > 0
 
 
+class TestAutoscaleUnderLoad:
+    """A flash crowd drives the full elastic loop at the workload layer:
+    the autoscaler grows from observed p99/queue depth, shrinks once the
+    spike subsides, and the cooldown keeps it from flapping in between."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.service.autoscaler import AutoscalerPolicy
+
+        policy = AutoscalerPolicy(
+            p99_high_s=0.05, queue_high=8, p99_low_s=0.02, queue_low=1,
+            min_shards=2, max_shards=4, cooldown_s=0.3,
+            breach_streak=2, clear_streak=4, sample_interval_s=0.1)
+        return run_workload(num_clients=200, seed=2140, service_time=0.004,
+                            arrival_rate=60.0,
+                            arrival_phases=((30, 700.0), (90, 25.0)),
+                            autoscale_policy=policy)
+
+    def test_flash_crowd_triggers_one_grow_and_one_shrink(self, report):
+        assert report.autoscaled
+        fired = [d for d in report.autoscale_decisions if d.get("fired")]
+        assert [d["action"] for d in fired] == ["grow", "shrink"]
+        assert report.final_shards == 2
+
+    def test_scaling_loses_no_ops(self, report):
+        assert report.succeeded == 200 and report.failed == 0
+        assert report.consistent
+
+    def test_gates_refused_nothing_in_a_healthy_run(self, report):
+        gated = [d for d in report.autoscale_decisions if d.get("gated_by")]
+        assert not gated, gated
+
+    def test_policy_requires_the_event_loop(self):
+        from repro.service.autoscaler import AutoscalerPolicy
+
+        with pytest.raises(ValueError, match="event loop"):
+            MultiClientWorkload("keybackup",
+                                autoscale_policy=AutoscalerPolicy())
+
+
 class TestScenarioValidation:
     def test_concurrent_scenario_requires_arrival_rate(self):
         with pytest.raises(ValueError, match="arrival_rate"):
