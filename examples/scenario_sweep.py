@@ -10,6 +10,8 @@ Usage::
 
     PYTHONPATH=src python examples/scenario_sweep.py [seed]
         [--filter substring[,substring...]] [--json PATH] [--timeout-s N]
+        [--synthesize N] [--synthesis-seed S]
+        [--coverage PATH] [--coverage-floor F]
 
 ``--filter`` keeps only scenarios whose name contains one of the given
 substrings (e.g. ``--filter 4shards,reshard`` runs the sharded and reshard
@@ -18,6 +20,13 @@ a file (what CI uploads as an artifact); ``--timeout-s`` aborts the sweep if
 any single scenario runs longer than N wall seconds — the guard CI uses so a
 hung event loop fails the job in seconds instead of eating the runner's
 job timeout.
+
+``--synthesize N`` appends N generated scenarios (seeds ``S, S+1, …`` from
+``--synthesis-seed``) targeted at the pairwise coverage cells the hand
+matrix left dark; ``--coverage PATH`` writes the merged
+:class:`~repro.sim.coverage.CoverageReport` as JSON (the
+``coverage_report.json`` CI artifact), and ``--coverage-floor F`` fails the
+sweep when the merged score drops below ``F`` (the committed CI floor).
 """
 
 from __future__ import annotations
@@ -28,7 +37,9 @@ import json
 import signal
 import sys
 
+from repro.sim.coverage import CoverageReport
 from repro.sim.scenarios import ScenarioRunner, default_matrix
+from repro.sim.synthesis import synthesize_batch
 
 
 @contextlib.contextmanager
@@ -68,6 +79,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout-s", type=int, default=0,
                         help="abort if any one scenario exceeds this many "
                              "wall seconds (0 = no guard)")
+    parser.add_argument("--synthesize", type=int, default=0, metavar="N",
+                        help="append N generated scenarios targeted at the "
+                             "hand matrix's uncovered coverage cells")
+    parser.add_argument("--synthesis-seed", type=int, default=2022,
+                        help="first seed of the synthesized batch "
+                             "(scenario i uses seed S+i)")
+    parser.add_argument("--coverage", default="", metavar="PATH",
+                        help="write the merged pairwise coverage report as "
+                             "JSON to this path")
+    parser.add_argument("--coverage-floor", type=float, default=0.0,
+                        help="fail the sweep when the merged coverage score "
+                             "is below this fraction (0 = no floor)")
     args = parser.parse_args(argv)
 
     scenarios = default_matrix(args.seed)
@@ -90,6 +113,23 @@ def main(argv: list[str] | None = None) -> int:
         print(report.format())
         print("-" * 64)
 
+    hand_coverage = CoverageReport.from_reports(reports)
+    coverage = hand_coverage
+    if args.synthesize > 0:
+        synthesized = synthesize_batch(args.synthesize, args.synthesis_seed,
+                                       base=hand_coverage)
+        print(f"synthesized batch: {len(synthesized)} scenarios (seeds "
+              f"{args.synthesis_seed}..{args.synthesis_seed + len(synthesized) - 1}) "
+              f"targeting {len(hand_coverage.uncovered())} dark cells")
+        print("=" * 64)
+        for scenario in synthesized:
+            with _scenario_deadline(scenario.name, args.timeout_s):
+                report = ScenarioRunner(scenario).run()
+            reports.append(report)
+            print(report.format())
+            print("-" * 64)
+        coverage = CoverageReport.from_reports(reports)
+
     invariants_checked = sum(len(report.invariants) for report in reports)
     invariants_failed = sum(
         1 for report in reports for result in report.invariants if not result.ok
@@ -103,8 +143,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"live reshards: {resharded} scenarios crossed an epoch boundary")
     if liveness_misses:
         print(f"liveness floors missed: {', '.join(liveness_misses)}")
+    print(f"coverage: {len(coverage.covered)}/{len(coverage.total)} pairwise "
+          f"cells ({coverage.score * 100:.1f}%); hand matrix alone "
+          f"{hand_coverage.score * 100:.1f}%")
+    floor_missed = args.coverage_floor > 0 and coverage.score < args.coverage_floor
+    if floor_missed:
+        print(f"COVERAGE BELOW FLOOR: {coverage.score:.4f} < "
+              f"{args.coverage_floor:.4f}")
     verdict = "ALL SAFETY INVARIANTS HELD" if invariants_failed == 0 else "INVARIANT FAILURES"
     print(verdict)
+
+    if args.coverage:
+        payload = coverage.to_dict()
+        payload["hand_matrix_score"] = round(hand_coverage.score, 4)
+        payload["synthesized"] = args.synthesize
+        payload["synthesis_seed"] = args.synthesis_seed
+        payload["floor"] = args.coverage_floor
+        with open(args.coverage, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.coverage}")
 
     if args.json:
         payload = {
@@ -120,7 +178,8 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    return 0 if invariants_failed == 0 and not liveness_misses else 1
+    ok = invariants_failed == 0 and not liveness_misses and not floor_missed
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -190,7 +190,8 @@ class KeyBackupDeployment:
     """The developer-side of the key-backup service."""
 
     def __init__(self, developer: DeveloperIdentity | None = None, num_domains: int = 3,
-                 threshold: int | None = None, shards: int = 1):
+                 threshold: int | None = None, shards: int = 1,
+                 regions: tuple[str, ...] = ()):
         if num_domains < 2:
             raise ApplicationError("key backup needs at least two trust domains")
         self.developer = developer or DeveloperIdentity("key-backup-developer")
@@ -204,6 +205,7 @@ class KeyBackupDeployment:
             domains_per_shard=num_domains,
             shard_count=shards,
             threshold=self.threshold,
+            regions=tuple(regions),
         )
         self.plane = self.spec.synthesize(self.developer)
         self.plane.migrator = _KeyBackupShardMigrator(self)

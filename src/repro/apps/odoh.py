@@ -196,7 +196,8 @@ class ObliviousDnsDeployment:
     """
 
     def __init__(self, records: dict[str, str] | None = None,
-                 developer: DeveloperIdentity | None = None, shards: int = 1):
+                 developer: DeveloperIdentity | None = None, shards: int = 1,
+                 regions: tuple[str, ...] = ()):
         self.developer = developer or DeveloperIdentity("odoh-developer")
         proxy_package = CodePackage("odoh-proxy", APP_VERSION, "python", PROXY_APP_SOURCE)
         resolver_package = CodePackage("odoh-resolver", APP_VERSION, "python",
@@ -214,6 +215,7 @@ class ObliviousDnsDeployment:
             domains_per_shard=2,
             shard_count=shards,
             include_developer_domain=False,
+            regions=tuple(regions),
         )
         self.plane = self.spec.synthesize(self.developer)
         self.plane.migrator = _OdohShardMigrator()

@@ -188,7 +188,8 @@ class PrivateAggregationDeployment:
     """
 
     def __init__(self, num_servers: int = 2, max_value: int = 1000,
-                 developer: DeveloperIdentity | None = None, shards: int = 1):
+                 developer: DeveloperIdentity | None = None, shards: int = 1,
+                 regions: tuple[str, ...] = ()):
         if num_servers < 2:
             raise ApplicationError("private aggregation needs at least two servers")
         self.num_servers = num_servers
@@ -203,6 +204,7 @@ class PrivateAggregationDeployment:
             domains_per_shard=num_servers,
             shard_count=shards,
             include_developer_domain=False,
+            regions=tuple(regions),
         )
         self.plane = self.spec.synthesize(self.developer)
         self.plane.migrator = _PrioShardMigrator(self)

@@ -73,7 +73,8 @@ class CustodyDeployment:
 
     def __init__(self, threshold: int = 2, num_signers: int = 3,
                  developer: DeveloperIdentity | None = None, use_dkg: bool = False,
-                 keygen_seed: bytes | None = None, shards: int = 1):
+                 keygen_seed: bytes | None = None, shards: int = 1,
+                 regions: tuple[str, ...] = ()):
         if threshold < 1 or num_signers < threshold:
             raise ApplicationError("invalid threshold parameters")
         self.threshold = threshold
@@ -90,6 +91,7 @@ class CustodyDeployment:
             domains_per_shard=num_signers + 1,
             shard_count=shards,
             threshold=threshold,
+            regions=tuple(regions),
         )
         self.plane = self.spec.synthesize(self.developer)
         self.plane.migrator = _CustodyShardMigrator(self)

@@ -16,9 +16,12 @@ __all__ = [
     "NoLatency",
     "ConstantLatency",
     "UniformLatency",
+    "LatencyMap",
     "lan_profile",
     "wan_profile",
     "vsock_profile",
+    "geo_profile",
+    "GEO_REGIONS",
 ]
 
 
@@ -74,6 +77,58 @@ class UniformLatency(LatencyModel):
         return self._rng.uniform(self.low_s, self.high_s)
 
 
+class LatencyMap:
+    """A geo/WAN topology: named regions with per-pair latency models.
+
+    The map answers ``model_for(source_region, destination_region)``. Pairs
+    are *directed* — transatlantic routes are asymmetric in practice, and a
+    scenario that reorders only one direction of a link is a different
+    adversary than one that reorders both — so :meth:`set_pair` installs one
+    direction unless told otherwise. Unlisted pairs fall back to ``default``
+    (a generic WAN hop), and same-region traffic uses ``local`` (a LAN hop),
+    so a map only needs to name the routes it cares about.
+    """
+
+    def __init__(self, regions, local: LatencyModel | None = None,
+                 default: LatencyModel | None = None):
+        regions = tuple(regions)
+        if len(regions) != len(set(regions)) or not all(regions):
+            raise ValueError("regions must be unique, non-empty names")
+        self.regions = regions
+        self.local = local or lan_profile()
+        self.default = default or wan_profile()
+        self._pairs: dict[tuple[str, str], LatencyModel] = {}
+
+    def _check(self, region: str) -> None:
+        if region not in self.regions:
+            raise ValueError(f"unknown region {region!r} "
+                             f"(expected one of {self.regions})")
+
+    def set_pair(self, source: str, destination: str, model: LatencyModel,
+                 symmetric: bool = False) -> None:
+        """Assign a latency model to the ``source -> destination`` route."""
+        self._check(source)
+        self._check(destination)
+        if source == destination:
+            raise ValueError("same-region latency is the map's `local` model")
+        self._pairs[(source, destination)] = model
+        if symmetric:
+            self._pairs[(destination, source)] = model
+
+    def model_for(self, source: str, destination: str) -> LatencyModel:
+        """The latency model for one directed region pair."""
+        self._check(source)
+        self._check(destination)
+        if source == destination:
+            return self.local
+        return self._pairs.get((source, destination), self.default)
+
+    def rtt_s(self, a: str, b: str, size_bytes: int = 0) -> float:
+        """Round-trip time between two regions for a message of given size."""
+        return (self.model_for(a, b).sample(size_bytes)
+                + self.model_for(b, a).sample(size_bytes))
+
+
 def lan_profile() -> LatencyModel:
     """A same-region cloud link: 0.5 ms propagation, 10 Gbit/s bandwidth."""
     return ConstantLatency(0.0005, bandwidth_bps=10e9 / 8)
@@ -87,3 +142,29 @@ def wan_profile() -> LatencyModel:
 def vsock_profile() -> LatencyModel:
     """The host↔enclave vsock hop: tens of microseconds, high bandwidth."""
     return ConstantLatency(0.00005, bandwidth_bps=20e9 / 8)
+
+
+#: The canned three-region WAN map scenarios use (region names are what the
+#: coverage model and ``Scenario.regions`` reference). One-way propagation
+#: delays are deliberately asymmetric per direction so a delivery-time test
+#: can tell the two directions of a route apart.
+GEO_REGIONS = ("us-east", "eu-west", "ap-south")
+
+
+def geo_profile() -> LatencyMap:
+    """A three-region geo map with asymmetric cross-region routes.
+
+    us-east↔eu-west is the fast transatlantic pair (~38/42 ms one way),
+    us-east↔ap-south the long haul (~95/105 ms), eu-west↔ap-south in between
+    (~62/68 ms). All cross-region links run at 1 Gbit/s; same-region traffic
+    stays on the LAN profile.
+    """
+    wan_bandwidth = 1e9 / 8
+    geo = LatencyMap(GEO_REGIONS)
+    geo.set_pair("us-east", "eu-west", ConstantLatency(0.038, wan_bandwidth))
+    geo.set_pair("eu-west", "us-east", ConstantLatency(0.042, wan_bandwidth))
+    geo.set_pair("us-east", "ap-south", ConstantLatency(0.095, wan_bandwidth))
+    geo.set_pair("ap-south", "us-east", ConstantLatency(0.105, wan_bandwidth))
+    geo.set_pair("eu-west", "ap-south", ConstantLatency(0.062, wan_bandwidth))
+    geo.set_pair("ap-south", "eu-west", ConstantLatency(0.068, wan_bandwidth))
+    return geo

@@ -127,6 +127,7 @@ class ShardedService:
         self._spare_shards: dict[int, Deployment] = {}
         self._network: Network | None = None
         self._route_attempts = 3
+        self._latency_map = None  # LatencyMap applied while routed (geo/WAN)
         # domain_index (None = every domain) -> (per_request, per_byte); the
         # last model set for each slot, replayed onto shards grown later.
         self._service_times: dict[int | None, tuple[float, float]] = {}
@@ -359,6 +360,70 @@ class ShardedService:
             deployment.unroute()
         self._network = None
         self._route_attempts = 3
+        self._latency_map = None
+
+    def region_of(self, shard_index: int) -> str | None:
+        """The named region shard ``shard_index`` is placed in, per the spec's
+        ``regions`` rotation; ``None`` for single-region (or adopted) planes."""
+        if self.spec is None:
+            return None
+        return self.spec.shard_region(shard_index)
+
+    def _address_regions(self, shard_index: int) -> dict[str, str]:
+        # Where each of one shard's addresses physically sits: the domains'
+        # RPC endpoints live in the shard's region, but the shard's client
+        # endpoint is the *coordinator's* stub for talking to it — the
+        # coordinator (and the external client) sit in the primary region
+        # (``spec.regions[0]``), so every RPC to a remote-region shard pays
+        # the cross-region cost on its own client→domain link.
+        shard = self.shards[shard_index]
+        region = self.region_of(shard_index)
+        primary = self.spec.regions[0]
+        addresses = {domain.domain_id: region for domain in shard.domains}
+        addresses[f"{shard.name}-client"] = primary
+        return addresses
+
+    def apply_latency_map(self, network: Network, latency_map) -> None:
+        """Charge cross-region links per a :class:`~repro.net.latency.LatencyMap`.
+
+        The coordinator and every client stub sit in the primary region
+        (``spec.regions[0]``); each shard's trust domains sit in the region
+        the spec's rotation places them in. Every address pair the map puts
+        in different regions gets its (directed, possibly asymmetric) model
+        installed on the network — so RPCs to a remote-region shard, and
+        migration traffic through it, run at WAN speed, while same-region
+        traffic keeps the network's default. Remembered so shards grown by a
+        live reshard join the same geography (:meth:`attach_shard`).
+        """
+        if self.spec is None or not self.spec.regions:
+            raise ServiceSpecError(
+                "apply_latency_map needs a spec with named regions")
+        self._latency_map = latency_map
+        for shard_index in range(len(self.shards)):
+            self._wire_shard_regions(network, shard_index)
+
+    def _wire_shard_regions(self, network: Network, shard_index: int) -> None:
+        latency_map = self._latency_map
+        if latency_map is None:
+            return
+        addresses = self._address_regions(shard_index)
+        for other_index in range(len(self.shards)):
+            if other_index == shard_index:
+                others = addresses
+            else:
+                others = self._address_regions(other_index)
+            for address, region in addresses.items():
+                for other, other_region in others.items():
+                    if address == other or region == other_region:
+                        continue
+                    network.set_link_latency(
+                        address, other,
+                        latency_map.model_for(region, other_region),
+                        symmetric=False)
+                    network.set_link_latency(
+                        other, address,
+                        latency_map.model_for(other_region, region),
+                        symmetric=False)
 
     def rpc_retry_total(self) -> int:
         """Total RPC retransmissions across all shards while routed."""
@@ -456,6 +521,9 @@ class ShardedService:
         if self._network is not None:
             deployment.route_via_network(self._network,
                                          attempts=self._route_attempts)
+            # A grown shard joins the fleet's geography: its links to every
+            # other-region shard get the same cross-region models.
+            self._wire_shard_regions(self._network, len(self.shards) - 1)
 
     def detach_shard(self, shard_index: int) -> Deployment:
         """Remove an evacuated tail shard from the plane (shrink retire step).

@@ -75,6 +75,13 @@ class ServiceSpec:
         service_times: per-domain-index overrides of the service time, as
             ``(domain_index, seconds)`` pairs.
         ring_vnodes: virtual nodes per shard on the consistent-hash ring.
+        regions: named regions shards are placed into, round-robin — shard
+            ``i`` lives in ``regions[i % len(regions)]`` (and so do shards a
+            live reshard grows later, so a grown fleet keeps the placement
+            policy). Empty means single-region (no placement). The names are
+            interpreted by a :class:`~repro.net.latency.LatencyMap` when the
+            plane is routed over a network (see
+            :meth:`~repro.service.sharded.ShardedService.apply_latency_map`).
     """
 
     name: str
@@ -89,8 +96,11 @@ class ServiceSpec:
     service_time_per_byte: float = 0.0
     service_times: tuple[tuple[int, float], ...] = ()
     ring_vnodes: int = 128
+    regions: tuple[str, ...] = ()
 
     def __post_init__(self):
+        if not all(isinstance(region, str) and region for region in self.regions):
+            raise ServiceSpecError("every region must be a non-empty name")
         if not self.name:
             raise ServiceSpecError("a service needs a non-empty name")
         if self.domains_per_shard < 1:
@@ -130,6 +140,14 @@ class ServiceSpec:
         if self.shard_count == 1 and shard_index == 0:
             return self.name
         return f"{self.name}-s{shard_index}"
+
+    def shard_region(self, shard_index: int) -> str | None:
+        """The named region shard ``shard_index`` is placed in (round-robin),
+        or ``None`` for a single-region spec. Indices past ``shard_count``
+        (shards a live reshard grows later) follow the same rotation."""
+        if not self.regions:
+            return None
+        return self.regions[shard_index % len(self.regions)]
 
     def ring_salt(self) -> bytes:
         """The domain-separation salt every ring for this service uses."""

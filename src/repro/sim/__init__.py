@@ -13,10 +13,12 @@ here, because the engine depends on :mod:`repro.apps` while the applications
 themselves depend on this package's adversary helpers.
 """
 
+from repro.sim.coverage import CoverageRecorder, CoverageReport
 from repro.sim.metrics import LatencyStats, summarize
 from repro.sim.workload import MultiClientWorkload, WorkloadGenerator, WorkloadReport
 from repro.sim.adversary import DeveloperCompromise, ScheduledCompromise, VendorExploit
 from repro.sim.faults import (
+    AuditNow,
     CompromiseDomain,
     CrashParty,
     DelayFault,
@@ -30,6 +32,8 @@ from repro.sim.faults import (
     UnannouncedUpdate,
 )
 __all__ = [
+    "CoverageRecorder",
+    "CoverageReport",
     "LatencyStats",
     "summarize",
     "WorkloadGenerator",
@@ -49,4 +53,5 @@ __all__ = [
     "RecoverParty",
     "CompromiseDomain",
     "UnannouncedUpdate",
+    "AuditNow",
 ]

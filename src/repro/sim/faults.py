@@ -39,6 +39,7 @@ __all__ = [
     "ShrinkService",
     "FinishReshard",
     "AutoscaleEnabled",
+    "AuditNow",
     "FaultPlan",
 ]
 
@@ -65,6 +66,10 @@ class FaultRule:
     source: str | None = None
     destination: str | None = None
 
+    #: Coverage-model fault kind; subclasses override (plain class attribute,
+    #: not a dataclass field, so it never appears in constructor signatures).
+    kind = ""
+
     def decide(self, message: Message, rng: random.Random) -> FaultDecision | None:
         """Return the decision for ``message``, or ``None`` when not firing.
 
@@ -86,6 +91,8 @@ class FaultRule:
 class DropFault(FaultRule):
     """Lose matching messages with the given probability."""
 
+    kind = "drop"
+
     def _fire(self, rng: random.Random) -> FaultDecision:
         return FaultDecision(drop=True)
 
@@ -93,6 +100,8 @@ class DropFault(FaultRule):
 @dataclass(frozen=True)
 class DelayFault(FaultRule):
     """Add a fixed extra delay (plus optional uniform jitter) to matching messages."""
+
+    kind = "delay"
 
     delay_s: float = 0.01
     jitter_s: float = 0.0
@@ -113,6 +122,8 @@ class ReorderFault(FaultRule):
     classic adversarial reordering.
     """
 
+    kind = "reorder"
+
     max_delay_s: float = 0.05
 
     def _fire(self, rng: random.Random) -> FaultDecision:
@@ -122,6 +133,8 @@ class ReorderFault(FaultRule):
 @dataclass(frozen=True)
 class DuplicateFault(FaultRule):
     """Deliver matching messages more than once."""
+
+    kind = "duplicate"
 
     copies: int = 1
 
@@ -284,6 +297,22 @@ class AutoscaleEnabled(ScheduledEvent):
         ctx.enable_autoscaler(self.policy)
 
 
+@dataclass(frozen=True)
+class AuditNow(ScheduledEvent):
+    """Run a full transparency audit mid-run, at an operation boundary.
+
+    The end-of-run audit always happens; this event additionally probes the
+    fleet *while* scheduled faults are still live — the paper's auditors are
+    continuous, not post-hoc — so a compromise or partition can be observed
+    (or masked) by an audit that races the fault. The mid-run verdict and
+    evidence are folded into the report's detected kinds; only the end-of-run
+    audit decides ``audit_ok``.
+    """
+
+    def apply(self, ctx) -> None:
+        ctx.audit_now()
+
+
 # ---------------------------------------------------------------------------
 # The plan
 # ---------------------------------------------------------------------------
@@ -297,12 +326,22 @@ class FaultPlan:
         self.events = tuple(sorted(events, key=lambda e: e.at_op))
         self._rng = random.Random(seed)
 
-    def install(self, network: Network) -> None:
-        """Install one fault hook per rule; the network composes their decisions."""
+    def install(self, network: Network, recorder=None) -> None:
+        """Install one fault hook per rule; the network composes their decisions.
+
+        ``recorder`` (a :class:`~repro.sim.coverage.CoverageRecorder`) is told
+        about every rule that actually fires on a message, which is what turns
+        a probabilistic rule into observed coverage rather than assumed
+        coverage.
+        """
         for rule in self.rules:
-            network.add_fault_hook(
-                lambda message, _rule=rule: _rule.decide(message, self._rng)
-            )
+            def hook(message, _rule=rule):
+                decision = _rule.decide(message, self._rng)
+                if decision is not None and recorder is not None:
+                    recorder.note_rule(_rule)
+                return decision
+
+            network.add_fault_hook(hook)
 
     def events_at(self, op_index: int) -> list[ScheduledEvent]:
         """The scheduled events that fire before operation ``op_index``."""

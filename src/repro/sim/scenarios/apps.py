@@ -21,7 +21,7 @@ from repro.apps.threshold_sign import CustodyClient, CustodyDeployment
 from repro.core.client import AuditingClient
 from repro.crypto.bls import BlsThresholdScheme
 from repro.crypto.shamir import Share
-from repro.errors import ApplicationError, ThresholdError
+from repro.errors import ApplicationError, ReproError, ThresholdError
 from repro.sim.scenarios.spec import InvariantResult
 from repro.sim.workload import WorkloadGenerator
 
@@ -45,10 +45,12 @@ class ScenarioDriver:
 
     app_name = "?"
 
-    def __init__(self, seed: int, ops: int, shards: int = 1):
+    def __init__(self, seed: int, ops: int, shards: int = 1,
+                 regions: tuple = ()):
         self.seed = seed
         self.ops = ops
         self.shards = shards
+        self.regions = tuple(regions)
         self.workload = WorkloadGenerator(seed)
         self.deployment = None  # set by subclasses (the primary shard)
         self.plane = None  # set by subclasses (the sharded service plane)
@@ -94,10 +96,11 @@ class KeyBackupDriver(ScenarioDriver):
     app_name = "keybackup"
 
     def __init__(self, seed: int, ops: int, num_domains: int = 4, threshold: int = 3,
-                 shards: int = 1):
-        super().__init__(seed, ops, shards)
+                 shards: int = 1, regions: tuple = ()):
+        super().__init__(seed, ops, shards, regions)
         self.service = KeyBackupDeployment(num_domains=num_domains,
-                                           threshold=threshold, shards=shards)
+                                           threshold=threshold, shards=shards,
+                                           regions=self.regions)
         self.deployment = self.service.deployment
         self.plane = self.service.plane
         self.client = KeyBackupClient(self.service, audit_before_use=False)
@@ -176,11 +179,11 @@ class ThresholdSignDriver(ScenarioDriver):
     app_name = "threshold_sign"
 
     def __init__(self, seed: int, ops: int, threshold: int = 2, num_signers: int = 3,
-                 shards: int = 1):
-        super().__init__(seed, ops, shards)
+                 shards: int = 1, regions: tuple = ()):
+        super().__init__(seed, ops, shards, regions)
         self.service = CustodyDeployment(threshold=threshold, num_signers=num_signers,
                                          keygen_seed=seed.to_bytes(8, "big"),
-                                         shards=shards)
+                                         shards=shards, regions=self.regions)
         self.deployment = self.service.deployment
         self.plane = self.service.plane
         self.client = CustodyClient(self.service, audit_before_use=False)
@@ -271,11 +274,12 @@ class PrioDriver(ScenarioDriver):
     app_name = "prio"
 
     def __init__(self, seed: int, ops: int, num_servers: int = 3, max_value: int = 100,
-                 shards: int = 1):
-        super().__init__(seed, ops, shards)
+                 shards: int = 1, regions: tuple = ()):
+        super().__init__(seed, ops, shards, regions)
         self.service = PrivateAggregationDeployment(num_servers=num_servers,
                                                     max_value=max_value,
-                                                    shards=shards)
+                                                    shards=shards,
+                                                    regions=self.regions)
         self.deployment = self.service.deployment
         self.plane = self.service.plane
         # A fixed session tag keeps submission→shard routing (and therefore
@@ -320,14 +324,28 @@ class PrioDriver(ScenarioDriver):
 
     def finish(self, ctx) -> list[InvariantResult]:
         invariants = []
+        # Aggregation needs every server (the sum of all share vectors), so a
+        # compromised or otherwise refusing server is a *refusal*, never a
+        # silently wrong sum — the safe outcome in every branch below.
         if self.torn_submissions == 0 and self.failed_submissions == 0:
-            result = self.service.aggregate()
-            expected = sum(self.accepted_values) % FIELD_MODULUS
-            ok = result["sum"] == expected and result["submissions"] == len(self.accepted_values)
-            invariants.append(InvariantResult(
-                "aggregate-matches-accepted-submissions", ok,
-                f"{len(self.accepted_values)} submissions aggregated exactly",
-            ))
+            try:
+                result = self.service.aggregate()
+            except ApplicationError:
+                raise
+            except ReproError as exc:
+                invariants.append(InvariantResult(
+                    "aggregate-matches-accepted-submissions", True,
+                    "aggregation refused to answer rather than publish a sum "
+                    f"from an untrusted fleet ({type(exc).__name__})",
+                ))
+            else:
+                expected = sum(self.accepted_values) % FIELD_MODULUS
+                ok = (result["sum"] == expected
+                      and result["submissions"] == len(self.accepted_values))
+                invariants.append(InvariantResult(
+                    "aggregate-matches-accepted-submissions", ok,
+                    f"{len(self.accepted_values)} submissions aggregated exactly",
+                ))
         elif self.torn_submissions == 0:
             # Failed submissions may or may not have reached individual
             # servers (a lost response looks like a clean failure to the
@@ -336,11 +354,12 @@ class PrioDriver(ScenarioDriver):
             expected = sum(self.accepted_values) % FIELD_MODULUS
             try:
                 result = self.service.aggregate()
-            except ApplicationError:
+            except ReproError as exc:
                 invariants.append(InvariantResult(
                     "aggregate-matches-accepted-submissions", True,
-                    f"{self.failed_submissions} failed submissions left the "
-                    "servers disagreeing and aggregation refused to answer",
+                    f"{self.failed_submissions} failed submissions (or an "
+                    "untrusted server) left aggregation refusing to answer "
+                    f"({type(exc).__name__})",
                 ))
             else:
                 ok = (result["sum"] == expected
@@ -354,7 +373,7 @@ class PrioDriver(ScenarioDriver):
             # must detect that instead of publishing a silently wrong sum.
             try:
                 self.service.aggregate()
-            except ApplicationError:
+            except ReproError:
                 invariants.append(InvariantResult(
                     "torn-submissions-detected", True,
                     f"{self.torn_submissions} torn submissions made the servers "
@@ -383,13 +402,14 @@ class OdohDriver(ScenarioDriver):
 
     app_name = "odoh"
 
-    def __init__(self, seed: int, ops: int, shards: int = 1):
-        super().__init__(seed, ops, shards)
+    def __init__(self, seed: int, ops: int, shards: int = 1, regions: tuple = ()):
+        super().__init__(seed, ops, shards, regions)
         self._names = self.workload.dns_queries(ops)
         self.records = {
             name: f"10.{i // 250}.{i % 250}.7" for i, name in enumerate(self._names)
         }
-        self.service = ObliviousDnsDeployment(records=self.records, shards=shards)
+        self.service = ObliviousDnsDeployment(records=self.records, shards=shards,
+                                              regions=self.regions)
         self.deployment = self.service.deployment
         self.plane = self.service.plane
         self.client = ObliviousDnsClient(self.service, audit_before_use=False)
@@ -433,7 +453,14 @@ class OdohDriver(ScenarioDriver):
 
     def _conservation_invariant(self) -> InvariantResult:
         """Across the epoch boundary: every record resolvable on exactly one
-        shard, and resolvable through the full proxy path."""
+        shard, and resolvable through the full proxy path.
+
+        A record whose owning shard hosts a compromised domain is exempt
+        from the resolve probe: the breached TEE refusing service is the
+        fail-safe behavior the design demands, not a record the migration
+        lost (the record's presence in the resolver's state is still
+        checked above).
+        """
         holders: dict[str, list[int]] = {name: [] for name in self.records}
         for shard_index, shard in enumerate(self.plane.shards):
             state = (shard.domains[1].framework.application_state() or {})
@@ -443,9 +470,19 @@ class OdohDriver(ScenarioDriver):
         lost = sorted(name for name, found in holders.items() if not found)
         duplicated = sorted(name for name, found in holders.items()
                             if len(found) > 1)
+        breached_shards = {
+            shard_index
+            for shard_index, shard in enumerate(self.plane.shards)
+            if any(domain.enclave is not None and domain.enclave.memory.breached
+                   for domain in shard.domains)
+        }
         unresolvable = []
+        refused = 0
         if not lost and not duplicated:
             for name in sorted(self.records):
+                if holders[name][0] in breached_shards:
+                    refused += 1
+                    continue
                 try:
                     response = self.client.resolve(name)
                 except ReproError:
@@ -456,6 +493,9 @@ class OdohDriver(ScenarioDriver):
         ok = not lost and not duplicated and not unresolvable
         detail = (f"{len(self.records)} records each owned by exactly one "
                   "shard and resolvable after the epoch flip")
+        if refused:
+            detail += (f" ({refused} on compromised shards, whose TEEs "
+                       "fail safe and refuse to serve)")
         if lost:
             detail = f"records lost across the epoch boundary: {lost[:3]}"
         elif duplicated:
@@ -494,11 +534,13 @@ _DRIVERS = {
 }
 
 
-def make_driver(app: str, seed: int, ops: int, shards: int = 1) -> ScenarioDriver:
+def make_driver(app: str, seed: int, ops: int, shards: int = 1,
+                regions: tuple = ()) -> ScenarioDriver:
     """Instantiate the driver for ``app`` with a seeded workload of ``ops``
-    operations, deployed across ``shards`` service-plane shards."""
+    operations, deployed across ``shards`` service-plane shards (optionally
+    placed round-robin across ``regions``)."""
     try:
         factory = _DRIVERS[app]
     except KeyError:
         raise ValueError(f"no scenario driver for app {app!r}") from None
-    return factory(seed, ops, shards=shards)
+    return factory(seed, ops, shards=shards, regions=tuple(regions))

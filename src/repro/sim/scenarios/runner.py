@@ -24,10 +24,19 @@ import random
 
 from repro.core.package import CodePackage
 from repro.errors import ReproError, ReshardError
-from repro.net.latency import lan_profile
+from repro.net.latency import geo_profile, lan_profile
 from repro.net.transport import Network
 from repro.sim.adversary import ScheduledCompromise
-from repro.sim.faults import FaultPlan
+from repro.sim.coverage import CoverageRecorder
+from repro.sim.faults import (
+    CompromiseDomain,
+    CrashParty,
+    FaultPlan,
+    HealLink,
+    PartitionLink,
+    RecoverParty,
+    UnannouncedUpdate,
+)
 from repro.sim.metrics import summarize
 from repro.sim.scenarios.apps import make_driver
 from repro.sim.scenarios.spec import InvariantResult, Scenario, ScenarioReport
@@ -36,22 +45,34 @@ from repro.transparency.log import DigestLog
 __all__ = ["ScenarioContext", "ScenarioRunner"]
 
 
+class _NullPhase:
+    """Stand-in phase window for contexts built without a recorder."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
 class ScenarioContext:
     """Mutable state scheduled events act on during a run."""
 
     def __init__(self, network: Network, deployment, driver,
                  compromise_schedule: ScheduledCompromise, client_address: str,
-                 plane=None):
+                 plane=None, recorder: CoverageRecorder | None = None):
         self.network = network
         self.deployment = deployment
         self.driver = driver
         self.compromise_schedule = compromise_schedule
         self.client_address = client_address
         self.plane = plane
+        self.recorder = recorder
         self.current_op = 0
         self.unannounced_digests: list[bytes] = []
         self.reshard_reports: list = []
         self.reshard_errors: list[str] = []
+        self.midrun_audits: list = []  # (op_index, ok, kinds) per AuditNow
         self.autoscaler = None
         self._compromise_schedules = {0: compromise_schedule}
 
@@ -111,25 +132,74 @@ class ScenarioContext:
         """
         if self.plane is None:
             raise ValueError("scenario deployment has no service plane to reshard")
-        try:
-            self.reshard_reports.append(self.plane.reshard(new_shard_count))
-        except ReshardError as exc:
-            self.reshard_errors.append(str(exc))
-            report = getattr(exc, "report", None)
-            if report is not None:
-                self.reshard_reports.append(report)
+        with self._migration_phase():
+            try:
+                self.reshard_reports.append(self.plane.reshard(new_shard_count))
+            except ReshardError as exc:
+                self.reshard_errors.append(str(exc))
+                report = getattr(exc, "report", None)
+                if report is not None:
+                    self.reshard_reports.append(report)
+        self._note_placement()
 
     def finish_reshard(self) -> None:
         """Drain keys a faulted reshard left pinned to their old shards."""
         if self.plane is None:
             raise ValueError("scenario deployment has no service plane to reshard")
-        try:
-            self.reshard_reports.append(self.plane.finish_reshard())
-        except ReshardError as exc:
-            self.reshard_errors.append(str(exc))
-            report = getattr(exc, "report", None)
-            if report is not None:
-                self.reshard_reports.append(report)
+        with self._migration_phase():
+            try:
+                self.reshard_reports.append(self.plane.finish_reshard())
+            except ReshardError as exc:
+                self.reshard_errors.append(str(exc))
+                report = getattr(exc, "report", None)
+                if report is not None:
+                    self.reshard_reports.append(report)
+        self._note_placement()
+
+    def audit_now(self) -> None:
+        """Run a full transparency audit at this operation boundary.
+
+        Fired by :class:`~repro.sim.faults.AuditNow`: the probe races
+        whatever faults are live right now, and its evidence is folded into
+        the report's detected kinds (the end-of-run audit alone decides the
+        pass/fail verdict).
+        """
+        phase = (self.recorder.phase("mid-audit") if self.recorder is not None
+                 else _NullPhase())
+        with phase:
+            ok, kinds = self.driver.audit_outcome()
+        self.midrun_audits.append((self.current_op, ok, tuple(sorted(kinds))))
+
+    def _migration_phase(self):
+        if self.recorder is None:
+            return _NullPhase()
+        return self.recorder.phase("mid-migration")
+
+    def _note_placement(self) -> None:
+        if self.recorder is not None and self.plane is not None:
+            self.recorder.set_shards(self.plane.ring.shard_count)
+
+    def note_event(self, event) -> None:
+        """Tell the coverage recorder what an applied event did.
+
+        Stateful conditions (partition/crash/compromise — the unannounced
+        update is developer-side compromise) stay *active* for coverage
+        until the matching heal/recover fires; migration, audit, and
+        placement effects are recorded inside the ``ctx`` methods the event
+        called, so they need nothing here.
+        """
+        if self.recorder is None:
+            return
+        if isinstance(event, PartitionLink):
+            self.recorder.activate("partition")
+        elif isinstance(event, HealLink):
+            self.recorder.deactivate("partition")
+        elif isinstance(event, CrashParty):
+            self.recorder.activate("crash")
+        elif isinstance(event, RecoverParty):
+            self.recorder.deactivate("crash")
+        elif isinstance(event, (CompromiseDomain, UnannouncedUpdate)):
+            self.recorder.activate("compromise")
 
     def enable_autoscaler(self, policy=None) -> None:
         """Hand the shard count to the elastic control loop, mid-run.
@@ -192,18 +262,23 @@ class ScenarioRunner:
     def _run(self) -> ScenarioReport:
         scenario = self.scenario
         driver = make_driver(scenario.app, scenario.seed, scenario.ops,
-                             shards=scenario.shards)
+                             shards=scenario.shards, regions=scenario.regions)
         deployment = driver.deployment
         plane = driver.plane
         network = Network(clock=deployment.clock, default_latency=lan_profile())
         plane.route_via_network(network, attempts=scenario.rpc_attempts)
+        if scenario.regions:
+            plane.apply_latency_map(network, geo_profile())
         if scenario.service_time > 0:
             plane.set_service_time(scenario.service_time)
+        recorder = CoverageRecorder(scenario.app, layout=scenario.layout,
+                                    shards=scenario.shards)
         plan = FaultPlan(scenario.rules, scenario.events, seed=scenario.seed + 1)
-        plan.install(network)
+        plan.install(network, recorder=recorder)
         ctx = ScenarioContext(network, deployment, driver,
                               ScheduledCompromise(deployment),
-                              plane.client_address, plane=plane)
+                              plane.client_address, plane=plane,
+                              recorder=recorder)
 
         log_baseline = {
             domain.domain_id: domain.framework.log_export()
@@ -220,6 +295,7 @@ class ScenarioRunner:
                 ctx.current_op = op_index
                 for event in plan.events_at(op_index):
                     event.apply(ctx)
+                    ctx.note_event(event)
                 op_started = network.clock.now()
                 try:
                     driver.step(op_index)
@@ -248,9 +324,14 @@ class ScenarioRunner:
         report.final_shards = plane.ring.shard_count
 
         report.audit_ok, kinds = driver.audit_outcome()
+        # Mid-run AuditNow probes contribute evidence kinds (an auditor that
+        # caught the fault while it was live), never the final verdict.
+        for _op, _ok, midrun_kinds in ctx.midrun_audits:
+            kinds = set(kinds) | set(midrun_kinds)
         report.detected_kinds = tuple(sorted(kinds))
         report.invariants = self._generic_invariants(ctx, report, log_baseline)
         report.invariants.extend(driver.finish(ctx))
+        report.coverage_cells = frozenset(recorder.cells)
         return report
 
     def _run_concurrent(self, ctx: ScenarioContext, plan: FaultPlan, driver,
@@ -282,10 +363,13 @@ class ScenarioRunner:
             count_at_start = in_flight["count"]
             for event in plan.events_at(op_index):
                 event.apply(ctx)
+                ctx.note_event(event)
             if len(ctx.reshard_reports) > reshards_before:
                 report.in_flight_at_reshard = count_at_start
             in_flight["count"] += 1
             in_flight["max"] = max(in_flight["max"], in_flight["count"])
+            if ctx.recorder is not None and in_flight["count"] >= 2:
+                ctx.recorder.batch_active(True)
             op_started = network.clock.now()
             try:
                 yield from driver.op_task(ctx, op_index)
@@ -297,6 +381,8 @@ class ScenarioRunner:
             finally:
                 in_flight["count"] -= 1
                 progress["done"] += 1
+                if ctx.recorder is not None and in_flight["count"] < 2:
+                    ctx.recorder.batch_active(False)
             latencies.append(network.clock.now() - op_started)
 
         def rate_for(op_index: int) -> float:
@@ -325,7 +411,25 @@ class ScenarioRunner:
                     continue
                 window = latencies[window_start:]
                 window_start = len(latencies)
-                scaler.observe(p99_s=percentile(window, 0.99))
+                decisions_before = len(scaler.decisions)
+                shards_before = ctx.plane.ring.shard_count
+                # Per-sample observes enter the window without charging the
+                # active faults to it — otherwise the monitor's mere cadence
+                # would claim mid-autoscale coverage every run. Transitions
+                # the observe fires (and the migration traffic they push)
+                # are recorded under the phase.
+                phase = (ctx.recorder.phase("mid-autoscale",
+                                            record_active=False)
+                         if ctx.recorder is not None else _NullPhase())
+                with phase:
+                    scaler.observe(p99_s=percentile(window, 0.99))
+                if ctx.recorder is not None:
+                    fired = any(d.fired
+                                for d in scaler.decisions[decisions_before:])
+                    if fired:
+                        ctx.recorder.record_active_under("mid-autoscale")
+                    if ctx.plane.ring.shard_count != shards_before:
+                        ctx.recorder.set_shards(ctx.plane.ring.shard_count)
 
         if any(isinstance(event, AutoscaleEnabled)
                for event in scenario.events):

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.coverage import cell_id
 from repro.sim.metrics import LatencyStats
 
 __all__ = ["Scenario", "InvariantResult", "ScenarioReport"]
@@ -53,6 +54,10 @@ class Scenario:
         service_time: simulated seconds each trust domain spends per
             request (0 = infinitely fast servers); concurrent scenarios
             need it non-zero for queueing to be observable.
+        regions: optional multi-region placement — shard ``i`` lives in
+            ``regions[i % len(regions)]`` and cross-region traffic pays the
+            geo WAN latency map (:func:`repro.net.latency.geo_profile`).
+            Empty = the classic single-region LAN layout.
         description: one line for reports and the docs.
     """
 
@@ -71,7 +76,13 @@ class Scenario:
     arrival_rate: float = 0.0
     arrival_phases: tuple = ()
     service_time: float = 0.0
+    regions: tuple = ()
     description: str = ""
+
+    @property
+    def layout(self) -> str:
+        """Coverage-model region layout: ``geo`` when regions are set."""
+        return "geo" if self.regions else "single"
 
     def __post_init__(self):
         if self.app not in APPS:
@@ -86,6 +97,17 @@ class Scenario:
             raise ValueError("a concurrent scenario needs a positive arrival_rate")
         if self.service_time < 0:
             raise ValueError("service_time cannot be negative")
+        if self.regions:
+            from repro.net.latency import GEO_REGIONS
+
+            unknown = [region for region in self.regions
+                       if region not in GEO_REGIONS]
+            if unknown:
+                raise ValueError(f"unknown regions {unknown} (the geo map "
+                                 f"names {GEO_REGIONS})")
+            if len(set(self.regions)) < 2:
+                raise ValueError("a geo scenario needs at least two distinct "
+                                 "regions (omit regions for single-region)")
         if self.arrival_phases:
             if not self.concurrent:
                 raise ValueError("arrival_phases only shape concurrent scenarios")
@@ -137,6 +159,8 @@ class ScenarioReport:
     # Elastic control loop (populated when an AutoscaleEnabled event ran).
     autoscale_decisions: list = field(default_factory=list)  # decision dicts
     final_shards: int = 0
+    # Pairwise coverage cells this run touched (see repro.sim.coverage).
+    coverage_cells: frozenset = frozenset()
 
     @property
     def ops(self) -> int:
@@ -242,4 +266,7 @@ class ScenarioReport:
                                   in sorted(self.shard_queue_depth.items())},
             "autoscale_decisions": list(self.autoscale_decisions),
             "final_shards": self.final_shards,
+            "regions": list(self.scenario.regions),
+            "coverage_cells": sorted(cell_id(cell)
+                                     for cell in self.coverage_cells),
         }

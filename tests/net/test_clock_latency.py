@@ -4,9 +4,12 @@ import pytest
 
 from repro.net.clock import SimClock
 from repro.net.latency import (
+    GEO_REGIONS,
     ConstantLatency,
+    LatencyMap,
     NoLatency,
     UniformLatency,
+    geo_profile,
     lan_profile,
     vsock_profile,
     wan_profile,
@@ -85,3 +88,75 @@ class TestLatencyModels:
 
         with pytest.raises(NotImplementedError):
             LatencyModel().sample(1)
+
+
+class TestLatencyMap:
+    def test_region_names_must_be_unique_and_non_empty(self):
+        with pytest.raises(ValueError):
+            LatencyMap(("us-east", "us-east"))
+        with pytest.raises(ValueError):
+            LatencyMap(("us-east", ""))
+
+    def test_pairs_are_directed_by_default(self):
+        geo = LatencyMap(("a", "b"))
+        fast = ConstantLatency(0.010)
+        geo.set_pair("a", "b", fast)
+        assert geo.model_for("a", "b") is fast
+        # The reverse direction was not installed: generic WAN fallback.
+        assert geo.model_for("b", "a") is geo.default
+
+    def test_symmetric_pair_installs_both_directions(self):
+        geo = LatencyMap(("a", "b"))
+        fast = ConstantLatency(0.010)
+        geo.set_pair("a", "b", fast, symmetric=True)
+        assert geo.model_for("b", "a") is fast
+
+    def test_same_region_traffic_uses_the_local_model(self):
+        geo = LatencyMap(("a", "b"))
+        assert geo.model_for("a", "a") is geo.local
+        with pytest.raises(ValueError):
+            geo.set_pair("a", "a", ConstantLatency(0.010))
+
+    def test_unknown_regions_are_rejected(self):
+        geo = LatencyMap(("a", "b"))
+        with pytest.raises(ValueError):
+            geo.model_for("a", "atlantis")
+        with pytest.raises(ValueError):
+            geo.set_pair("atlantis", "a", ConstantLatency(0.010))
+
+    def test_rtt_sums_both_directions(self):
+        geo = LatencyMap(("a", "b"))
+        geo.set_pair("a", "b", ConstantLatency(0.010))
+        geo.set_pair("b", "a", ConstantLatency(0.030))
+        assert geo.rtt_s("a", "b") == pytest.approx(0.040)
+        assert geo.rtt_s("a", "b") == geo.rtt_s("b", "a")
+
+
+class TestGeoProfile:
+    def test_regions(self):
+        assert geo_profile().regions == GEO_REGIONS == (
+            "us-east", "eu-west", "ap-south")
+
+    def test_transatlantic_delivery_times_are_asymmetric(self):
+        geo = geo_profile()
+        assert geo.model_for("us-east", "eu-west").sample(0) == pytest.approx(0.038)
+        assert geo.model_for("eu-west", "us-east").sample(0) == pytest.approx(0.042)
+        assert geo.rtt_s("us-east", "eu-west") == pytest.approx(0.080)
+
+    def test_long_haul_delivery_times(self):
+        geo = geo_profile()
+        assert geo.model_for("us-east", "ap-south").sample(0) == pytest.approx(0.095)
+        assert geo.model_for("ap-south", "us-east").sample(0) == pytest.approx(0.105)
+        assert geo.model_for("eu-west", "ap-south").sample(0) == pytest.approx(0.062)
+        assert geo.model_for("ap-south", "eu-west").sample(0) == pytest.approx(0.068)
+
+    def test_cross_region_bandwidth_charges_serialization(self):
+        # 1 MB over the 1 Gbit/s transatlantic route adds 8 ms on the wire.
+        model = geo_profile().model_for("us-east", "eu-west")
+        assert model.sample(1_000_000) == pytest.approx(0.038 + 0.008)
+
+    def test_same_region_stays_on_the_lan(self):
+        geo = geo_profile()
+        lan = geo.model_for("us-east", "us-east").sample(1000)
+        assert lan == pytest.approx(lan_profile().sample(1000))
+        assert lan < geo.model_for("us-east", "eu-west").sample(1000)
