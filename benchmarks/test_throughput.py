@@ -123,6 +123,15 @@ ELASTIC_POLICY_KNOBS = dict(
     min_shards=2, max_shards=4, cooldown_s=0.3,
     breach_streak=2, clear_streak=4, sample_interval_s=0.1)
 
+# The audit series: epoch-transparency verification cost per client. Costs
+# are the auditor's deterministic unit accounting (signature checks + hash
+# evaluations), not wall time, so the series is identical in smoke and full
+# mode and across machines. Client counts are hypothetical fleet sizes the
+# cost model is evaluated at — no per-client work is simulated.
+AUDIT_APP = "keybackup"
+AUDIT_SEED = 2150
+AUDIT_CLIENTS = (1, 10, 100, 1000)
+
 OUTPUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            os.pardir, "BENCH_throughput.json")
 
@@ -131,6 +140,7 @@ _SHARDED: dict[str, dict] = {}
 _RESHARD: dict[str, dict] = {}
 _CONCURRENT: dict[str, dict] = {}
 _ELASTIC: dict[str, dict] = {}
+_AUDIT: dict[str, dict] = {}
 
 
 def _measure(app: str, batched: bool, shards: int = 1,
@@ -358,6 +368,76 @@ def test_elastic_autoscaler_round_trip():
     assert report.final_shards == ELASTIC_SHARDS
 
 
+def test_audit_checkpoint_cost_sublinear():
+    """Checkpointed epoch auditing must be O(1) per client past the first.
+
+    A fleet of n clients each verifying every epoch bundle from scratch pays
+    n times the full verification cost. With auditor checkpoints one auditor
+    pays the full cost once, signs a checkpoint over the verified log head,
+    and every client verifies a single signature — so the amortized
+    per-client cost falls toward the signature floor as the fleet grows.
+    Costs are the auditor's deterministic unit accounting (signature checks
+    plus hash evaluations), not wall time, so the series is identical in
+    smoke and full mode; the client counts are fleet sizes the cost model is
+    evaluated at, not simulated clients.
+    """
+    from repro.apps.keybackup import KeyBackupClient, KeyBackupDeployment
+    from repro.crypto import rng as crypto_rng
+    from repro.transparency.auditor import (
+        SIGNATURE_COST,
+        AuditorService,
+        verify_checkpoint,
+    )
+    from repro.transparency.epochs import EpochPublisher
+
+    with crypto_rng.deterministic(AUDIT_SEED):
+        service = KeyBackupDeployment(shards=2)
+        client = KeyBackupClient(service, audit_before_use=False)
+        for index in range(8):
+            client.backup_key(f"bench-user-{index}", 4000 + index)
+        publisher = EpochPublisher(service.plane.spec.name)
+        service.plane.epoch_publisher = publisher
+        service.reshard(4)
+        service.reshard(2)
+
+    auditor = AuditorService(publisher.coordinator_key, publisher.log_key)
+    full_cost = 0
+    for artifact in publisher.artifacts:
+        verdict = auditor.verify(artifact)
+        assert verdict.ok, verdict.failing()
+        full_cost += verdict.cost_units
+    checkpoint = auditor.checkpoint()
+    assert checkpoint is not None
+    assert verify_checkpoint(checkpoint, auditor.public_key)
+
+    series = []
+    for clients in AUDIT_CLIENTS:
+        checkpointed = full_cost + clients * SIGNATURE_COST
+        series.append({
+            "clients": clients,
+            "naive_cost_units": clients * full_cost,
+            "checkpointed_cost_units": checkpointed,
+            "per_client_cost_units": round(checkpointed / clients, 2),
+        })
+    per_client = [entry["per_client_cost_units"] for entry in series]
+    sublinear = all(later < earlier
+                    for earlier, later in zip(per_client, per_client[1:]))
+    _AUDIT[AUDIT_APP] = {
+        "seed": AUDIT_SEED,
+        "epochs": len(publisher.artifacts),
+        "full_verification_cost_units": full_cost,
+        "checkpoint_cost_units": SIGNATURE_COST,
+        "series": series,
+        "sublinear": sublinear,
+    }
+    assert sublinear, per_client
+    largest = series[-1]
+    assert largest["checkpointed_cost_units"] * 10 <= largest["naive_cost_units"], (
+        f"checkpointing saves less than 10x at {largest['clients']} clients: "
+        f"{series}"
+    )
+
+
 def test_write_throughput_baseline():
     """Aggregate the per-app results into BENCH_throughput.json."""
     missing = [app for app in OPS if app not in _RESULTS]
@@ -366,6 +446,8 @@ def test_write_throughput_baseline():
     missing += [app for app in CONCURRENT_APPS if app not in _CONCURRENT]
     if ELASTIC_APP not in _ELASTIC:
         missing.append(ELASTIC_APP + " (elastic)")
+    if AUDIT_APP not in _AUDIT:
+        missing.append(AUDIT_APP + " (audit)")
     if missing:
         pytest.skip(f"per-app measurements did not run for {missing}")
     fast_apps = sorted(app for app, result in _RESULTS.items()
@@ -396,6 +478,9 @@ def test_write_throughput_baseline():
             app for app, result in _ELASTIC.items()
             if [f["action"] for f in result["fired"]] == ["grow", "shrink"]
             and result["final_shards"] == result["shards"]),
+        "audit": _AUDIT,
+        "audit_checkpoint_sublinear": bool(_AUDIT) and all(
+            result["sublinear"] for result in _AUDIT.values()),
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
@@ -416,4 +501,7 @@ def test_write_throughput_baseline():
         f"post-reshard scaling below {RESHARD_MIN_SCALING}x for "
         f"{ set(RESHARD_APPS) - set(reshard_apps) }: "
         f"{ {app: result['post_reshard_scaling'] for app, result in _RESHARD.items()} }"
+    )
+    assert baseline["audit_checkpoint_sublinear"], (
+        f"checkpointed audit cost not sublinear in clients: {_AUDIT}"
     )

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from repro.crypto.hashes import sha256
 from repro.errors import InclusionProofError, LogConsistencyError
 
-__all__ = ["MerkleTree", "InclusionProof", "ConsistencyProof", "leaf_hash", "node_hash"]
+__all__ = ["MerkleTree", "InclusionProof", "BatchInclusionProof", "ConsistencyProof",
+           "leaf_hash", "node_hash"]
 
 _LEAF_PREFIX = b"\x00"
 _NODE_PREFIX = b"\x01"
@@ -84,6 +85,76 @@ class InclusionProof:
             int(data["leaf_index"]),
             int(data["tree_size"]),
             tuple(bytes.fromhex(h) for h in data["audit_path"]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchInclusionProof:
+    """One proof that *several* leaves are included in the same tree.
+
+    Many clients sharing an audit checkpoint all need inclusion proofs against
+    the same signed tree head. Issuing one :class:`InclusionProof` per leaf
+    repeats every shared interior node once per client; this proof instead
+    supplies each uncovered subtree root exactly once, so the proof size (and
+    the verification work) grows with the *frontier* of the target set, not
+    with ``len(targets) * log(tree_size)``.
+
+    ``path`` lists the roots of the maximal subtrees containing no target
+    leaf, in the deterministic order of an in-order walk of the RFC 6962
+    recursion (left subtree before right). Verification replays the same walk,
+    consuming one path element per target-free subtree and recomputing every
+    subtree that contains a target from the claimed leaf data.
+    """
+
+    leaf_indices: tuple[int, ...]
+    tree_size: int
+    path: tuple[bytes, ...]
+
+    def verify(self, leaves: tuple[bytes, ...], root: bytes) -> bool:
+        """Verify that ``leaves`` (aligned with ``leaf_indices``) are all included."""
+        indices = self.leaf_indices
+        if len(leaves) != len(indices) or not indices:
+            return False
+        if list(indices) != sorted(set(indices)):
+            return False
+        if not (0 <= indices[0] and indices[-1] < self.tree_size):
+            return False
+        by_index = {index: bytes(leaf) for index, leaf in zip(indices, leaves)}
+        path = iter(self.path)
+        try:
+            computed = self._walk(by_index, 0, self.tree_size, path)
+        except StopIteration:
+            return False  # proof path too short for this target set
+        if next(path, None) is not None:
+            return False  # unconsumed path elements: proof/target mismatch
+        return computed == root
+
+    @classmethod
+    def _walk(cls, by_index: dict, start: int, size: int, path) -> bytes:
+        if not any(start <= index < start + size for index in by_index):
+            return next(path)
+        if size == 1:
+            return leaf_hash(by_index[start])
+        mid = _largest_power_of_two_less_than(size)
+        left = cls._walk(by_index, start, mid, path)
+        right = cls._walk(by_index, start + mid, size - mid, path)
+        return node_hash(left, right)
+
+    def to_dict(self) -> dict:
+        """Plain-data representation (hex-encoded path) for wire transfer."""
+        return {
+            "leaf_indices": list(self.leaf_indices),
+            "tree_size": self.tree_size,
+            "path": [h.hex() for h in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchInclusionProof":
+        """Rebuild a proof from :meth:`to_dict` output."""
+        return cls(
+            tuple(int(i) for i in data["leaf_indices"]),
+            int(data["tree_size"]),
+            tuple(bytes.fromhex(h) for h in data["path"]),
         )
 
 
@@ -234,6 +305,33 @@ class MerkleTree:
             path = self._inclusion_path(index - mid, start + mid, size - mid)
             path.append(self._subtree_root(start, mid))
         return path
+
+    def batch_inclusion_proof(self, leaf_indices, tree_size: int | None = None) -> BatchInclusionProof:
+        """Build one shared proof covering every leaf in ``leaf_indices``.
+
+        The path contains the root of each maximal target-free subtree exactly
+        once, in the in-order position where verification will consume it.
+        """
+        if tree_size is None:
+            tree_size = self.size
+        indices = sorted(set(int(i) for i in leaf_indices))
+        if not indices:
+            raise InclusionProofError("batch inclusion proof needs at least one leaf")
+        if not (0 <= indices[0] and indices[-1] < tree_size <= self.size):
+            raise InclusionProofError("leaf index or tree size out of range")
+        path: list[bytes] = []
+        self._batch_path(indices, 0, tree_size, path)
+        return BatchInclusionProof(tuple(indices), tree_size, tuple(path))
+
+    def _batch_path(self, indices: list[int], start: int, size: int, path: list[bytes]) -> None:
+        if not any(start <= index < start + size for index in indices):
+            path.append(self._subtree_root(start, size))
+            return
+        if size == 1:
+            return  # the verifier recomputes target leaves from their data
+        mid = _largest_power_of_two_less_than(size)
+        self._batch_path(indices, start, mid, path)
+        self._batch_path(indices, start + mid, size - mid, path)
 
     def consistency_proof(self, old_size: int, new_size: int | None = None) -> ConsistencyProof:
         """Build a consistency proof between two tree sizes (RFC 6962 §2.1.2)."""

@@ -36,6 +36,7 @@ __all__ = [
     "LogConsistencyError",
     "InclusionProofError",
     "SplitViewError",
+    "EpochBundleError",
     "FrameworkError",
     "UpdateRejectedError",
     "UnauthorizedUpdateError",
@@ -185,6 +186,16 @@ class InclusionProofError(LogError):
 
 class SplitViewError(LogError):
     """Two views of the same log are mutually inconsistent (equivocation)."""
+
+
+class EpochBundleError(LogError):
+    """An epoch transparency bundle or its artifact is structurally malformed.
+
+    Raised while *parsing* an untrusted artifact (missing fields, bad hex,
+    negative counts). Verification failures of a well-formed artifact are not
+    exceptions — they come back as failing checks in a
+    :class:`repro.transparency.auditor.VerificationReport`.
+    """
 
 
 # ---------------------------------------------------------------------------

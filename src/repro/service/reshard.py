@@ -150,6 +150,7 @@ class ReshardReport:
     failed_keys: dict = field(default_factory=dict)  # key -> error string
     stale_keys: list = field(default_factory=list)  # moved, source cleanup pending
     sim_seconds: float = 0.0
+    bundle = None  # EpochArtifact when the plane carries an epoch_publisher
 
     @property
     def ok(self) -> bool:
@@ -409,6 +410,14 @@ class ReshardCoordinator:
                            for index in plane.draining_shards()]
         report.epoch = plane.epoch
         report.sim_seconds = plane.clock.now() - started
+        # Epoch transparency: the commit happened (even on a faulted
+        # migration the epoch flips with the leftovers pinned), so the
+        # bundle must be published either way — an epoch without an
+        # artifact is exactly what the auditor exists to prevent.
+        if getattr(plane, "epoch_publisher", None) is not None:
+            report.bundle = plane.epoch_publisher.publish_epoch(
+                plane, report, moves=moves, moved_keys=moved_keys,
+                kind="reshard")
         if migration_error is not None:
             error = ReshardError(
                 f"migration failed after moving {len(moved_keys)} keys "
@@ -455,6 +464,7 @@ class ReshardCoordinator:
         # overrides/stale entries are only cleared on success) and the error
         # surfaces as a ReshardError carrying the partial report.
         drain_error: Exception | None = None
+        moved_keys: set = set()
         for (source, target), keys in sorted(moves.items()):
             try:
                 outcome = migrator.migrate(plane, source, target, keys)
@@ -465,6 +475,7 @@ class ReshardCoordinator:
                 continue
             report.migrated_keys += len(outcome.moved)
             report.records_moved += outcome.records_moved
+            moved_keys.update(outcome.moved)
             for key in outcome.moved:
                 plane.clear_override(key)
             for key in outcome.stale:
@@ -512,6 +523,15 @@ class ReshardCoordinator:
                            for index in plane.draining_shards()]
         report.new_shard_count = len(plane.shards)
         report.sim_seconds = plane.clock.now() - started
+        # A drain pass is an epoch-relevant action too: pinned keys moved to
+        # their ring owners and draining shards may have detached, so it
+        # publishes its own bundle (kind="drain", ring width unchanged).
+        if getattr(plane, "epoch_publisher", None) is not None and (
+                report.migrated_keys or report.records_moved
+                or report.retired or report.stale_keys):
+            report.bundle = plane.epoch_publisher.publish_epoch(
+                plane, report, moves=moves, moved_keys=moved_keys,
+                kind="drain")
         if drain_error is not None:
             error = ReshardError(f"drain failed: {drain_error}")
             error.report = report

@@ -113,6 +113,11 @@ class ShardedService:
         # silently misrouted. ``migrator`` is the app-provided state mover.
         self.epoch = 0
         self.migrator = None
+        # When set (repro.transparency.epochs.EpochPublisher), every epoch
+        # commit — and every finish_reshard drain pass — signs a
+        # self-contained transparency bundle and appends it to the
+        # publisher's epoch log for standalone auditors to verify.
+        self.epoch_publisher = None
         self._moving: frozenset[bytes] = frozenset()
         # canonical key bytes -> (shard index still holding the records,
         # the key in its original form, for retrying the move later)

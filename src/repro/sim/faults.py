@@ -40,6 +40,8 @@ __all__ = [
     "FinishReshard",
     "AutoscaleEnabled",
     "AuditNow",
+    "AuditEpoch",
+    "ForgeEpochDigest",
     "FaultPlan",
 ]
 
@@ -311,6 +313,37 @@ class AuditNow(ScheduledEvent):
 
     def apply(self, ctx) -> None:
         ctx.audit_now()
+
+
+@dataclass(frozen=True)
+class AuditEpoch(ScheduledEvent):
+    """Fetch and verify every published epoch bundle, over the network.
+
+    Unlike :class:`AuditNow` (an in-process probe of the fleet), this drives
+    the standalone :class:`~repro.transparency.auditor.AuditorService` the
+    way a real third party would: each :class:`~repro.transparency.epochs.
+    EpochArtifact` is fetched from the coordinator's bundle endpoint over
+    the simulated (possibly faulty) network and verified from the artifact
+    alone. A bundle the network withholds is recorded as unfetched, not a
+    crash — the end-of-run invariant still verifies everything in-process.
+    """
+
+    def apply(self, ctx) -> None:
+        ctx.audit_epochs()
+
+
+@dataclass(frozen=True)
+class ForgeEpochDigest(ScheduledEvent):
+    """A compromised coordinator rewrites a migrator digest and republishes.
+
+    The forged bundle carries the coordinator's genuine signature (the
+    attacker *is* the coordinator) and is appended to the log like any
+    honest epoch — so signature and inclusion checks pass, and only the
+    auditor's digest-conservation check can catch the lie.
+    """
+
+    def apply(self, ctx) -> None:
+        ctx.forge_epoch()
 
 
 # ---------------------------------------------------------------------------

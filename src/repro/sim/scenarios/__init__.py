@@ -18,12 +18,14 @@ invariants:
 from repro.sim.scenarios.spec import InvariantResult, Scenario, ScenarioReport
 from repro.sim.scenarios.runner import ScenarioContext, ScenarioRunner
 from repro.sim.scenarios.matrix import (
+    audit_matrix,
     base_matrix,
     default_matrix,
     elastic_matrix,
     reshard_matrix,
     sharded_matrix,
 )
+from repro.sim.scenarios.pinned import pinned_matrix
 from repro.sim.scenarios.apps import make_driver
 
 __all__ = [
@@ -32,10 +34,12 @@ __all__ = [
     "ScenarioReport",
     "ScenarioContext",
     "ScenarioRunner",
+    "audit_matrix",
     "base_matrix",
     "default_matrix",
     "elastic_matrix",
     "sharded_matrix",
     "reshard_matrix",
+    "pinned_matrix",
     "make_driver",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.service.autoscaler import AutoscalerPolicy
 from repro.sim.faults import (
+    AuditEpoch,
     AutoscaleEnabled,
     CompromiseDomain,
     CrashParty,
@@ -33,6 +34,7 @@ from repro.sim.faults import (
     DropFault,
     DuplicateFault,
     FinishReshard,
+    ForgeEpochDigest,
     HealLink,
     PartitionLink,
     RecoverParty,
@@ -44,7 +46,7 @@ from repro.sim.faults import (
 from repro.sim.scenarios.spec import Scenario
 
 __all__ = ["default_matrix", "base_matrix", "sharded_matrix", "reshard_matrix",
-           "elastic_matrix"]
+           "elastic_matrix", "audit_matrix"]
 
 # The autoscaler policy the elastic scenarios share: thresholds sized for
 # millisecond-scale simulated ops, a short cooldown so a single run can both
@@ -349,8 +351,71 @@ def elastic_matrix(seed: int = 2022) -> list[Scenario]:
     ]
 
 
+def audit_matrix(seed: int = 2022) -> list[Scenario]:
+    """Epoch transparency: every transition leaves a bundle a standalone
+    auditor verifies from the artifact alone.
+
+    The grow/shrink families prove transitions *commit*; this family proves
+    they leave **evidence**: each epoch's signed bundle (ring diff, migrator
+    digests, attestation set, spare-pool delta) is fetched over the — possibly
+    adversarial — network and verified by an auditor holding nothing but two
+    public keys. The forged scenario is the attack the subsystem exists for:
+    a compromised coordinator rewrites a migrator digest, re-signs, and
+    republishes, and the auditor provably rejects exactly that bundle on
+    digest conservation while every honest epoch still verifies
+    (``epoch-bundles-verify`` in every scenario here).
+    """
+    return [
+        Scenario(
+            name="keybackup-epoch-audit-live", app="keybackup",
+            ops=8, shards=2, seed=seed + 50,
+            events=(ReshardService(at_op=4, shards=4),
+                    AuditEpoch(at_op=6)),
+            description="control: a clean 2->4 epoch publishes its bundle; "
+                        "the standalone auditor fetches and verifies it "
+                        "from the artifact alone",
+        ),
+        Scenario(
+            name="keybackup-forged-epoch-detected", app="keybackup",
+            ops=8, shards=2, seed=seed + 51,
+            events=(ReshardService(at_op=4, shards=4),
+                    ForgeEpochDigest(at_op=5),
+                    AuditEpoch(at_op=6)),
+            expect_detection_kinds=("forged-epoch",),
+            description="a compromised coordinator rewrites a migrator "
+                        "digest and republishes under its genuine key; the "
+                        "auditor rejects exactly that bundle on digest "
+                        "conservation while the honest epoch verifies",
+        ),
+        Scenario(
+            name="odoh-epoch-audit-lossy-fetch", app="odoh",
+            ops=8, shards=2, seed=seed + 52,
+            rules=(DropFault(probability=0.15),), rpc_attempts=4,
+            min_success_rate=0.6,
+            events=(ReshardService(at_op=3, shards=4),
+                    AuditEpoch(at_op=5)),
+            description="bundle fetches ride the same 15%-loss network as "
+                        "requests: at-most-once retries carry the artifact "
+                        "through, and verification is unaffected by what "
+                        "the wire did to it",
+        ),
+        Scenario(
+            name="keybackup-shrink-epoch-audit", app="keybackup",
+            ops=10, shards=4, seed=seed + 53,
+            events=(ShrinkService(at_op=4, shards=2),
+                    AuditEpoch(at_op=7)),
+            description="a 4->2 shrink's bundle proves the evacuation: "
+                        "every retired shard's records route to their "
+                        "digest's target under the committed ring",
+        ),
+    ]
+
+
 def default_matrix(seed: int = 2022) -> list[Scenario]:
-    """The full sweep: base taxonomy, sharded variants, live reshards, and
-    the elastic control plane."""
+    """The full sweep: base taxonomy, sharded variants, live reshards, the
+    elastic control plane, epoch transparency audits, and the pinned
+    reproducers promoted from the synthesis sweep."""
+    from repro.sim.scenarios.pinned import pinned_matrix
+
     return (base_matrix(seed) + sharded_matrix(seed) + reshard_matrix(seed)
-            + elastic_matrix(seed))
+            + elastic_matrix(seed) + audit_matrix(seed) + pinned_matrix())

@@ -60,7 +60,8 @@ class ScenarioContext:
 
     def __init__(self, network: Network, deployment, driver,
                  compromise_schedule: ScheduledCompromise, client_address: str,
-                 plane=None, recorder: CoverageRecorder | None = None):
+                 plane=None, recorder: CoverageRecorder | None = None,
+                 rpc_attempts: int = 3):
         self.network = network
         self.deployment = deployment
         self.driver = driver
@@ -68,13 +69,17 @@ class ScenarioContext:
         self.client_address = client_address
         self.plane = plane
         self.recorder = recorder
+        self.rpc_attempts = rpc_attempts
         self.current_op = 0
         self.unannounced_digests: list[bytes] = []
         self.reshard_reports: list = []
         self.reshard_errors: list[str] = []
         self.midrun_audits: list = []  # (op_index, ok, kinds) per AuditNow
+        self.epoch_audits: list = []  # dict per bundle per AuditEpoch
+        self.forged_epochs: list[int] = []  # artifact indices a forge rewrote
         self.autoscaler = None
         self._compromise_schedules = {0: compromise_schedule}
+        self._epoch_rpc = None
 
     def resolve(self, party: str) -> str:
         """Map a scenario party name to a network address.
@@ -169,6 +174,98 @@ class ScenarioContext:
         with phase:
             ok, kinds = self.driver.audit_outcome()
         self.midrun_audits.append((self.current_op, ok, tuple(sorted(kinds))))
+
+    def audit_epochs(self) -> None:
+        """Fetch and verify every published epoch bundle over the network.
+
+        Fired by :class:`~repro.sim.faults.AuditEpoch`: the standalone
+        auditor — its own trust domain, holding only the coordinator's and
+        log's public keys — pulls each :class:`~repro.transparency.epochs.
+        EpochArtifact` from the coordinator's bundle endpoint through the
+        live fault rules and verifies it from the artifact alone. A fetch
+        the network defeats is recorded (``fetched=False``), never raised;
+        the end-of-run ``epoch-bundles-verify`` invariant independently
+        verifies everything in-process.
+        """
+        from repro.errors import RpcError, TimeoutError
+        from repro.transparency.auditor import AuditorService
+
+        publisher = getattr(self.plane, "epoch_publisher", None)
+        if publisher is None:
+            raise ValueError("scenario deployment publishes no epoch bundles")
+        server, client = self._epoch_transport(publisher)
+        phase = (self.recorder.phase("mid-audit") if self.recorder is not None
+                 else _NullPhase())
+        with phase:
+            auditor = AuditorService(publisher.coordinator_key,
+                                     publisher.log_key)
+            try:
+                count = int(client.call_with_retry("get_count", None,
+                                                   attempts=self.rpc_attempts))
+            except (RpcError, TimeoutError):
+                # The network defeated even the enumeration; record the
+                # starved probe so the report shows the audit ran dry.
+                self.epoch_audits.append({"op": self.current_op, "index": -1,
+                                          "forged": False, "fetched": False,
+                                          "ok": False, "failing": []})
+                return
+            for index in range(count):
+                entry = {"op": self.current_op, "index": index,
+                         "forged": index in self.forged_epochs}
+                try:
+                    payload = client.call_with_retry(
+                        "get_epoch", {"index": index},
+                        attempts=self.rpc_attempts)
+                except (RpcError, TimeoutError):
+                    entry.update(fetched=False, ok=False, failing=[])
+                else:
+                    verdict = auditor.verify(payload)
+                    entry.update(fetched=True, ok=verdict.ok,
+                                 failing=verdict.failing(),
+                                 epoch=verdict.epoch, kind=verdict.kind)
+                self.epoch_audits.append(entry)
+
+    def forge_epoch(self) -> None:
+        """Rewrite the latest bundle's first migrator digest and republish.
+
+        Fired by :class:`~repro.sim.faults.ForgeEpochDigest`: the
+        compromised-coordinator attack the auditor must provably catch. The
+        forged artifact's index is remembered so the invariants can demand
+        its rejection (and name the digest-conservation check) while every
+        honest bundle still verifies.
+        """
+        from repro.transparency.epochs import forge_migration_digest
+
+        publisher = getattr(self.plane, "epoch_publisher", None)
+        if publisher is None:
+            raise ValueError("scenario deployment publishes no epoch bundles")
+        forge_migration_digest(publisher)
+        self.forged_epochs.append(len(publisher.artifacts) - 1)
+
+    def _epoch_transport(self, publisher):
+        """The bundle endpoint (coordinator side) and the auditor's client.
+
+        Built once per run: the coordinator serves ``get_epoch`` from its
+        artifact list as plain data, and the auditor calls it from its own
+        network address — bundle fetches ride the same adversarial send
+        path, retries, and at-most-once dedup as every other RPC.
+        """
+        from repro.net.rpc import RpcClient, RpcServer
+
+        if self._epoch_rpc is None:
+            service = (self.plane.spec.name if self.plane.spec is not None
+                       else "service")
+            server = RpcServer(self.network.endpoint(f"{service}-epoch-log"),
+                               name="epoch-log")
+            server.register("get_count", lambda params: len(publisher.artifacts))
+            server.register(
+                "get_epoch",
+                lambda params: publisher.artifacts[int(params["index"])].to_dict())
+            client = RpcClient(self.network,
+                               self.network.endpoint(f"{service}-epoch-auditor"),
+                               server.endpoint.address)
+            self._epoch_rpc = (server, client)
+        return self._epoch_rpc
 
     def _migration_phase(self):
         if self.recorder is None:
@@ -275,10 +372,19 @@ class ScenarioRunner:
                                     shards=scenario.shards)
         plan = FaultPlan(scenario.rules, scenario.events, seed=scenario.seed + 1)
         plan.install(network, recorder=recorder)
+        if plane.spec is not None:
+            # Every epoch transition the run performs leaves a signed,
+            # self-contained transparency bundle behind (publishing is pure
+            # computation — deterministic signatures, no network traffic —
+            # so scenarios without transitions are byte-identical to before).
+            from repro.transparency.epochs import EpochPublisher
+
+            plane.epoch_publisher = EpochPublisher(plane.spec.name)
         ctx = ScenarioContext(network, deployment, driver,
                               ScheduledCompromise(deployment),
                               plane.client_address, plane=plane,
-                              recorder=recorder)
+                              recorder=recorder,
+                              rpc_attempts=scenario.rpc_attempts)
 
         log_baseline = {
             domain.domain_id: domain.framework.log_export()
@@ -328,8 +434,17 @@ class ScenarioRunner:
         # caught the fault while it was live), never the final verdict.
         for _op, _ok, midrun_kinds in ctx.midrun_audits:
             kinds = set(kinds) | set(midrun_kinds)
+        # The epoch auditor's verdicts are evidence too: a forged bundle it
+        # rejected — mid-run over the network or end-of-run in-process — is
+        # detected misbehavior with a verifiable artifact behind it.
+        bundle_verdicts = self._verify_epoch_bundles(ctx)
+        if any(verdict["forged"] and not verdict["ok"]
+               for verdict in bundle_verdicts):
+            kinds = set(kinds) | {"forged-epoch"}
         report.detected_kinds = tuple(sorted(kinds))
-        report.invariants = self._generic_invariants(ctx, report, log_baseline)
+        report.epoch_audits = list(ctx.epoch_audits)
+        report.invariants = self._generic_invariants(ctx, report, log_baseline,
+                                                     bundle_verdicts)
         report.invariants.extend(driver.finish(ctx))
         report.coverage_cells = frozenset(recorder.cells)
         return report
@@ -455,7 +570,8 @@ class ScenarioRunner:
     # Generic invariants (checked for every app)
     # ------------------------------------------------------------------
     def _generic_invariants(self, ctx: ScenarioContext, report: ScenarioReport,
-                            log_baseline: dict) -> list[InvariantResult]:
+                            log_baseline: dict,
+                            bundle_verdicts: list) -> list[InvariantResult]:
         invariants = [self._append_only_invariant(ctx, log_baseline),
                       self._conservation_invariant(ctx),
                       self._audit_invariant(report)]
@@ -463,7 +579,32 @@ class ScenarioRunner:
             invariants.append(self._unannounced_update_invariant(ctx, report))
         if ctx.resharded:
             invariants.append(self._reshard_invariant(ctx))
+        if bundle_verdicts:
+            invariants.append(self._epoch_bundle_invariant(ctx, bundle_verdicts))
         return invariants
+
+    @staticmethod
+    def _verify_epoch_bundles(ctx: ScenarioContext) -> list:
+        """End-of-run verdict for every published epoch bundle, in-process.
+
+        The standalone auditor replays each artifact from scratch — the
+        fault-free ground truth a mid-run :class:`~repro.sim.faults.
+        AuditEpoch` probe (whose fetches the network may defeat) is judged
+        against. Empty when the run published nothing.
+        """
+        from repro.transparency.auditor import AuditorService
+
+        publisher = getattr(ctx.plane, "epoch_publisher", None)
+        if publisher is None or not publisher.artifacts:
+            return []
+        auditor = AuditorService(publisher.coordinator_key, publisher.log_key)
+        verdicts = []
+        for index, artifact in enumerate(publisher.artifacts):
+            verdict = auditor.verify(artifact)
+            verdicts.append({"index": index, "ok": verdict.ok,
+                             "failing": verdict.failing(),
+                             "forged": index in ctx.forged_epochs})
+        return verdicts
 
     def _append_only_invariant(self, ctx: ScenarioContext, baseline: dict) -> InvariantResult:
         """No domain's digest log lost or rewrote history during the run.
@@ -606,3 +747,33 @@ class ScenarioRunner:
         if stale:
             detail += f"; {stale} moved keys await source cleanup"
         return InvariantResult("reshard-epoch-committed", True, detail)
+
+    def _epoch_bundle_invariant(self, ctx: ScenarioContext,
+                                verdicts: list) -> InvariantResult:
+        """Every honest epoch bundle verifies from the artifact alone, and
+        every forged one is provably rejected on digest conservation."""
+        for verdict in verdicts:
+            index = verdict["index"]
+            if verdict["forged"]:
+                if verdict["ok"]:
+                    return InvariantResult(
+                        "epoch-bundles-verify", False,
+                        f"forged bundle {index} passed verification")
+                if "digest-conservation" not in verdict["failing"]:
+                    return InvariantResult(
+                        "epoch-bundles-verify", False,
+                        f"forged bundle {index} was rejected but not on "
+                        f"digest conservation ({verdict['failing']})")
+            elif not verdict["ok"]:
+                return InvariantResult(
+                    "epoch-bundles-verify", False,
+                    f"honest bundle {index} failed verification "
+                    f"({verdict['failing']})")
+        honest = sum(1 for verdict in verdicts if not verdict["forged"])
+        forged = len(verdicts) - honest
+        detail = (f"{honest} honest bundle(s) verified from the artifact "
+                  "alone")
+        if forged:
+            detail += (f"; {forged} forged bundle(s) rejected on "
+                       "digest conservation")
+        return InvariantResult("epoch-bundles-verify", True, detail)

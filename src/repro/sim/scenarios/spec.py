@@ -152,6 +152,10 @@ class ScenarioReport:
     detected_kinds: tuple = ()
     invariants: list = field(default_factory=list)
     reshards: list = field(default_factory=list)  # ReshardReport per epoch
+    # Epoch-bundle verdicts from mid-run AuditEpoch probes: one dict per
+    # bundle per probe (op/index/fetched/ok/failing/forged), fetched over
+    # the simulated network by the standalone auditor.
+    epoch_audits: list = field(default_factory=list)
     # Discrete-event concurrency (populated for concurrent scenarios).
     max_in_flight: int = 0
     in_flight_at_reshard: int = 0
@@ -232,6 +236,13 @@ class ScenarioReport:
                 f"{len(fired)} fired, {len(gated)} gated; "
                 f"final shards={self.final_shards}"
             )
+        if self.epoch_audits:
+            fetched = [audit for audit in self.epoch_audits if audit["fetched"]]
+            verified = [audit for audit in fetched if audit["ok"]]
+            lines.append(
+                f"  epoch-audit: {len(self.epoch_audits)} bundle fetch(es), "
+                f"{len(fetched)} fetched, {len(verified)} verified"
+            )
         audit_text = "ok" if self.audit_ok else "FAILED (misbehavior flagged)"
         detected = ", ".join(sorted(self.detected_kinds)) or "none"
         lines.append(f"  audit: {audit_text}; evidence kinds: {detected}")
@@ -264,6 +275,7 @@ class ScenarioReport:
             "in_flight_at_reshard": self.in_flight_at_reshard,
             "shard_queue_depth": {shard: depth for shard, depth
                                   in sorted(self.shard_queue_depth.items())},
+            "epoch_audits": list(self.epoch_audits),
             "autoscale_decisions": list(self.autoscale_decisions),
             "final_shards": self.final_shards,
             "regions": list(self.scenario.regions),

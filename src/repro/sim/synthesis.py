@@ -32,6 +32,7 @@ from repro.net.latency import GEO_REGIONS
 from repro.service.autoscaler import AutoscalerPolicy
 from repro.sim.coverage import CoverageReport, all_cells
 from repro.sim.faults import (
+    AuditEpoch,
     AuditNow,
     AutoscaleEnabled,
     CompromiseDomain,
@@ -57,6 +58,7 @@ __all__ = [
     "ShrinkResult",
     "shrink",
     "render_pinned",
+    "render_pinned_module",
 ]
 
 #: Probabilistic per-message kinds — they only exist while traffic flows.
@@ -99,15 +101,16 @@ def target_for_cell(cell: tuple) -> SynthesisTarget:
 def cell_reachable(cell: tuple) -> bool:
     """Whether the engine can cover this cell at all.
 
-    Mid-run audits are in-process probes — no messages cross the simulated
-    network while one runs — so a per-message fault kind can never fire
-    *during* an audit. Those four cells are structurally dark and the
-    generator refuses to chase them (the coverage report still lists them,
-    honestly, as uncovered).
+    The four (per-message fault, mid-audit) cells used to be structurally
+    dark: mid-run audits were in-process probes, so no messages crossed the
+    network while one ran. The epoch auditor changed that — an
+    :class:`~repro.sim.faults.AuditEpoch` probe fetches transparency
+    bundles over the simulated network *inside* the mid-audit window, so a
+    drop/delay/reorder/duplicate rule can bite the audit itself. Every cell
+    in the model is reachable now; the function stays as the single place
+    that would record a future structural hole.
     """
-    values = {cell[0]: cell[1], cell[2]: cell[3]}
-    return not (values.get("phase") == "mid-audit"
-                and values.get("fault") in INSTANT_KINDS)
+    return True
 
 
 def _parse_topology(topology: str) -> tuple[str, int]:
@@ -177,11 +180,23 @@ def synthesize_scenario(seed: int, target: SynthesisTarget | None = None,
         ("single/1", "single/2", "single/4", "geo/2", "geo/4"))
     layout, placement = _parse_topology(topology)
 
+    # A per-message fault can only bite a mid-audit window through the epoch
+    # auditor's bundle fetches, and a bundle needs an epoch: those runs grow
+    # into the audit instead of starting at the target placement. When the
+    # fault dimension is free, a stateful kind keeps the audit (an
+    # in-process probe) at exactly the target placement.
+    fault_pool = INSTANT_KINDS + STATEFUL_KINDS
+    if target.fault is None and phase == "mid-audit":
+        fault_pool = STATEFUL_KINDS
+    fault = target.fault or rng.choice(fault_pool)
+    audit_over_network = phase == "mid-audit" and fault in INSTANT_KINDS
+
     # The deployment starts at the target placement, except where the phase
-    # itself must move the placement: a migration grows into it, and an
-    # autoscale run starts below the 8-shard ceiling so a grow can fire.
+    # itself must move the placement: a migration (or a networked epoch
+    # audit, which needs one) grows into it, and an autoscale run starts
+    # below the 8-shard ceiling so a grow can fire.
     shards = placement
-    if phase == "mid-migration":
+    if phase == "mid-migration" or audit_over_network:
         shards = max(1, placement // 2)
     elif phase == "mid-autoscale" and placement >= 8:
         shards = 4
@@ -191,12 +206,6 @@ def synthesize_scenario(seed: int, target: SynthesisTarget | None = None,
     concurrent = phase in ("mid-batch", "mid-autoscale")
     ops = rng.randint(10, 14) if concurrent else rng.randint(6, 9)
 
-    fault = target.fault or rng.choice(INSTANT_KINDS + STATEFUL_KINDS)
-    if phase == "mid-audit" and fault in INSTANT_KINDS:
-        raise ValueError(f"no per-message traffic flows during an audit; "
-                         f"cell (fault={fault}, phase=mid-audit) is "
-                         "unreachable")
-
     rules: list = []
     events: list = []
     expect_audit_ok = True
@@ -205,7 +214,15 @@ def synthesize_scenario(seed: int, target: SynthesisTarget | None = None,
     fault_at = 2
     heal_at = ops - 2
     if fault in INSTANT_KINDS:
-        rules.append(_rule_for(fault, rng))
+        rule = _rule_for(fault, rng)
+        if audit_over_network:
+            # The audit window is a handful of fetch round trips; a
+            # low-probability rule usually misses it entirely. Pin the odds
+            # high so the rule demonstrably bites the audit's own traffic
+            # (retries and the end-of-run in-process verification keep the
+            # scenario healthy regardless).
+            rule = dataclasses.replace(rule, probability=0.6)
+        rules.append(rule)
     else:
         events.extend(_stateful_events(fault, app, shards, rng,
                                        at_op=fault_at, until_op=heal_at))
@@ -223,7 +240,15 @@ def synthesize_scenario(seed: int, target: SynthesisTarget | None = None,
                                      shards=min(8, max(placement,
                                                        shards * 2))))
     elif phase == "mid-audit":
-        events.append(AuditNow(at_op=fault_at + 1))
+        if audit_over_network:
+            # Publish an epoch, then fetch-and-verify its bundle over the
+            # network: the installed rule bites the audit's own traffic.
+            grow_to = (placement if placement > shards
+                       else min(8, max(2, shards * 2)))
+            events.append(ReshardService(at_op=2, shards=grow_to))
+            events.append(AuditEpoch(at_op=3))
+        else:
+            events.append(AuditNow(at_op=fault_at + 1))
     elif phase == "mid-batch":
         arrival_rate = float(rng.choice((120, 160, 200)))
         service_time = round(rng.uniform(0.004, 0.008), 4)
@@ -395,3 +420,54 @@ def render_pinned(scenario: Scenario, reason: str = "") -> str:
             lines.append(f"    {field.name}={value!r},")
     lines.append(")")
     return "\n".join(lines)
+
+
+def render_pinned_module(entries) -> str:
+    """Render ``(scenario, reason)`` pairs as the whole pinned-matrix module.
+
+    The emitted source is ``repro/sim/scenarios/pinned.py``: a
+    ``pinned_matrix()`` the default matrix appends, one
+    :func:`render_pinned` block per promoted scenario. Checking the
+    rendered module in (instead of re-synthesizing at import time) is what
+    makes a promotion permanent — the scenario survives any later change to
+    the generator's draw order. Regenerate the file rather than editing it.
+    """
+    entries = list(entries)
+    fault_names = sorted({type(item).__name__
+                          for scenario, _reason in entries
+                          for item in (*scenario.rules, *scenario.events)})
+    lines = [
+        '"""Pinned scenarios promoted from the coverage-guided synthesis sweep.',
+        "",
+        "Generated by :func:`repro.sim.synthesis.render_pinned_module` "
+        "(promotion",
+        "workflow in ``docs/scenarios.md``). Each block is one synthesized "
+        "scenario",
+        "kept verbatim so the combination it exercises stays in the regression",
+        "matrix no matter how the generator's draw order evolves. Regenerate "
+        "this",
+        'file rather than editing it by hand.',
+        '"""',
+        "",
+        "from __future__ import annotations",
+        "",
+    ]
+    if fault_names:
+        lines.append("from repro.sim.faults import (")
+        for name in fault_names:
+            lines.append(f"    {name},")
+        lines.append(")")
+    lines.append("from repro.sim.scenarios.spec import Scenario")
+    lines.append("")
+    lines.append('__all__ = ["pinned_matrix"]')
+    lines.append("")
+    lines.append("")
+    lines.append("def pinned_matrix() -> list[Scenario]:")
+    lines.append('    """The pinned scenarios the default matrix appends."""')
+    lines.append("    return [")
+    for scenario, reason in entries:
+        for line in render_pinned(scenario, reason).splitlines():
+            lines.append(f"        {line}" if line else "")
+        lines[-1] += ","
+    lines.append("    ]")
+    return "\n".join(lines) + "\n"

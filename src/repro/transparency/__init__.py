@@ -18,13 +18,32 @@ This package provides both layers:
 * :mod:`repro.transparency.gossip` — cross-domain and cross-client gossip to
   detect split views (equivocation);
 * :mod:`repro.transparency.monitor` — a long-running monitor that audits a
-  CT-style log as it grows.
+  CT-style log as it grows;
+* :mod:`repro.transparency.epochs` — signed, self-contained transparency
+  bundles for reshard epochs, appended to a dedicated CT-style log;
+* :mod:`repro.transparency.auditor` — a standalone auditor that verifies an
+  epoch bundle from the artifact alone, plus audit-once checkpoints so
+  per-client audit cost stays sublinear in users.
 """
 
 from repro.transparency.log import DigestLog, DigestLogEntry
 from repro.transparency.ct_log import CtLog, SignedTreeHead
 from repro.transparency.gossip import GossipPool, SplitViewEvidence, check_views_consistent
 from repro.transparency.monitor import LogMonitor, MonitorAlert
+from repro.transparency.epochs import (
+    EpochArtifact,
+    EpochBundle,
+    EpochPublisher,
+    MigrationDigest,
+    forge_migration_digest,
+)
+from repro.transparency.auditor import (
+    AuditCheckpoint,
+    AuditorService,
+    CheckResult,
+    VerificationReport,
+    verify_checkpoint,
+)
 
 __all__ = [
     "DigestLog",
@@ -36,4 +55,14 @@ __all__ = [
     "check_views_consistent",
     "LogMonitor",
     "MonitorAlert",
+    "EpochArtifact",
+    "EpochBundle",
+    "EpochPublisher",
+    "MigrationDigest",
+    "forge_migration_digest",
+    "AuditCheckpoint",
+    "AuditorService",
+    "CheckResult",
+    "VerificationReport",
+    "verify_checkpoint",
 ]

@@ -1,0 +1,517 @@
+"""A standalone auditor that verifies epoch bundles from the artifact alone.
+
+The auditor is its own trust domain: it pins two public keys (the
+coordinator's bundle-signing key and the epoch log's tree-head key) and takes
+exactly one untrusted input, an :class:`~repro.transparency.epochs.
+EpochArtifact`. It never talks to the coordinator to decide whether an epoch
+is honest — everything it concludes follows from the artifact.
+
+The :class:`VerificationReport` keeps a strict split between what the
+artifact *proves* and what it merely *advises*:
+
+proved  — ``signature-chain``: the bundle is signed by the pinned coordinator
+          key and the tree head by the pinned log key;
+          ``log-inclusion``: the signed bundle is a leaf of the log the tree
+          head commits to;
+          ``ring-transition``: both rings reconstruct from the bundle's
+          deterministic parameters and every moved key lands on exactly the
+          shard the new ring assigns it;
+          ``digest-conservation``: each migration's Merkle root recomputes
+          from its moved-key set, no key moves twice or is simultaneously
+          pinned, and the per-pair counts sum to the claimed total;
+          ``attestation-measurements``: every attached shard reports the
+          independently computable framework measurement;
+          ``spare-pool-delta``: shards provisioned/retired/draining are
+          exactly the spec-derived names the transition implies.
+advised — ``timing`` (the claimed duration is plausible) and
+          ``operator-intent`` (the declared kind matches the transition's
+          direction): believable, useful, but not provable from the artifact.
+
+A forged epoch fails a *proved* check by name; advisory checks never reject.
+
+Scaling: :meth:`AuditorService.checkpoint` signs an audit-once statement per
+signed tree head, so clients verify one signature instead of re-verifying
+every bundle; :func:`verify_checkpoint` is the O(1) client side, and batched
+inclusion proofs (:meth:`CtLog.batch_inclusion_proof`) cover all of a
+checkpoint's leaves at once. :meth:`AuditorService.gossip` feeds observed
+tree heads into a :class:`~repro.transparency.gossip.GossipPool` so a log
+that equivocates between the auditor and its clients yields split-view
+evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.keys import SigningKey, VerifyingKey
+from repro.errors import EpochBundleError
+from repro.transparency.epochs import EpochArtifact, EpochBundle
+from repro.wire.codec import encode
+
+__all__ = ["CheckResult", "VerificationReport", "AuditCheckpoint",
+           "AuditorService", "verify_checkpoint"]
+
+# Cost accounting units for the audit benchmark: one unit per primitive
+# verification operation (a signature check or a Merkle node hash). The point
+# is not cycle accuracy but a deterministic, implementation-independent count
+# that lets CI assert checkpointed audit cost grows sublinearly in clients.
+SIGNATURE_COST = 1
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One named verification step: what it concluded and on what authority."""
+
+    name: str
+    kind: str  # "proved" | "advised"
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "ok": self.ok,
+                "detail": self.detail}
+
+
+@dataclass
+class VerificationReport:
+    """The auditor's structured verdict on one epoch artifact.
+
+    ``ok`` follows the proved checks only: an advisory that looks odd is
+    surfaced but can never reject an epoch, because the artifact cannot prove
+    it either way.
+    """
+
+    service: str
+    epoch: int
+    kind: str
+    leaf_index: int
+    checks: list = field(default_factory=list)
+    cost_units: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every *proved* check passed."""
+        return all(check.ok for check in self.checks if check.kind == "proved")
+
+    def failing(self) -> list:
+        """Names of the proved checks that failed (what rejected the epoch)."""
+        return [check.name for check in self.checks
+                if check.kind == "proved" and not check.ok]
+
+    def advisories(self) -> list:
+        """Names of advisory checks that looked off (never grounds to reject)."""
+        return [check.name for check in self.checks
+                if check.kind == "advised" and not check.ok]
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for report artifacts."""
+        return {
+            "service": self.service,
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "leaf_index": self.leaf_index,
+            "ok": self.ok,
+            "failing": self.failing(),
+            "advisories": self.advisories(),
+            "cost_units": self.cost_units,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def format(self) -> str:
+        """A deterministic text summary (one line per check)."""
+        lines = [f"epoch {self.epoch} ({self.kind}) of {self.service}: "
+                 f"{'VERIFIED' if self.ok else 'REJECTED'}"]
+        for check in self.checks:
+            mark = "ok " if check.ok else "FAIL"
+            lines.append(f"  [{mark}] {check.kind:7s} {check.name}"
+                         + (f" — {check.detail}" if check.detail else ""))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AuditCheckpoint:
+    """An audit-once statement: "I verified these epochs under this head."
+
+    Signed by the auditor. A client holding the auditor's public key verifies
+    this one signature instead of re-running bundle verification — O(1) work
+    per epoch no matter how many clients share the checkpoint.
+    """
+
+    auditor: str
+    log_id: str
+    tree_size: int
+    root_hash: bytes
+    epochs: tuple[int, ...]
+    leaf_indices: tuple[int, ...]
+    all_ok: bool
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        """Canonical bytes the auditor signs."""
+        return encode({
+            "auditor": self.auditor,
+            "log_id": self.log_id,
+            "tree_size": self.tree_size,
+            "root_hash": self.root_hash,
+            "epochs": list(self.epochs),
+            "leaf_indices": list(self.leaf_indices),
+            "all_ok": self.all_ok,
+        })
+
+    def verify(self, auditor_key: VerifyingKey) -> bool:
+        """Check the auditor's signature over this statement."""
+        try:
+            return auditor_key.verify(self.signed_payload(), self.signature)
+        except Exception:
+            return False
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "auditor": self.auditor,
+            "log_id": self.log_id,
+            "tree_size": self.tree_size,
+            "root_hash": self.root_hash.hex(),
+            "epochs": list(self.epochs),
+            "leaf_indices": list(self.leaf_indices),
+            "all_ok": self.all_ok,
+            "signature": self.signature.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditCheckpoint":
+        """Rebuild a checkpoint from untrusted :meth:`to_dict` output."""
+        try:
+            return cls(
+                auditor=str(data["auditor"]),
+                log_id=str(data["log_id"]),
+                tree_size=int(data["tree_size"]),
+                root_hash=bytes.fromhex(data["root_hash"]),
+                epochs=tuple(int(e) for e in data["epochs"]),
+                leaf_indices=tuple(int(i) for i in data["leaf_indices"]),
+                all_ok=bool(data["all_ok"]),
+                signature=bytes.fromhex(data["signature"]),
+            )
+        except Exception as exc:
+            raise EpochBundleError(f"malformed audit checkpoint: {exc}") from exc
+
+
+def verify_checkpoint(checkpoint: AuditCheckpoint,
+                      auditor_key: VerifyingKey) -> bool:
+    """The O(1) client side of audit-once: one signature check per epoch set."""
+    return checkpoint.verify(auditor_key)
+
+
+class AuditorService:
+    """Verifies epoch artifacts against two pinned public keys, nothing else."""
+
+    def __init__(self, coordinator_key: VerifyingKey, log_key: VerifyingKey,
+                 name: str = "auditor", signing_key: SigningKey | None = None):
+        self.name = name
+        self.coordinator_key = coordinator_key
+        self.log_key = log_key
+        self.signing_key = signing_key or SigningKey.from_seed(
+            b"repro/epoch-auditor/" + name.encode("utf-8"))
+        self.reports: list[VerificationReport] = []
+        self._verified: list[tuple[EpochArtifact, VerificationReport]] = []
+
+    @property
+    def public_key(self) -> VerifyingKey:
+        """The key clients pin to verify this auditor's checkpoints."""
+        return self.signing_key.verifying_key()
+
+    # ------------------------------------------------------------------
+    # Bundle verification (the expensive, audit-once path)
+    # ------------------------------------------------------------------
+    def verify(self, artifact) -> VerificationReport:
+        """Verify one untrusted artifact (an :class:`EpochArtifact` or its dict).
+
+        Never raises on bad input: a structurally malformed artifact comes
+        back as a report whose single proved check (``artifact-parse``)
+        failed, so callers handle honest and hostile inputs identically.
+        """
+        if not isinstance(artifact, EpochArtifact):
+            try:
+                artifact = EpochArtifact.from_dict(artifact)
+            except EpochBundleError as exc:
+                report = VerificationReport(service="?", epoch=-1, kind="?",
+                                            leaf_index=-1)
+                report.checks.append(CheckResult(
+                    "artifact-parse", "proved", False, str(exc)))
+                self.reports.append(report)
+                return report
+        bundle = artifact.bundle
+        report = VerificationReport(service=bundle.service, epoch=bundle.epoch,
+                                    kind=bundle.kind,
+                                    leaf_index=artifact.leaf_index)
+        self._check_signature_chain(artifact, report)
+        self._check_log_inclusion(artifact, report)
+        self._check_ring_transition(bundle, report)
+        self._check_digest_conservation(bundle, report)
+        self._check_attestation_measurements(bundle, report)
+        self._check_spare_pool_delta(bundle, report)
+        self._advise_timing(bundle, report)
+        self._advise_operator_intent(bundle, report)
+        self.reports.append(report)
+        if report.ok:
+            self._verified.append((artifact, report))
+        return report
+
+    def _check_signature_chain(self, artifact: EpochArtifact,
+                               report: VerificationReport) -> None:
+        bundle = artifact.bundle
+        try:
+            bundle_ok = self.coordinator_key.verify(bundle.signed_payload(),
+                                                    bundle.signature)
+        except Exception:
+            bundle_ok = False
+        try:
+            head_ok = artifact.head.verify(self.log_key)
+        except Exception:
+            head_ok = False
+        report.cost_units += 2 * SIGNATURE_COST
+        detail = []
+        if not bundle_ok:
+            detail.append("bundle signature invalid under the pinned coordinator key")
+        if not head_ok:
+            detail.append("tree head signature invalid under the pinned log key")
+        report.checks.append(CheckResult(
+            "signature-chain", "proved", bundle_ok and head_ok,
+            "; ".join(detail) or "coordinator and log signatures verify"))
+
+    def _check_log_inclusion(self, artifact: EpochArtifact,
+                             report: VerificationReport) -> None:
+        proof, head = artifact.proof, artifact.head
+        ok = (proof.leaf_index == artifact.leaf_index
+              and proof.tree_size == head.tree_size
+              and proof.verify(artifact.bundle.canonical_bytes(),
+                               head.root_hash))
+        report.cost_units += len(proof.audit_path) + 1
+        report.checks.append(CheckResult(
+            "log-inclusion", "proved", ok,
+            f"leaf {artifact.leaf_index} of {head.tree_size}" if ok
+            else "inclusion proof does not bind the bundle to the tree head"))
+
+    def _check_ring_transition(self, bundle: EpochBundle,
+                               report: VerificationReport) -> None:
+        from repro.service.ring import HashRing
+
+        problems = []
+        if bundle.old_shard_count < 1 or bundle.ring_shard_count < 1:
+            problems.append("shard counts must be positive")
+        if bundle.ring_vnodes < 1:
+            problems.append("ring vnodes must be positive")
+        if bundle.kind == "reshard" and bundle.ring_shard_count == bundle.old_shard_count:
+            problems.append("a reshard must change the ring width")
+        if not problems:
+            new_ring = HashRing(bundle.ring_shard_count,
+                                vnodes=bundle.ring_vnodes,
+                                salt=bundle.ring_salt)
+            shard_total = len(bundle.measurements)
+            for migration in bundle.migrations:
+                if not 0 <= migration.source < bundle.old_shard_count:
+                    problems.append(
+                        f"migration source {migration.source} is not an "
+                        f"old-epoch shard")
+                if not 0 <= migration.target < bundle.ring_shard_count:
+                    problems.append(
+                        f"migration target {migration.target} is off the "
+                        f"committed ring")
+                    continue
+                misrouted = sum(1 for key in migration.keys
+                                if new_ring.shard_for(key) != migration.target)
+                if misrouted:
+                    problems.append(
+                        f"{misrouted} keys in {migration.source}->"
+                        f"{migration.target} do not belong to shard "
+                        f"{migration.target} under the committed ring")
+            for key, holder in bundle.pinned:
+                if not 0 <= holder < max(shard_total, bundle.old_shard_count):
+                    problems.append(
+                        f"pinned key {key.hex()[:12]} names holder {holder} "
+                        f"beyond the attached shards")
+        report.checks.append(CheckResult(
+            "ring-transition", "proved", not problems,
+            "; ".join(problems) or
+            f"ring {bundle.old_shard_count} -> {bundle.ring_shard_count} "
+            f"reconstructs; every moved key routes to its digest's target"))
+
+    def _check_digest_conservation(self, bundle: EpochBundle,
+                                   report: VerificationReport) -> None:
+        problems = []
+        seen: set = set()
+        total = 0
+        for migration in bundle.migrations:
+            # Recomputing the root costs one leaf hash per key plus the
+            # interior nodes (at most key_count - 1): ~2n hash units.
+            report.cost_units += 2 * max(1, len(migration.keys))
+            if migration.key_count != len(migration.keys):
+                problems.append(
+                    f"{migration.source}->{migration.target} claims "
+                    f"{migration.key_count} keys but carries "
+                    f"{len(migration.keys)}")
+            if list(migration.keys) != sorted(set(migration.keys)):
+                problems.append(
+                    f"{migration.source}->{migration.target} key set is not "
+                    f"sorted and unique")
+            overlap = seen.intersection(migration.keys)
+            if overlap:
+                problems.append(
+                    f"{len(overlap)} keys appear in more than one migration")
+            seen.update(migration.keys)
+            if migration.recomputed_root() != migration.root:
+                problems.append(
+                    f"{migration.source}->{migration.target} Merkle root "
+                    f"does not recompute from its key set")
+            total += len(migration.keys)
+        if total != bundle.migrated_keys:
+            problems.append(
+                f"bundle claims {bundle.migrated_keys} migrated keys; "
+                f"digests carry {total}")
+        pinned_keys = {key for key, _ in bundle.pinned}
+        conflicted = pinned_keys.intersection(seen)
+        if conflicted:
+            problems.append(
+                f"{len(conflicted)} keys are both migrated and pinned")
+        report.checks.append(CheckResult(
+            "digest-conservation", "proved", not problems,
+            "; ".join(problems) or
+            f"{total} moved keys conserve across {len(bundle.migrations)} "
+            f"digests; moved and pinned sets are disjoint"))
+
+    def _check_attestation_measurements(self, bundle: EpochBundle,
+                                        report: VerificationReport) -> None:
+        from repro.core.trust_domain import expected_framework_measurement
+
+        expected = expected_framework_measurement().digest
+        problems = []
+        if len(bundle.measurements) < bundle.ring_shard_count:
+            problems.append(
+                f"only {len(bundle.measurements)} shards report measurements "
+                f"for a {bundle.ring_shard_count}-wide ring")
+        for shard, digests in bundle.measurements:
+            if not digests:
+                problems.append(f"shard {shard} reports no enclave measurements")
+                continue
+            rogue = sum(1 for digest in digests if digest != expected)
+            if rogue:
+                problems.append(
+                    f"shard {shard} reports {rogue} measurements that are not "
+                    f"the published framework measurement")
+        report.checks.append(CheckResult(
+            "attestation-measurements", "proved", not problems,
+            "; ".join(problems) or
+            f"all {len(bundle.measurements)} shards attest the independently "
+            f"computed framework measurement"))
+
+    def _check_spare_pool_delta(self, bundle: EpochBundle,
+                                report: VerificationReport) -> None:
+        problems = []
+        provisioned = set(bundle.provisioned)
+        retired = set(bundle.retired)
+        draining = set(bundle.draining)
+        if retired & draining:
+            problems.append("shards listed both retired and draining")
+        if provisioned & (retired | draining):
+            problems.append("shards listed both provisioned and retiring")
+        growing = bundle.ring_shard_count > bundle.old_shard_count
+        expected_new = {f"{bundle.service}-s{i}"
+                        for i in range(bundle.old_shard_count,
+                                       bundle.ring_shard_count)}
+        expected_retiring = {f"{bundle.service}-s{i}"
+                             for i in range(bundle.ring_shard_count,
+                                            bundle.old_shard_count)}
+        if bundle.kind == "reshard" and growing:
+            if provisioned != expected_new:
+                problems.append(
+                    f"provisioned shards {sorted(provisioned)} are not the "
+                    f"spec-derived names {sorted(expected_new)}")
+            if retired or draining:
+                problems.append("a grow retires no shards")
+        elif bundle.kind == "reshard":
+            if provisioned:
+                problems.append("a shrink provisions no shards")
+            if retired | draining != expected_retiring:
+                problems.append(
+                    f"retired+draining {sorted(retired | draining)} do not "
+                    f"cover the retiring shards {sorted(expected_retiring)}")
+        else:  # drain: retiring shards may detach, nothing may be provisioned
+            if provisioned:
+                problems.append("a drain provisions no shards")
+            if not (retired | draining) <= expected_retiring:
+                problems.append(
+                    "a drain can only retire shards beyond the ring width")
+        report.checks.append(CheckResult(
+            "spare-pool-delta", "proved", not problems,
+            "; ".join(problems) or
+            f"+{len(provisioned)} provisioned / -{len(retired)} retired / "
+            f"{len(draining)} draining match the transition"))
+
+    def _advise_timing(self, bundle: EpochBundle,
+                       report: VerificationReport) -> None:
+        plausible = 0 <= bundle.sim_time_us <= 3_600_000_000
+        report.checks.append(CheckResult(
+            "timing", "advised", plausible,
+            f"transition claims {bundle.sim_time_us} us of simulated time "
+            f"({'plausible' if plausible else 'implausible'} — "
+            f"unverifiable from the artifact)"))
+
+    def _advise_operator_intent(self, bundle: EpochBundle,
+                                report: VerificationReport) -> None:
+        if bundle.kind == "reshard":
+            direction = ("grow" if bundle.ring_shard_count > bundle.old_shard_count
+                         else "shrink")
+            detail = (f"operator declared a reshard; width moved "
+                      f"{bundle.old_shard_count} -> {bundle.ring_shard_count} "
+                      f"({direction}) — intent itself is taken on faith")
+            ok = True
+        elif bundle.kind == "drain":
+            detail = ("operator declared a drain of a previously faulted "
+                      "epoch — intent itself is taken on faith")
+            ok = True
+        else:
+            detail = f"unknown transition kind {bundle.kind!r}"
+            ok = False
+        report.checks.append(CheckResult("operator-intent", "advised", ok, detail))
+
+    # ------------------------------------------------------------------
+    # Scaling: checkpoints (audit-once) and gossip
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> AuditCheckpoint:
+        """Sign an audit-once statement over everything verified so far.
+
+        The statement binds the newest verified tree head to the ordered set
+        of (epoch, leaf index) pairs that verified under it.
+
+        Raises:
+            EpochBundleError: nothing has been verified yet.
+        """
+        if not self._verified:
+            raise EpochBundleError("no verified epochs to checkpoint")
+        latest = max((artifact for artifact, _ in self._verified),
+                     key=lambda artifact: artifact.head.tree_size)
+        covered = [(artifact, report) for artifact, report in self._verified
+                   if artifact.leaf_index < latest.head.tree_size]
+        checkpoint = AuditCheckpoint(
+            auditor=self.name,
+            log_id=latest.head.log_id,
+            tree_size=latest.head.tree_size,
+            root_hash=latest.head.root_hash,
+            epochs=tuple(report.epoch for _, report in covered),
+            leaf_indices=tuple(artifact.leaf_index for artifact, _ in covered),
+            all_ok=all(report.ok for _, report in covered),
+        )
+        signature = self.signing_key.sign(checkpoint.signed_payload())
+        return replace(checkpoint, signature=signature)
+
+    def gossip(self, pool, observer: str | None = None) -> list:
+        """Submit every verified tree head to a gossip pool.
+
+        Returns whatever split-view evidence the pool produced — a log that
+        shows the auditor a different history than it shows clients is caught
+        here even though each individual artifact verified.
+        """
+        evidence = []
+        for artifact, _ in self._verified:
+            evidence.extend(pool.submit(observer or self.name, artifact.head))
+        return evidence

@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.keys import SigningKey, VerifyingKey
-from repro.crypto.merkle import ConsistencyProof, InclusionProof, MerkleTree
+from repro.crypto.merkle import (
+    BatchInclusionProof,
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+)
 from repro.errors import LogError
 from repro.wire.codec import encode
 
@@ -136,6 +141,15 @@ class CtLog:
         """Prove that the log at ``old_size`` is a prefix of the log at ``new_size``."""
         return self._tree.consistency_proof(old_size, new_size)
 
+    def batch_inclusion_proof(self, indices, tree_size: int | None = None) -> BatchInclusionProof:
+        """One shared proof that every leaf in ``indices`` is in the log.
+
+        Many clients auditing against the same tree head (e.g. everyone
+        holding the same audit checkpoint) verify this single proof instead
+        of one inclusion proof each — shared interior nodes appear once.
+        """
+        return self._tree.batch_inclusion_proof(indices, tree_size)
+
     def find(self, entry: bytes) -> int:
         """Index of the first occurrence of ``entry``; raises when absent."""
         for index, leaf in enumerate(self._tree.leaves()):
@@ -155,6 +169,20 @@ class CtLog:
         if proof.tree_size != head.tree_size:
             return False
         return proof.verify(entry, head.root_hash)
+
+    @staticmethod
+    def verify_batch_inclusion(entries, proof: BatchInclusionProof,
+                               head: SignedTreeHead,
+                               log_public_key: VerifyingKey) -> bool:
+        """Verify a signed tree head and one shared multi-leaf proof against it.
+
+        ``entries`` are the raw leaves aligned with ``proof.leaf_indices``.
+        """
+        if not head.verify(log_public_key):
+            return False
+        if proof.tree_size != head.tree_size:
+            return False
+        return proof.verify(tuple(entries), head.root_hash)
 
     @staticmethod
     def verify_consistency(old_head: SignedTreeHead, new_head: SignedTreeHead,

@@ -180,3 +180,107 @@ def test_property_consistency_proofs_verify(leaves, data):
     old_size = data.draw(st.integers(min_value=0, max_value=len(leaves)))
     proof = tree.consistency_proof(old_size)
     assert proof.verify(tree.root(old_size), tree.root())
+
+
+class TestBatchInclusionProofs:
+    def test_single_leaf_matches_tree_root(self):
+        tree = make_tree(7)
+        proof = tree.batch_inclusion_proof([3])
+        assert proof.verify((b"entry-3",), tree.root())
+
+    def test_all_leaves_needs_no_path(self):
+        tree = make_tree(8)
+        proof = tree.batch_inclusion_proof(range(8))
+        assert proof.path == ()
+        assert proof.verify(tuple(f"entry-{i}".encode() for i in range(8)),
+                            tree.root())
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13])
+    def test_every_pair_verifies(self, size):
+        tree = make_tree(size)
+        root = tree.root()
+        for i in range(size):
+            for j in range(i, size):
+                proof = tree.batch_inclusion_proof([i, j])
+                leaves = tuple(tree.leaf(k) for k in sorted({i, j}))
+                assert proof.verify(leaves, root), (i, j, size)
+
+    def test_shared_interior_nodes_appear_once(self):
+        # Adjacent leaves under one subtree share their audit path: the batch
+        # proof must be strictly smaller than two separate proofs.
+        tree = make_tree(16)
+        batch = tree.batch_inclusion_proof([4, 5])
+        separate = (len(tree.inclusion_proof(4).audit_path)
+                    + len(tree.inclusion_proof(5).audit_path))
+        assert len(batch.path) < separate
+
+    def test_wrong_leaf_fails(self):
+        tree = make_tree(9)
+        proof = tree.batch_inclusion_proof([2, 6])
+        assert not proof.verify((b"entry-2", b"forged"), tree.root())
+
+    def test_misaligned_leaves_fail(self):
+        tree = make_tree(9)
+        proof = tree.batch_inclusion_proof([2, 6])
+        assert not proof.verify((b"entry-6", b"entry-2"), tree.root())
+        assert not proof.verify((b"entry-2",), tree.root())
+
+    def test_wrong_root_fails(self):
+        tree = make_tree(9)
+        proof = tree.batch_inclusion_proof([2, 6])
+        leaves = (b"entry-2", b"entry-6")
+        assert not proof.verify(leaves, sha256(b"not the root"))
+
+    def test_truncated_path_fails(self):
+        tree = make_tree(9)
+        proof = tree.batch_inclusion_proof([2, 6])
+        import dataclasses
+        short = dataclasses.replace(proof, path=proof.path[:-1])
+        assert not short.verify((b"entry-2", b"entry-6"), tree.root())
+
+    def test_padded_path_fails(self):
+        tree = make_tree(9)
+        proof = tree.batch_inclusion_proof([2, 6])
+        import dataclasses
+        long = dataclasses.replace(proof, path=proof.path + (sha256(b"x"),))
+        assert not long.verify((b"entry-2", b"entry-6"), tree.root())
+
+    def test_historical_tree_size(self):
+        tree = make_tree(12)
+        proof = tree.batch_inclusion_proof([0, 4], tree_size=5)
+        assert proof.tree_size == 5
+        assert proof.verify((b"entry-0", b"entry-4"), tree.root(5))
+        assert not proof.verify((b"entry-0", b"entry-4"), tree.root())
+
+    def test_empty_target_set_rejected(self):
+        tree = make_tree(4)
+        with pytest.raises(InclusionProofError):
+            tree.batch_inclusion_proof([])
+
+    def test_out_of_range_target_rejected(self):
+        tree = make_tree(4)
+        with pytest.raises(InclusionProofError):
+            tree.batch_inclusion_proof([0, 4])
+
+    def test_dict_round_trip(self):
+        from repro.crypto.merkle import BatchInclusionProof
+        tree = make_tree(10)
+        proof = tree.batch_inclusion_proof([1, 7, 9])
+        clone = BatchInclusionProof.from_dict(proof.to_dict())
+        assert clone == proof
+        assert clone.verify((b"entry-1", b"entry-7", b"entry-9"), tree.root())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    leaves=st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_property_batch_inclusion_proofs_verify(leaves, data):
+    tree = MerkleTree(leaves)
+    targets = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(leaves) - 1),
+        min_size=1, max_size=len(leaves)))
+    indices = sorted(targets)
+    proof = tree.batch_inclusion_proof(indices)
+    assert proof.verify(tuple(leaves[i] for i in indices), tree.root())

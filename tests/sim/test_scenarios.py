@@ -309,6 +309,83 @@ class TestElasticScenarios:
         assert report.final_shards == scenario.shards
 
 
+class TestAuditScenarios:
+    def test_matrix_covers_epoch_auditing(self):
+        """The audit family fetches bundles over the network and includes a
+        forged epoch; the checked-in pinned scenarios ride in the sweep."""
+        from repro.sim.faults import AuditEpoch, ForgeEpochDigest
+        from repro.sim.scenarios import audit_matrix, pinned_matrix
+
+        audit = audit_matrix()
+        event_types = {type(e) for s in audit for e in s.events}
+        assert {AuditEpoch, ForgeEpochDigest} <= event_types
+        assert {s.name for s in audit} <= {s.name for s in MATRIX}
+        pinned = pinned_matrix()
+        assert pinned, "pinned module lost its scenarios"
+        assert all(s.name.startswith("pinned-") for s in pinned)
+        assert {s.name for s in pinned} <= {s.name for s in MATRIX}
+
+    def test_live_audit_verifies_bundles_over_the_network(self):
+        """Mid-run the auditor fetches every published bundle via RPC and
+        each one verifies from the artifact alone."""
+        scenario = next(s for s in MATRIX
+                        if s.name == "keybackup-epoch-audit-live")
+        report = ScenarioRunner(scenario).run()
+        assert report.all_invariants_ok, [
+            (r.name, r.detail) for r in report.invariants if not r.ok]
+        assert report.epoch_audits, "the AuditEpoch event fetched nothing"
+        assert all(a["fetched"] and a["ok"] for a in report.epoch_audits), (
+            report.epoch_audits)
+        bundles = next(r for r in report.invariants
+                       if r.name == "epoch-bundles-verify")
+        assert bundles.ok, bundles.detail
+
+    def test_forged_epoch_is_provably_rejected(self):
+        """A coordinator-signed but digest-rewritten bundle fails exactly on
+        digest conservation, while the honest epoch keeps verifying."""
+        scenario = next(s for s in MATRIX
+                        if s.name == "keybackup-forged-epoch-detected")
+        report = ScenarioRunner(scenario).run()
+        assert report.all_invariants_ok, [
+            (r.name, r.detail) for r in report.invariants if not r.ok]
+        assert "forged-epoch" in report.detected_kinds
+        rejected = [a for a in report.epoch_audits
+                    if a["forged"] and a["fetched"] and not a["ok"]]
+        assert rejected, report.epoch_audits
+        assert all(a["failing"] == ["digest-conservation"] for a in rejected)
+        honest = [a for a in report.epoch_audits
+                  if not a["forged"] and a["fetched"]]
+        assert honest and all(a["ok"] for a in honest)
+
+    def test_lossy_fetch_still_audits_via_retries(self):
+        """Bundle fetches ride the at-most-once RPC layer, so a lossy
+        network costs retries, not verification coverage."""
+        scenario = next(s for s in MATRIX
+                        if s.name == "odoh-epoch-audit-lossy-fetch")
+        report = ScenarioRunner(scenario).run()
+        assert report.all_invariants_ok, [
+            (r.name, r.detail) for r in report.invariants if not r.ok]
+        assert report.epoch_audits
+        assert all(a["ok"] for a in report.epoch_audits if a["fetched"])
+
+    def test_shrink_epochs_audit_like_grow_epochs(self):
+        scenario = next(s for s in MATRIX
+                        if s.name == "keybackup-shrink-epoch-audit")
+        report = ScenarioRunner(scenario).run()
+        assert report.all_invariants_ok, [
+            (r.name, r.detail) for r in report.invariants if not r.ok]
+        assert report.epoch_audits
+        assert all(a["fetched"] and a["ok"] for a in report.epoch_audits)
+
+    def test_audit_scenario_replays_identically(self):
+        scenario = next(s for s in MATRIX
+                        if s.name == "keybackup-forged-epoch-detected")
+        first = ScenarioRunner(scenario).run()
+        second = ScenarioRunner(scenario).run()
+        assert first.epoch_audits == second.epoch_audits
+        assert first.detected_kinds == second.detected_kinds
+
+
 class TestTransportFaults:
     def test_fault_hook_drop(self):
         network = Network()

@@ -7,6 +7,7 @@ import pytest
 
 from repro.sim.coverage import CoverageReport, all_cells
 from repro.sim.faults import (
+    AuditEpoch,
     AuditNow,
     AutoscaleEnabled,
     CompromiseDomain,
@@ -128,15 +129,21 @@ class TestTargeting:
         assert any(isinstance(e, AuditNow) for e in scenario.events)
 
     @pytest.mark.parametrize("kind", INSTANT_KINDS)
-    def test_instant_fault_during_audit_is_unreachable(self, kind):
+    def test_instant_fault_during_audit_uses_the_epoch_auditor(self, kind):
+        # These four cells used to be structurally dark; the epoch auditor's
+        # networked bundle fetches made them reachable, so the generator now
+        # grows an epoch and audits it over the wire with the rule installed.
         cell = ("fault", kind, "phase", "mid-audit")
-        assert not cell_reachable(cell)
-        with pytest.raises(ValueError):
-            synthesize_scenario(1, target_for_cell(cell))
+        assert cell_reachable(cell)
+        scenario = synthesize_scenario(1, target_for_cell(cell))
+        assert scenario.rules  # the per-message rule is installed
+        grow = [e for e in scenario.events if isinstance(e, ReshardService)]
+        audit = [e for e in scenario.events if isinstance(e, AuditEpoch)]
+        assert grow and audit
+        assert grow[0].at_op < audit[0].at_op  # a bundle exists to fetch
 
-    def test_all_other_cells_are_reachable(self):
-        dark = [c for c in all_cells() if not cell_reachable(c)]
-        assert len(dark) == len(INSTANT_KINDS) == 4
+    def test_every_cell_is_reachable(self):
+        assert not [c for c in all_cells() if not cell_reachable(c)]
 
 
 def _planted_scenario():

@@ -1,6 +1,7 @@
 """Unit tests for the CT-style public log, gossip, and monitors."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.crypto.keys import SigningKey
 from repro.errors import LogError, SplitViewError
@@ -93,6 +94,52 @@ class TestCtLog:
         wrong_proof = log.consistency_proof(3, 6)
         assert not CtLog.verify_consistency(old_head, new_head, wrong_proof, log.public_key)
 
+    def test_truncated_tree_fails_consistency(self):
+        # A rewinding operator serves a "newer" head that describes fewer
+        # entries than the one the client already holds. No proof can link
+        # the two: the sizes embedded in the proof never match both heads.
+        log = make_log(8)
+        old_head = log.signed_tree_head()
+        truncated_head = log.signed_tree_head(5)
+        proof = log.consistency_proof(5, 8)
+        assert not CtLog.verify_consistency(old_head, truncated_head, proof,
+                                            log.public_key)
+
+    def test_truncated_then_regrown_log_fails_consistency(self):
+        # The operator drops the last three entries and regrows past the
+        # client's old size with different content. Both heads carry valid
+        # signatures (same log id, same deterministic key), so only the
+        # consistency proof stands between the client and the rollback.
+        log_a = make_log(8, log_id="rollback")
+        old_head = log_a.signed_tree_head()
+        log_b = CtLog("rollback")
+        for i in range(5):
+            log_b.append(f"release-{i}".encode())
+        for i in range(5, 10):
+            log_b.append(f"rewritten-{i}".encode())
+        new_head = log_b.signed_tree_head()
+        proof = log_b.consistency_proof(old_head.tree_size, new_head.tree_size)
+        assert not CtLog.verify_consistency(old_head, new_head, proof,
+                                            log_b.public_key)
+
+    def test_swapped_leaves_fail_consistency(self):
+        # Reordering history is as much a rewrite as changing it: a log that
+        # swaps two entries inside the client's prefix cannot prove the old
+        # head is a prefix of the new tree.
+        log_a = make_log(6, log_id="swapper")
+        old_head = log_a.signed_tree_head()
+        entries = [f"release-{i}".encode() for i in range(6)]
+        entries[1], entries[4] = entries[4], entries[1]
+        log_b = CtLog("swapper")
+        for entry in entries:
+            log_b.append(entry)
+        for i in range(6, 9):
+            log_b.append(f"release-{i}".encode())
+        new_head = log_b.signed_tree_head()
+        proof = log_b.consistency_proof(old_head.tree_size, new_head.tree_size)
+        assert not CtLog.verify_consistency(old_head, new_head, proof,
+                                            log_b.public_key)
+
     def test_monotonic_timestamps_enforced(self):
         log = CtLog("l")
         log.append(b"a", timestamp_us=100)
@@ -168,6 +215,36 @@ class TestGossip:
         head = log.signed_tree_head()
         evidence = SplitViewEvidence(head, head)
         assert not evidence.verify(log.public_key)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shared=st.integers(min_value=0, max_value=12),
+    divergent=st.integers(min_value=1, max_value=6),
+)
+def test_property_gossip_catches_every_same_size_split_view(shared, divergent):
+    """Whatever the shared prefix, an equivocating pair of same-size views
+    gossiped by two clients always yields verifiable evidence — and a third
+    client on an honest view of either log never adds false evidence."""
+    log_a = CtLog("property-equivocator")
+    log_b = CtLog("property-equivocator")
+    for i in range(shared):
+        log_a.append(f"release-{i}".encode())
+        log_b.append(f"release-{i}".encode())
+    for i in range(divergent):
+        log_a.append(f"honest-{i}".encode())
+        log_b.append(f"hidden-{i}".encode())
+    pool = GossipPool(log_a.public_key)
+    assert pool.submit("client-a", log_a.signed_tree_head()) == []
+    evidence = pool.submit("client-b", log_b.signed_tree_head())
+    assert len(evidence) == 1
+    assert evidence[0].verify(log_a.public_key)
+    # An observer still at the shared-prefix size conflicts with neither
+    # head: the pool only convicts on equal-size conflicting roots.
+    repeat = pool.submit("client-c", log_a.signed_tree_head(shared))
+    assert repeat == []
+    assert pool.observers() == ["client-a", "client-b", "client-c"]
+    assert len(pool.evidence) == 1
 
 
 class TestMonitor:
