@@ -29,6 +29,19 @@ Three series land in ``BENCH_throughput.json`` at the repository root:
   depth is observable. The series is additive — it records offered load,
   peak in-flight count, and the per-shard queue high-water marks without
   touching the three pinned series above or their tuned seeds.
+* **wall** — the only series whose headline number *is* wall-clock time:
+  keybackup driven through ``MultiClientWorkload(parallel=True)``, where every
+  shard's RPC server runs in a spawned worker process and the parent overlaps
+  request submission across workers (:mod:`repro.service.parallel`). Three
+  transparently-labeled arms land in the JSON: ``serial`` (unbatched, one
+  shard — the seed behavior), ``serial_batched`` (batched pipeline, 4
+  shards), and ``parallel`` (4 workers, 4 shards). Each arm is the median of
+  3 runs; parallel runs report wall-clock only (``sim_seconds`` stays 0 — a
+  multi-process run has no shared simulated clock, and quoting sim time from
+  it would double-count parallelism the processes already deliver for real).
+  The committed full-mode series must show parallel ≥ 2x the serial arm;
+  CI re-measures and enforces a noise-tolerant floor (≥ ``WALL_FLOOR_RATIO``
+  of the pinned parallel rate) when ``THROUGHPUT_WALL_FLOOR=1`` is set.
 * **elastic** — the metrics-driven control loop closing end to end: a
   Poisson flash crowd overruns two shards, the autoscaler
   (:mod:`repro.service.autoscaler`) grows the plane from the *observed*
@@ -51,6 +64,7 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 
 import pytest
 
@@ -123,6 +137,25 @@ ELASTIC_POLICY_KNOBS = dict(
     min_shards=2, max_shards=4, cooldown_s=0.3,
     breach_streak=2, clear_streak=4, sample_interval_s=0.1)
 
+# The wall series: true-parallel worker processes vs the serial harness.
+# The shape is identical in smoke and full mode (the whole series costs
+# ~10s including worker startup, which is excluded from the measured
+# window), so the CI floor check compares like against like. The ≥2x
+# parallel-vs-serial bar is asserted when the committed baseline is
+# (re)generated in full mode; the CI smoke run instead enforces the
+# noise-tolerant floor against the pinned rate when THROUGHPUT_WALL_FLOOR=1.
+# On a single-CPU host the parallel arm lands at serial_batched levels (the
+# workers time-slice one core) but still clears the serial bar by ~4-6x
+# because batching collapses per-op round trips; on a multicore host the
+# workers additionally run concurrently.
+WALL_APP = "keybackup"
+WALL_OPS = 500
+WALL_SHARDS = 4
+WALL_WORKERS = 4
+WALL_MEDIAN_OF = 3
+WALL_FLOOR_RATIO = 0.5
+WALL_MIN_PARALLEL_SPEEDUP = 2.0
+
 # The audit series: epoch-transparency verification cost per client. Costs
 # are the auditor's deterministic unit accounting (signature checks + hash
 # evaluations), not wall time, so the series is identical in smoke and full
@@ -139,6 +172,7 @@ _RESULTS: dict[str, dict] = {}
 _SHARDED: dict[str, dict] = {}
 _RESHARD: dict[str, dict] = {}
 _CONCURRENT: dict[str, dict] = {}
+_WALL: dict[str, dict] = {}
 _ELASTIC: dict[str, dict] = {}
 _AUDIT: dict[str, dict] = {}
 
@@ -317,6 +351,146 @@ def test_concurrent_event_core_app(app):
     )
 
 
+def wall_floor_holds(measured_ops_per_sec: float,
+                     reference_ops_per_sec: float,
+                     floor: float = WALL_FLOOR_RATIO) -> bool:
+    """Noise-tolerant wall floor: measured must reach ``floor`` x reference.
+
+    A pure function so its trip logic is testable without re-measuring: a
+    real re-run on the reference machine passes trivially (1.0 ≥ 0.5), a
+    10x regression trips it (0.1 < 0.5), and ordinary scheduler noise —
+    empirically well under 2x on a contended container — stays inside the
+    band. Kept separate from any pytest plumbing so CI and tests share one
+    definition of "regressed".
+    """
+    if reference_ops_per_sec <= 0:
+        raise ValueError("reference wall rate must be positive")
+    return measured_ops_per_sec >= floor * reference_ops_per_sec
+
+
+def _pinned_wall_reference() -> float | None:
+    """The committed parallel rate from BENCH_throughput.json, if present."""
+    try:
+        with open(OUTPUT_PATH, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        return float(committed["wall"][WALL_APP]["parallel"]["ops_per_sec"])
+    except (OSError, KeyError, TypeError, ValueError):
+        return None
+
+
+def _measure_wall_arm(*, batched: bool, shards: int,
+                      parallel: bool = False) -> dict:
+    """Median-of-N wall rate for one arm of the wall series."""
+    rates = []
+    walls = []
+    for repeat in range(WALL_MEDIAN_OF):
+        kwargs = dict(
+            num_clients=WALL_OPS, ops_per_client=1, seed=2022 + repeat,
+            batched=batched, batch_size=BATCH_SIZE, shards=shards,
+            rpc_attempts=1,
+        )
+        if parallel:
+            kwargs.update(parallel=True, workers=WALL_WORKERS)
+        report = MultiClientWorkload(WALL_APP, **kwargs).run()
+        assert report.succeeded == report.ops, (
+            f"{WALL_APP} wall series "
+            f"({'parallel' if parallel else 'serial'}, {shards} shards): "
+            f"{report.failed} operations failed: {report.failures[:3]}"
+        )
+        assert report.consistent, report.consistency_issues
+        if parallel:
+            assert report.parallel and report.workers == WALL_WORKERS
+            # Parallel runs never report simulated time: the workers do not
+            # share a simulated clock, and the wall clock already contains
+            # the parallelism for real.
+            assert report.sim_seconds == 0.0
+        rates.append(report.ops_per_sec)
+        walls.append(report.wall_seconds)
+    return {
+        "ops": WALL_OPS,
+        "ops_per_sec": round(statistics.median(rates), 1),
+        "rates": [round(rate, 1) for rate in rates],
+        "wall_seconds_median": round(statistics.median(walls), 4),
+    }
+
+
+def test_wall_throughput_parallel():
+    """The wall series: parallel workers must beat the serial seed path.
+
+    Unlike every other series this one is about wall-clock time — parallel
+    mode exists to make the wall numbers real rather than simulated. The
+    ≥2x parallel-vs-serial bar is asserted when the committed full-mode
+    baseline is regenerated (measured margin is ~4-6x even on one CPU, since
+    batching collapses per-op round trips before the workers ever matter);
+    under THROUGHPUT_WALL_FLOOR=1 the CI wall step additionally enforces the
+    noise-tolerant floor against the pinned parallel rate.
+    """
+    reference = _pinned_wall_reference()
+    serial = _measure_wall_arm(batched=False, shards=1)
+    serial_batched = _measure_wall_arm(batched=True, shards=WALL_SHARDS)
+    parallel = _measure_wall_arm(batched=True, shards=WALL_SHARDS,
+                                 parallel=True)
+    speedup = parallel["ops_per_sec"] / serial["ops_per_sec"]
+    _WALL[WALL_APP] = {
+        "shards": WALL_SHARDS,
+        "workers": WALL_WORKERS,
+        "median_of": WALL_MEDIAN_OF,
+        "floor_ratio": WALL_FLOOR_RATIO,
+        "serial": serial,
+        "serial_batched": serial_batched,
+        "parallel": parallel,
+        "parallel_vs_serial": round(speedup, 2),
+        "parallel_vs_serial_batched": round(
+            parallel["ops_per_sec"] / serial_batched["ops_per_sec"], 2),
+        "note": ("wall-clock only; on a 1-CPU host parallel ~= serial_batched "
+                 "(workers time-slice one core) and the vs-serial win comes "
+                 "from batching; extra cores raise only the parallel arm"),
+    }
+    if not SMOKE:
+        assert speedup >= WALL_MIN_PARALLEL_SPEEDUP, (
+            f"{WALL_APP}: parallel mode reached only {speedup:.2f}x the "
+            f"serial wall rate ({parallel['ops_per_sec']} vs "
+            f"{serial['ops_per_sec']} ops/s)"
+        )
+    if os.environ.get("THROUGHPUT_WALL_FLOOR") == "1":
+        assert reference is not None, (
+            "THROUGHPUT_WALL_FLOOR=1 but BENCH_throughput.json has no "
+            "committed wall.parallel reference to check against"
+        )
+        assert wall_floor_holds(parallel["ops_per_sec"], reference), (
+            f"{WALL_APP}: measured parallel wall rate "
+            f"{parallel['ops_per_sec']} ops/s fell below "
+            f"{WALL_FLOOR_RATIO}x the pinned reference {reference} ops/s"
+        )
+
+
+def test_wall_floor_logic_trips_on_slowdown():
+    """The floor must pass a real parallel run and trip a 10x slowdown.
+
+    Exercises parallel mode end to end with 2 workers (the cheap shape the
+    CI smoke path uses), then asserts the floor *logic* itself: the freshly
+    measured rate passes against itself, an injected 10x slowdown of the
+    same rate trips, and a non-positive reference is rejected outright.
+    Deterministic — both floor outcomes are fixed by WALL_FLOOR_RATIO, not
+    by how fast this machine happens to be.
+    """
+    report = MultiClientWorkload(
+        WALL_APP, num_clients=40, ops_per_client=1, seed=2022,
+        batched=True, batch_size=BATCH_SIZE, shards=2, parallel=True,
+        workers=2, rpc_attempts=1,
+    ).run()
+    assert report.succeeded == report.ops, report.failures[:3]
+    assert report.consistent, report.consistency_issues
+    assert report.parallel and report.workers == 2
+    assert report.sim_seconds == 0.0
+    rate = report.ops_per_sec
+    assert rate > 0
+    assert wall_floor_holds(rate, rate)
+    assert not wall_floor_holds(rate / 10.0, rate)
+    with pytest.raises(ValueError):
+        wall_floor_holds(rate, 0.0)
+
+
 def test_elastic_autoscaler_round_trip():
     """The autoscaler must grow into a flash crowd and shrink back out.
 
@@ -444,6 +618,8 @@ def test_write_throughput_baseline():
     missing += [app for app in SHARD_APPS if app not in _SHARDED]
     missing += [app for app in RESHARD_APPS if app not in _RESHARD]
     missing += [app for app in CONCURRENT_APPS if app not in _CONCURRENT]
+    if WALL_APP not in _WALL:
+        missing.append(WALL_APP + " (wall)")
     if ELASTIC_APP not in _ELASTIC:
         missing.append(ELASTIC_APP + " (elastic)")
     if AUDIT_APP not in _AUDIT:
@@ -473,6 +649,10 @@ def test_write_throughput_baseline():
         "apps_with_true_concurrency": sorted(
             app for app, result in _CONCURRENT.items()
             if result["max_in_flight"] > 1),
+        "wall": _WALL,
+        "apps_with_2x_parallel_wall": sorted(
+            app for app, result in _WALL.items()
+            if result["parallel_vs_serial"] >= WALL_MIN_PARALLEL_SPEEDUP),
         "elastic": _ELASTIC,
         "apps_with_elastic_round_trip": sorted(
             app for app, result in _ELASTIC.items()
@@ -505,3 +685,11 @@ def test_write_throughput_baseline():
     assert baseline["audit_checkpoint_sublinear"], (
         f"checkpointed audit cost not sublinear in clients: {_AUDIT}"
     )
+    if not SMOKE:
+        # The committed baseline must carry the parallel win: ≥2x the serial
+        # wall rate for keybackup (the wall series' own test already failed
+        # if the fresh measurement missed the bar).
+        assert WALL_APP in baseline["apps_with_2x_parallel_wall"], (
+            f"committed wall series lacks the ≥{WALL_MIN_PARALLEL_SPEEDUP}x "
+            f"parallel-vs-serial win: {_WALL}"
+        )

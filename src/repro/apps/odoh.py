@@ -53,6 +53,10 @@ def handle(method, params, state):
                 "ephemeral_key": params["ephemeral_key"], "tag": params["tag"]}
     if method == "stats":
         return {"forwarded": state["forwarded"]}
+    if method == "view":
+        # The full recording (ciphertext lengths only) for auditors that
+        # cannot read enclave state directly, e.g. across process boundaries.
+        return {"seen_queries": list(state["seen_queries"])}
     raise ValueError("unknown method: " + method)
 '''
 
@@ -331,6 +335,10 @@ class ObliviousDnsDeployment:
     def _shared_key(self, ephemeral_public: bytes) -> bytes:
         key = self._shared_key_cache.get(ephemeral_public)
         if key is not None:
+            # Refresh recency: without this the OrderedDict evicts in FIFO
+            # order and a hot ephemeral key ages out under sustained traffic
+            # no matter how often it is used.
+            self._shared_key_cache.move_to_end(ephemeral_public)
             return key
         point = SECP256K1.decode_point(ephemeral_public)
         shared_point = SECP256K1.multiply(point, self._resolver_key.scalar)
@@ -378,7 +386,14 @@ class ObliviousDnsDeployment:
         the network does to the traffic.
         """
         view: list = []
-        for shard in self.plane.shards:
+        for shard_index, shard in enumerate(self.plane.shards):
+            if shard.executor_routed:
+                # The proxy state lives in a worker process; read it over the
+                # same executor pipe the queries travelled.
+                response = self.plane.invoke_on_shard(
+                    shard_index, PROXY_DOMAIN, "view", {})
+                view.extend(response["value"]["seen_queries"])
+                continue
             state = shard.domains[PROXY_DOMAIN].framework.application_state()
             if state is not None:
                 view.extend(state.get("seen_queries", []))

@@ -75,9 +75,11 @@ def ecdsa_verify(key: VerifyingKey, message: bytes, signature: EcdsaSignature) -
     s_inv = pow(s, -1, SECP256K1.n)
     u1 = z * s_inv % SECP256K1.n
     u2 = r * s_inv % SECP256K1.n
+    # The signer's point recurs across verifications (attestation roots are
+    # checked once per domain per run), so use the per-point table cache.
     point = SECP256K1.add(
         SECP256K1.generator_multiply(u1),
-        SECP256K1.multiply(key.point, u2),
+        SECP256K1.multiply_cached(key.point, u2),
     )
     if point.is_infinity:
         return False

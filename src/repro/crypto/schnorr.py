@@ -68,7 +68,9 @@ def schnorr_verify(key: VerifyingKey, message: bytes, signature: SchnorrSignatur
         return False
     pub_bytes = key.to_bytes()
     e = _challenge(signature.r_bytes, pub_bytes, message)
-    # Check s*G == R + e*P
+    # Check s*G == R + e*P. The signer's point recurs across verifications
+    # (vendor roots, update keys), so it goes through the curve's bounded
+    # per-point table cache.
     left = SECP256K1.generator_multiply(signature.s)
-    right = SECP256K1.add(r_point, SECP256K1.multiply(key.point, e))
+    right = SECP256K1.add(r_point, SECP256K1.multiply_cached(key.point, e))
     return left == right

@@ -14,6 +14,7 @@ known-answer tests.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -28,6 +29,51 @@ _A = 0
 _B = 7
 _GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
 _GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+# GLV endomorphism constants (secp256k1 has j-invariant 0, so the map
+# phi(x, y) = (beta * x, y) is an endomorphism acting as multiplication by
+# lambda on the prime-order group). Decomposing a scalar k into
+# k = k1 + k2 * lambda (mod n) with |k1|, |k2| ~ sqrt(n) halves the doubling
+# count of a variable-point multiply; the result is the same group element,
+# bit for bit, as textbook double-and-add.
+_BETA = 0x7AE96A2B657C07106E64479EAC3434E99CF0497512F58995C1396C28719501EE
+_LAMBDA = 0x5363AD4CC05C30E0A5261C028812645A122E22EA20816678DF02967C1B23BD72
+_GLV_A1 = 0x3086D221A7D46BCDE86C90E49284EB15
+_GLV_B1 = -0xE4437ED6010E88286F547FA90ABFE4C3
+_GLV_A2 = 0x114CA50F7A8E2F3F657C1108D9D44CFD8
+_GLV_B2 = _GLV_A1
+
+# Bound on the number of per-point multiplication tables retained by
+# ``Secp256k1.table_for`` (LRU). Each table is ~1k Jacobian tuples.
+_TABLE_CACHE_SIZE = 64
+
+# Window width for the non-adjacent-form ladder inside ``multiply``: width 4
+# means 8 precomputed odd multiples per half-scalar and roughly one addition
+# every 6 ladder steps.
+_WNAF_WIDTH = 4
+
+
+def _wnaf(scalar: int, width: int = _WNAF_WIDTH) -> list[int]:
+    """Width-``width`` non-adjacent form of a non-negative scalar, LSB first.
+
+    Every non-zero digit is odd and in ``(-2^width, 2^width)``, and any two
+    non-zero digits are at least ``width + 1`` positions apart — the digit
+    density that makes the wNAF ladder cheap.
+    """
+    digits: list[int] = []
+    modulus = 1 << (width + 1)
+    half = 1 << width
+    while scalar:
+        if scalar & 1:
+            digit = scalar & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
 
 
 @dataclass(frozen=True)
@@ -122,6 +168,8 @@ class Secp256k1:
         self.b = _B
         self.generator = Point(_GX, _GY)
         self._generator_table: FixedBaseTable | None = None
+        self._table_cache: OrderedDict[tuple, FixedBaseTable] = OrderedDict()
+        self._point_sightings: OrderedDict[tuple, int] = OrderedDict()
         if not self.is_on_curve(self.generator):
             raise CryptoError("secp256k1 generator failed curve-equation check")
 
@@ -182,10 +230,11 @@ class Secp256k1:
         if y == 0 or z == 0:
             return (0, 1, 0)
         p = self.p
-        s = 4 * x * y % p * y % p
+        yy = y * y % p
+        s = 4 * x * yy % p
         m = 3 * x * x % p
         x3 = (m * m - 2 * s) % p
-        y3 = (m * (s - x3) - 8 * pow(y, 4, p)) % p
+        y3 = (m * (s - x3) - 8 * yy * yy) % p
         z3 = 2 * y * z % p
         return (x3, y3, z3)
 
@@ -218,22 +267,127 @@ class Secp256k1:
         return (x3, y3, z3)
 
     def multiply(self, point: Point, scalar: int) -> Point:
-        """Scalar multiplication ``scalar * point`` via double-and-add in Jacobian coords."""
+        """Scalar multiplication ``scalar * point``.
+
+        Uses the GLV endomorphism: the scalar is split into two half-width
+        components processed in one interleaved wNAF ladder (half the
+        doublings and far fewer additions than textbook double-and-add).
+        The returned point is identical to the textbook result — this is a
+        speedup, not a behavior change, so seeded runs stay bit-identical.
+        """
         scalar %= self.n
         if scalar == 0 or point.is_infinity:
             return INFINITY
+        k1, k2 = self._glv_split(scalar)
+        p = self.p
+        base1 = (point.x, point.y, 1)
+        if k1 < 0:
+            k1 = -k1
+            base1 = (base1[0], p - base1[1], 1)
+        base2 = (point.x * _BETA % p, point.y, 1)
+        if k2 < 0:
+            k2 = -k2
+            base2 = (base2[0], p - base2[1], 1)
+        naf1 = _wnaf(k1)
+        naf2 = _wnaf(k2)
+        odd1 = self._odd_multiples(base1) if naf1 else None
+        odd2 = self._odd_multiples(base2) if naf2 else None
         result = (0, 1, 0)
-        addend = self._to_jacobian(point)
-        while scalar:
-            if scalar & 1:
-                result = self._jacobian_add(result, addend)
-            addend = self._jacobian_double(addend)
-            scalar >>= 1
+        double = self._jacobian_double
+        add = self._jacobian_add
+        length1 = len(naf1)
+        length2 = len(naf2)
+        for index in range(max(length1, length2) - 1, -1, -1):
+            result = double(result)
+            if index < length1:
+                digit = naf1[index]
+                if digit:
+                    if digit > 0:
+                        result = add(result, odd1[digit >> 1])
+                    else:
+                        x, y, z = odd1[(-digit) >> 1]
+                        result = add(result, (x, p - y if y else 0, z))
+            if index < length2:
+                digit = naf2[index]
+                if digit:
+                    if digit > 0:
+                        result = add(result, odd2[digit >> 1])
+                    else:
+                        x, y, z = odd2[(-digit) >> 1]
+                        result = add(result, (x, p - y if y else 0, z))
         return self._from_jacobian(result)
+
+    def _glv_split(self, scalar: int) -> tuple[int, int]:
+        """Decompose ``scalar`` into ``(k1, k2)`` with ``k1 + k2*lambda = scalar (mod n)``."""
+        n = self.n
+        c1 = (_GLV_B2 * scalar + (n >> 1)) // n
+        c2 = (-_GLV_B1 * scalar + (n >> 1)) // n
+        k1 = scalar - c1 * _GLV_A1 - c2 * _GLV_A2
+        k2 = -c1 * _GLV_B1 - c2 * _GLV_B2
+        return k1, k2
+
+    def _odd_multiples(self, base: tuple[int, int, int]) -> list[tuple[int, int, int]]:
+        """Jacobian odd multiples ``[1, 3, 5, ..., 2^w - 1] * base`` for the wNAF ladder."""
+        twice = self._jacobian_double(base)
+        multiples = [base]
+        add = self._jacobian_add
+        for _ in range((1 << (_WNAF_WIDTH - 1)) - 1):
+            multiples.append(add(multiples[-1], twice))
+        return multiples
 
     def precompute(self, point: Point, window: int = 4) -> FixedBaseTable:
         """Build a :class:`FixedBaseTable` for a point that is multiplied often."""
         return FixedBaseTable(self, point, window=window)
+
+    def table_for(self, point: Point, window: int = 4) -> FixedBaseTable:
+        """A shared, LRU-bounded :class:`FixedBaseTable` for ``point``.
+
+        Signature verification multiplies the *signer's* public key by a fresh
+        scalar on every call; for long-lived keys (a vendor's attestation key,
+        a deployment's update-signing key, an auditor checkpoint key) the same
+        point recurs thousands of times. This cache amortizes one table build
+        across all of them while staying memory-bounded: at most
+        ``_TABLE_CACHE_SIZE`` distinct points are retained, least recently
+        used evicted first. Ephemeral points simply age out.
+        """
+        key = (point.x, point.y, window)
+        table = self._table_cache.get(key)
+        if table is not None:
+            self._table_cache.move_to_end(key)
+            return table
+        table = FixedBaseTable(self, point, window=window)
+        self._table_cache[key] = table
+        while len(self._table_cache) > _TABLE_CACHE_SIZE:
+            self._table_cache.popitem(last=False)
+        return table
+
+    def multiply_cached(self, point: Point, scalar: int) -> Point:
+        """Like :meth:`multiply`, but amortize repeated points through a table.
+
+        A :class:`FixedBaseTable` costs roughly ten plain multiplies to build,
+        so building one eagerly would penalize points seen once (a fresh
+        ephemeral key). Instead the point is multiplied directly on first
+        sighting and promoted to a cached table on its second — after that,
+        every multiply is table lookups plus additions. Signature
+        verification over long-lived keys (attestation roots, update-signing
+        keys, log heads) is the intended caller.
+        """
+        if point.is_infinity:
+            return INFINITY
+        key = (point.x, point.y, 4)
+        table = self._table_cache.get(key)
+        if table is not None:
+            self._table_cache.move_to_end(key)
+            return table.multiply(scalar)
+        seen = self._point_sightings
+        count = seen.get(key, 0) + 1
+        if count >= 2:
+            seen.pop(key, None)
+            return self.table_for(point).multiply(scalar)
+        seen[key] = count
+        while len(seen) > _TABLE_CACHE_SIZE * 4:
+            seen.popitem(last=False)
+        return self.multiply(point, scalar)
 
     def generator_multiply(self, scalar: int) -> Point:
         """Multiply the standard generator by ``scalar``.

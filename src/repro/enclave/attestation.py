@@ -15,9 +15,11 @@ useful misbehavior evidence.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.common import constant_time_equal
+from repro.crypto.hashes import sha256
 from repro.enclave.measurement import Measurement
 from repro.enclave.nitro import NitroAttestationDocument
 from repro.enclave.sgx import SgxQuote, SgxStyleEnclave
@@ -45,6 +47,13 @@ class AttestationVerifier:
 
     def __init__(self, registry: VendorRegistry | None = None):
         self.registry = registry or VendorRegistry.default()
+        # Memo of evidence signatures that already verified under a given
+        # device key: audits and repeated attestation rounds re-present the
+        # same immutable (key, payload, signature) triples, and signature
+        # verification is a pure function of them. Keyed by digest to keep
+        # entries small; only successes are cached (a failure re-verifies
+        # every time) and the bound keeps memory flat.
+        self._signature_memo: OrderedDict[bytes, bool] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Public API
@@ -96,9 +105,15 @@ class AttestationVerifier:
             device_key = self.registry.verify_certificate(evidence.certificate)
         except AttestationError as exc:
             return AttestationResult(False, reason=str(exc))
-        if not device_key.verify(evidence.signed_payload(), evidence.signature, scheme="ecdsa"):
-            return AttestationResult(False, reason="evidence signature invalid",
-                                     vendor_name=evidence.certificate.vendor_name)
+        payload = evidence.signed_payload()
+        memo_key = sha256(device_key.to_bytes() + evidence.signature + payload)
+        if memo_key not in self._signature_memo:
+            if not device_key.verify(payload, evidence.signature, scheme="ecdsa"):
+                return AttestationResult(False, reason="evidence signature invalid",
+                                         vendor_name=evidence.certificate.vendor_name)
+            self._signature_memo[memo_key] = True
+            while len(self._signature_memo) > 4096:
+                self._signature_memo.popitem(last=False)
         if not constant_time_equal(evidence.nonce, nonce):
             return AttestationResult(False, reason="nonce mismatch (possible replay)",
                                      vendor_name=evidence.certificate.vendor_name)

@@ -10,6 +10,7 @@ a client ships with.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.keys import SigningKey, VerifyingKey
@@ -108,6 +109,12 @@ class VendorRegistry:
 
     def __init__(self, vendors: list[HardwareVendor] | None = None):
         self._vendors: dict[str, HardwareVendor] = {}
+        # Content-addressed memo of successfully verified certificates. A
+        # device certificate is immutable and its verification is a pure
+        # function of its fields plus the (deterministic) vendor root, so a
+        # repeat presentation can skip the ECDSA check. Only successes are
+        # cached; failures always re-verify. Bounded FIFO to keep memory flat.
+        self._verified: OrderedDict[tuple, VerifyingKey] = OrderedDict()
         for vendor in vendors or []:
             self.add(vendor)
 
@@ -129,12 +136,21 @@ class VendorRegistry:
     def verify_certificate(self, certificate: VendorCertificate) -> VerifyingKey:
         """Verify a device certificate and return the certified device key."""
         vendor = self.get(certificate.vendor_name)
+        memo_key = (certificate.vendor_name, certificate.device_id,
+                    certificate.device_public_key, certificate.signature)
+        cached = self._verified.get(memo_key)
+        if cached is not None:
+            return cached
         root = vendor.root_public_key
         if not root.verify(certificate.signed_payload(), certificate.signature, scheme="ecdsa"):
             raise AttestationError(
                 f"device certificate for {certificate.device_id!r} failed verification"
             )
-        return VerifyingKey.from_bytes(certificate.device_public_key)
+        device_key = VerifyingKey.from_bytes(certificate.device_public_key)
+        self._verified[memo_key] = device_key
+        while len(self._verified) > 1024:
+            self._verified.popitem(last=False)
+        return device_key
 
     @classmethod
     def default(cls) -> "VendorRegistry":

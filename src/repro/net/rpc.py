@@ -203,11 +203,40 @@ class RpcServer:
         return sorted(set(self._handlers) | set(self._raw_handlers))
 
     def _handle_message(self, message: Message) -> None:
+        outgoing, executed, frame_count = self._process_payload(
+            message.payload, message.source)
+        if outgoing:
+            if frame_count > 1:
+                self.batches_served += 1
+            self.endpoint.send(
+                message.source, outgoing,
+                extra_delay=self._service_delay(executed, len(message.payload)))
+
+    def dispatch_payload(self, payload: bytes, source: str) -> bytes:
+        """Process one request payload and return the response payload bytes.
+
+        The network-free half of :meth:`_handle_message`: same frame loop,
+        at-most-once cache, raw-handler fast path, and counters — but the
+        response bytes are *returned* instead of sent through the simulated
+        endpoint, and no simulated service time is charged (there is no
+        simulated clock where this runs). This is the serving entry point for
+        worker processes in :mod:`repro.service.parallel`, which shuttle the
+        same wire bytes over OS pipes instead of the discrete-event transport.
+        """
+        outgoing, _, frame_count = self._process_payload(payload, source)
+        if outgoing and frame_count > 1:
+            self.batches_served += 1
+        return outgoing
+
+    def _process_payload(self, payload: bytes,
+                         source: str) -> tuple[bytes, int, int]:
+        """Run the frame loop over ``payload``; return (response_bytes,
+        executed work units, frame count)."""
         try:
-            frames = split_frames(message.payload)
+            frames = split_frames(payload)
         except DecodingError:
             self.malformed_frames += 1
-            return
+            return b"", 0, 0
         outgoing: list[bytes] = []
         executed = 0
         for frame in frames:
@@ -220,7 +249,7 @@ class RpcServer:
                 continue
             key = None
             if self._at_most_once and isinstance(request, dict) and "id" in request:
-                key = (message.source, request["id"])
+                key = (source, request["id"])
                 cached = self._response_cache.get(key)
                 if cached is not None:
                     self.duplicates_answered += 1
@@ -247,11 +276,7 @@ class RpcServer:
                 while len(self._response_cache) > self._cache_size:
                     self._response_cache.popitem(last=False)
             outgoing.append(response)
-        if outgoing:
-            if len(frames) > 1:
-                self.batches_served += 1
-            self.endpoint.send(message.source, b"".join(outgoing),
-                               extra_delay=self._service_delay(executed, message))
+        return b"".join(outgoing), executed, len(frames)
 
     @staticmethod
     def _request_weight(request) -> int:
@@ -289,7 +314,7 @@ class RpcServer:
         """High-water mark of the service queue over this server's lifetime."""
         return self.queue.max_depth
 
-    def _service_delay(self, executed: int, message: Message) -> float:
+    def _service_delay(self, executed: int, payload_bytes: int) -> float:
         """Seconds this payload's responses wait for the serial service queue.
 
         Requests join the queue behind whatever the server is still busy with
@@ -299,7 +324,7 @@ class RpcServer:
             return 0.0
         now = self.endpoint.network.clock.now()
         return self.queue.enqueue(
-            now, executed, self.service_model.cost(executed, len(message.payload)))
+            now, executed, self.service_model.cost(executed, payload_bytes))
 
     def _dispatch(self, request) -> dict:
         if not isinstance(request, dict) or "method" not in request or "id" not in request:

@@ -115,130 +115,200 @@ class WvmInstance:
             )
 
     def _run(self, stack: list[int], frames: list[_Frame]) -> int:
+        # The dispatch loop runs one Python iteration per WVM instruction, so
+        # per-iteration overhead is the interpreter's speed. Frame state
+        # (code, pc, locals) is kept in local variables and re-synced only on
+        # CALL/RET, fuel accounting is a local accumulator written back in the
+        # ``finally`` (the instance attribute is only read after invoke
+        # returns), and stack underflow is detected by catching the pop's
+        # IndexError instead of pre-checking. Semantics — trap messages, fuel
+        # charges, the charge-before-execute order — are identical to the
+        # straightforward loop this replaces.
         limits = self.limits
         memory = self.memory
-        while frames:
-            frame = frames[-1]
-            code = self.module.function(frame.function_index).code
-            if frame.pc >= len(code):
-                raise WvmTrapError("execution ran off the end of a function")
-            opcode, immediate = code[frame.pc]
-            frame.pc += 1
-            self._charge(opcode)
-
-            if opcode is Opcode.PUSH:
-                if len(stack) >= limits.max_stack_depth:
-                    raise WvmTrapError("operand stack overflow")
-                stack.append(immediate)
-            elif opcode is Opcode.POP:
-                self._pop(stack)
-            elif opcode is Opcode.DUP:
-                value = self._pop(stack)
-                stack.append(value)
-                stack.append(value)
-            elif opcode is Opcode.SWAP:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(b)
-                stack.append(a)
-            elif opcode is Opcode.LOAD:
-                stack.append(self._local(frame, immediate))
-            elif opcode is Opcode.STORE:
-                self._set_local(frame, immediate, self._pop(stack))
-            elif opcode is Opcode.ADD:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a + b)
-            elif opcode is Opcode.SUB:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a - b)
-            elif opcode is Opcode.MUL:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a * b)
-            elif opcode is Opcode.DIV:
-                b, a = self._pop(stack), self._pop(stack)
-                if b == 0:
-                    raise WvmTrapError("division by zero")
-                stack.append(a // b)
-            elif opcode is Opcode.MOD:
-                b, a = self._pop(stack), self._pop(stack)
-                if b == 0:
-                    raise WvmTrapError("modulo by zero")
-                stack.append(a % b)
-            elif opcode is Opcode.NEG:
-                stack.append(-self._pop(stack))
-            elif opcode is Opcode.SHL:
-                b, a = self._pop(stack), self._pop(stack)
-                if b < 0 or b > 4096:
-                    raise WvmTrapError("shift amount out of range")
-                stack.append(a << b)
-            elif opcode is Opcode.SHR:
-                b, a = self._pop(stack), self._pop(stack)
-                if b < 0 or b > 4096:
-                    raise WvmTrapError("shift amount out of range")
-                stack.append(a >> b)
-            elif opcode is Opcode.AND:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a & b)
-            elif opcode is Opcode.OR:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a | b)
-            elif opcode is Opcode.XOR:
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(a ^ b)
-            elif opcode is Opcode.NOT:
-                stack.append(0 if self._pop(stack) else 1)
-            elif opcode in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE):
-                b, a = self._pop(stack), self._pop(stack)
-                stack.append(1 if _compare(opcode, a, b) else 0)
-            elif opcode is Opcode.JMP:
-                frame.pc = self._jump_target(code, immediate)
-            elif opcode is Opcode.JZ:
-                if self._pop(stack) == 0:
-                    frame.pc = self._jump_target(code, immediate)
-            elif opcode is Opcode.JNZ:
-                if self._pop(stack) != 0:
-                    frame.pc = self._jump_target(code, immediate)
-            elif opcode is Opcode.CALL:
-                if len(frames) >= limits.max_call_depth:
-                    raise WvmTrapError("call depth exceeded")
-                callee = self.module.function(immediate)
-                if len(stack) < callee.num_params:
-                    raise WvmTrapError(f"not enough arguments on stack for {callee.name}")
-                args = [stack.pop() for _ in range(callee.num_params)][::-1]
-                frames.append(self._new_frame(immediate, args))
-            elif opcode is Opcode.RET:
-                value = stack.pop() if stack else 0
-                frames.pop()
-                if not frames:
-                    return value
-                stack.append(value)
-            elif opcode is Opcode.HALT:
-                return stack.pop() if stack else 0
-            elif opcode is Opcode.NOP:
-                pass
-            elif opcode is Opcode.MSTORE:
-                value, address = self._pop(stack), self._pop(stack)
-                self._check_address(address)
-                memory[address] = value & 0xFF
-            elif opcode is Opcode.MLOAD:
-                address = self._pop(stack)
-                self._check_address(address)
-                stack.append(memory[address])
-            elif opcode is Opcode.MSIZE:
-                stack.append(len(memory))
-            elif opcode is Opcode.HOSTCALL:
-                host = self.host_functions.get(immediate)
-                if host is None:
-                    raise SandboxEscapeError(
-                        f"program called unavailable host function {immediate}"
+        memory_len = len(memory)
+        max_stack = limits.max_stack_depth
+        max_fuel = limits.max_fuel
+        fuel = self.fuel_used
+        get_cost = FUEL_COST.get
+        module_function = self.module.function
+        push = stack.append
+        if not frames:
+            raise WvmTrapError("program ended without HALT or RET")
+        frame = frames[-1]
+        code = module_function(frame.function_index).code
+        code_len = len(code)
+        pc = frame.pc
+        locals_ = frame.locals
+        try:
+            while True:
+                if pc >= code_len:
+                    raise WvmTrapError("execution ran off the end of a function")
+                opcode, immediate = code[pc]
+                pc += 1
+                fuel += get_cost(opcode, DEFAULT_FUEL_COST)
+                if fuel > max_fuel:
+                    raise FuelExhaustedError(
+                        f"program exceeded fuel limit of {max_fuel}"
                     )
-                if len(stack) < host.arity:
-                    raise WvmTrapError(f"host function {host.name} needs {host.arity} arguments")
-                args = [stack.pop() for _ in range(host.arity)][::-1]
-                result = host.fn(*args)
-                stack.append(int(result) if result is not None else 0)
-            else:  # pragma: no cover - the enum is exhaustive
-                raise WvmTrapError(f"unimplemented opcode {opcode!r}")
-        raise WvmTrapError("program ended without HALT or RET")
+                try:
+                    if opcode is Opcode.PUSH:
+                        if len(stack) >= max_stack:
+                            raise WvmTrapError("operand stack overflow")
+                        push(immediate)
+                    elif opcode is Opcode.LOAD:
+                        if immediate is None or not 0 <= immediate < len(locals_):
+                            raise WvmTrapError(f"local index {immediate} out of range")
+                        push(locals_[immediate])
+                    elif opcode is Opcode.STORE:
+                        if immediate is None or not 0 <= immediate < len(locals_):
+                            raise WvmTrapError(f"local index {immediate} out of range")
+                        locals_[immediate] = stack.pop()
+                    elif opcode is Opcode.ADD:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a + b)
+                    elif opcode is Opcode.SUB:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a - b)
+                    elif opcode is Opcode.MUL:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a * b)
+                    elif opcode is Opcode.DIV:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b == 0:
+                            raise WvmTrapError("division by zero")
+                        push(a // b)
+                    elif opcode is Opcode.MOD:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b == 0:
+                            raise WvmTrapError("modulo by zero")
+                        push(a % b)
+                    elif opcode is Opcode.NEG:
+                        push(-stack.pop())
+                    elif opcode is Opcode.SHL:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b < 0 or b > 4096:
+                            raise WvmTrapError("shift amount out of range")
+                        push(a << b)
+                    elif opcode is Opcode.SHR:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if b < 0 or b > 4096:
+                            raise WvmTrapError("shift amount out of range")
+                        push(a >> b)
+                    elif opcode is Opcode.AND:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a & b)
+                    elif opcode is Opcode.OR:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a | b)
+                    elif opcode is Opcode.XOR:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(a ^ b)
+                    elif opcode is Opcode.NOT:
+                        push(0 if stack.pop() else 1)
+                    elif opcode in (Opcode.EQ, Opcode.NE, Opcode.LT,
+                                    Opcode.LE, Opcode.GT, Opcode.GE):
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(1 if _compare(opcode, a, b) else 0)
+                    elif opcode is Opcode.POP:
+                        stack.pop()
+                    elif opcode is Opcode.DUP:
+                        value = stack.pop()
+                        push(value)
+                        push(value)
+                    elif opcode is Opcode.SWAP:
+                        b = stack.pop()
+                        a = stack.pop()
+                        push(b)
+                        push(a)
+                    elif opcode is Opcode.JMP:
+                        if immediate is None or not 0 <= immediate <= code_len:
+                            raise WvmTrapError(f"jump target {immediate} out of range")
+                        pc = immediate
+                    elif opcode is Opcode.JZ:
+                        if stack.pop() == 0:
+                            if immediate is None or not 0 <= immediate <= code_len:
+                                raise WvmTrapError(f"jump target {immediate} out of range")
+                            pc = immediate
+                    elif opcode is Opcode.JNZ:
+                        if stack.pop() != 0:
+                            if immediate is None or not 0 <= immediate <= code_len:
+                                raise WvmTrapError(f"jump target {immediate} out of range")
+                            pc = immediate
+                    elif opcode is Opcode.CALL:
+                        if len(frames) >= limits.max_call_depth:
+                            raise WvmTrapError("call depth exceeded")
+                        callee = module_function(immediate)
+                        if len(stack) < callee.num_params:
+                            raise WvmTrapError(
+                                f"not enough arguments on stack for {callee.name}")
+                        args = [stack.pop() for _ in range(callee.num_params)][::-1]
+                        frame.pc = pc
+                        frame = self._new_frame(immediate, args)
+                        frames.append(frame)
+                        code = callee.code
+                        code_len = len(code)
+                        pc = 0
+                        locals_ = frame.locals
+                    elif opcode is Opcode.RET:
+                        value = stack.pop() if stack else 0
+                        frames.pop()
+                        if not frames:
+                            return value
+                        push(value)
+                        frame = frames[-1]
+                        code = module_function(frame.function_index).code
+                        code_len = len(code)
+                        pc = frame.pc
+                        locals_ = frame.locals
+                    elif opcode is Opcode.HALT:
+                        return stack.pop() if stack else 0
+                    elif opcode is Opcode.NOP:
+                        pass
+                    elif opcode is Opcode.MSTORE:
+                        value = stack.pop()
+                        address = stack.pop()
+                        if not 0 <= address < memory_len:
+                            raise MemoryLimitError(
+                                f"memory access at {address} outside linear memory")
+                        memory[address] = value & 0xFF
+                    elif opcode is Opcode.MLOAD:
+                        address = stack.pop()
+                        if not 0 <= address < memory_len:
+                            raise MemoryLimitError(
+                                f"memory access at {address} outside linear memory")
+                        push(memory[address])
+                    elif opcode is Opcode.MSIZE:
+                        push(memory_len)
+                    elif opcode is Opcode.HOSTCALL:
+                        host = self.host_functions.get(immediate)
+                        if host is None:
+                            raise SandboxEscapeError(
+                                f"program called unavailable host function {immediate}"
+                            )
+                        if len(stack) < host.arity:
+                            raise WvmTrapError(
+                                f"host function {host.name} needs {host.arity} arguments")
+                        args = [stack.pop() for _ in range(host.arity)][::-1]
+                        result = host.fn(*args)
+                        push(int(result) if result is not None else 0)
+                    else:  # pragma: no cover - the enum is exhaustive
+                        raise WvmTrapError(f"unimplemented opcode {opcode!r}")
+                except IndexError:
+                    raise WvmTrapError("operand stack underflow") from None
+        finally:
+            self.fuel_used = fuel
 
     # ------------------------------------------------------------------
     # Helpers

@@ -350,6 +350,21 @@ class ShardedService:
         self._route_attempts = attempts
         return servers
 
+    def route_via_executor(self, executor) -> None:
+        """Route every shard's invokes through a parallel shard executor.
+
+        The wall-clock counterpart of :meth:`route_via_network`: requests
+        become the same serialize-once wire bytes, but they are served by
+        worker processes (see :mod:`repro.service.parallel`) instead of the
+        discrete-event transport. Live resharding is not supported while
+        executor-routed — worker processes hold shard state the coordinator
+        cannot migrate — so the wiring is deliberately *not* remembered for
+        shards attached later.
+        """
+        for shard in self.shards:
+            shard.route_via_executor(executor)
+        self.client_address = self.primary.client_address
+
     def unroute(self) -> None:
         """Restore direct (in-process) invocation on every shard.
 

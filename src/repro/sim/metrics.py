@@ -39,10 +39,16 @@ class LatencyStats:
         """99th percentile in milliseconds (the tail the load reports quote)."""
         return self.p99 * 1000.0
 
-    def overhead_vs(self, baseline: "LatencyStats") -> float:
-        """Percentage increase of this mean over a baseline mean."""
+    def overhead_vs(self, baseline: "LatencyStats") -> float | None:
+        """Percentage increase of this mean over a baseline mean.
+
+        A zero-mean baseline makes the ratio undefined; ``None`` is returned
+        rather than ``float("inf")`` because reports embed this value in JSON,
+        and ``json.dumps`` renders infinity as the bare word ``Infinity`` —
+        which is not valid JSON and breaks every strict parser downstream.
+        """
         if baseline.mean == 0:
-            return float("inf")
+            return None
         return (self.mean - baseline.mean) / baseline.mean * 100.0
 
     def to_dict(self) -> dict:

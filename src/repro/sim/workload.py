@@ -112,6 +112,12 @@ class WorkloadReport:
     # queues (max over the shard's domains). Populated for every mode; only
     # a concurrent run with a non-zero service time can push it above 1.
     shard_queue_depth: dict = field(default_factory=dict)  # shard -> depth
+    # True-parallel execution (populated when parallel=True): shards served
+    # by worker *processes* over OS pipes. Wall-clock only — sim_seconds
+    # stays 0.0 because no simulated clock spans the processes, and a
+    # sim-time number from such a run would be meaningless.
+    parallel: bool = False
+    workers: int = 0
 
     @property
     def pre_reshard_sim_ops_per_sec(self) -> float:
@@ -172,7 +178,9 @@ class WorkloadReport:
 
     def format(self) -> str:
         """A deterministic multi-line text report (throughput is rounded)."""
-        if self.concurrent:
+        if self.parallel:
+            mode = f"parallel ({self.workers} workers, batch={self.batch_size})"
+        elif self.concurrent:
             mode = f"concurrent (rate={self.arrival_rate:.0f}/s)"
         elif self.batched:
             mode = f"batched (batch={self.batch_size})"
@@ -278,6 +286,8 @@ class WorkloadReport:
             "in_flight_at_reshard": self.in_flight_at_reshard,
             "shard_queue_depth": {shard: depth for shard, depth
                                   in sorted(self.shard_queue_depth.items())},
+            "parallel": self.parallel,
+            "workers": self.workers,
             "autoscaled": self.autoscaled,
             "final_shards": self.final_shards,
             "autoscale_decisions": list(self.autoscale_decisions),
@@ -615,7 +625,8 @@ class MultiClientWorkload:
                  reshard_at_op: int | None = None, reshard_to: int = 0,
                  concurrent: bool = False, arrival_rate: float = 0.0,
                  op_timeout: float = 0.25, arrival_phases: tuple = (),
-                 autoscale_policy=None):
+                 autoscale_policy=None, parallel: bool = False,
+                 workers: int = 4):
         if app not in _ADAPTERS:
             raise ValueError(f"unknown workload app {app!r} "
                              f"(expected one of {sorted(_ADAPTERS)})")
@@ -656,6 +667,27 @@ class MultiClientWorkload:
         if autoscale_policy is not None and not concurrent:
             raise ValueError("the autoscaler samples a live event loop; "
                              "it needs concurrent mode")
+        if parallel:
+            # Parallel mode trades the discrete-event machinery for real OS
+            # processes; everything that needs a shared simulated clock or a
+            # faultable transport is incompatible with it by construction.
+            if workers < 1:
+                raise ValueError("parallel mode needs at least one worker")
+            if not batched or concurrent:
+                raise ValueError("parallel mode drives the batched pipeline; "
+                                 "unbatched and concurrent runs need the "
+                                 "discrete-event engine")
+            if rules or events:
+                raise ValueError("fault rules and scheduled events live on "
+                                 "the simulated transport; parallel mode has "
+                                 "no faultable network")
+            if service_time > 0:
+                raise ValueError("service_time is a simulated-clock model; "
+                                 "parallel workers take real wall-clock time")
+            if reshard_at_op is not None or autoscale_policy is not None:
+                raise ValueError("live resharding and autoscaling migrate "
+                                 "state the parallel workers own; run them "
+                                 "on the discrete-event engine")
         self.app = app
         self.num_clients = num_clients
         self.ops_per_client = ops_per_client
@@ -675,6 +707,8 @@ class MultiClientWorkload:
         self.op_timeout = op_timeout
         self.arrival_phases = arrival_phases
         self.autoscale_policy = autoscale_policy
+        self.parallel = parallel
+        self.workers = workers
 
     @classmethod
     def from_scenario(cls, scenario, num_clients: int = 100,
@@ -717,6 +751,8 @@ class MultiClientWorkload:
         from repro.crypto import rng as crypto_rng
 
         with crypto_rng.deterministic(self.seed):
+            if self.parallel:
+                return self._run_parallel()
             return self._run()
 
     def _run(self) -> WorkloadReport:
@@ -826,6 +862,56 @@ class MultiClientWorkload:
         report.messages_dropped = stats.messages_dropped
         report.messages_duplicated = stats.messages_duplicated
         report.consistency_issues = adapter.consistency_issues()
+        return report
+
+    def _run_parallel(self) -> WorkloadReport:
+        """Drive the batched pipeline against true-parallel shard workers.
+
+        The client side (this process) builds the same deterministic
+        deployment the workers build, routes every invoke through the
+        executor's pipes, and runs the ordinary span loop. Only wall-clock
+        throughput is reported: ``sim_seconds`` stays zero because no
+        simulated clock spans the worker processes, and publishing a
+        sim-time number from a parallel run would misrepresent what was
+        measured. Worker startup (spawn + per-worker deployment build) is
+        excluded from the measured window.
+        """
+        from repro.service.parallel import ParallelShardExecutor
+
+        adapter = _ADAPTERS[self.app](self.seed, self.total_ops, shards=self.shards)
+        plane = adapter.plane
+        report = WorkloadReport(app=self.app, num_clients=self.num_clients,
+                                ops=self.total_ops, batched=True,
+                                batch_size=self.batch_size, shards=self.shards,
+                                parallel=True, workers=self.workers)
+        executor = ParallelShardExecutor(self.app, self.seed, self.total_ops,
+                                         self.shards, workers=self.workers)
+        executor.start(plane)
+        try:
+            plane.route_via_executor(executor)
+            wall_started = time.perf_counter()
+            op_index = 0
+            while op_index < self.total_ops:
+                count = min(self.batch_size, self.total_ops - op_index)
+                outcomes = adapter.run_span(op_index, count)
+                for offset, outcome in enumerate(outcomes):
+                    if isinstance(outcome, Exception):
+                        report.failed += 1
+                        report.failures.append((op_index + offset,
+                                                type(outcome).__name__))
+                    else:
+                        report.succeeded += 1
+                op_index += count
+            report.wall_seconds = time.perf_counter() - wall_started
+            # Consistency checks read the workers' state, so they must run
+            # while the plane is still executor-routed (the parent's own
+            # domain state never saw the traffic).
+            report.consistency_issues = adapter.consistency_issues()
+            report.retries = plane.rpc_retry_total()
+        finally:
+            plane.unroute()
+            executor.shutdown()
+        report.final_shards = plane.ring.shard_count
         return report
 
     def _drive_concurrent(self, adapter, network, plan, context, report,

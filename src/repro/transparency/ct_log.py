@@ -10,8 +10,10 @@ signs tree heads, and the standard proofs are served on request.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.crypto.hashes import sha256
 from repro.crypto.keys import SigningKey, VerifyingKey
 from repro.crypto.merkle import (
     BatchInclusionProof,
@@ -23,6 +25,11 @@ from repro.errors import LogError
 from repro.wire.codec import encode
 
 __all__ = ["SignedTreeHead", "CtLog"]
+
+# Bounded memo of tree-head signatures that already verified (content digest
+# of key + signature + payload). Shared across logs: heads are immutable and
+# verification is pure, so a hit can only ever repeat an earlier success.
+_VERIFIED_HEADS: OrderedDict[bytes, bool] = OrderedDict()
 
 
 @dataclass(frozen=True)
@@ -45,8 +52,22 @@ class SignedTreeHead:
         })
 
     def verify(self, log_public_key: VerifyingKey) -> bool:
-        """Verify the tree-head signature."""
-        return log_public_key.verify(self.signed_payload(), self.signature)
+        """Verify the tree-head signature.
+
+        Audits re-verify the same immutable head under the same log key many
+        times (every checkpoint chain walk starts from a head), so successful
+        verifications are memoized by content digest; failures re-verify.
+        """
+        memo_key = sha256(log_public_key.to_bytes() + self.signature
+                          + self.signed_payload())
+        if memo_key in _VERIFIED_HEADS:
+            return True
+        ok = log_public_key.verify(self.signed_payload(), self.signature)
+        if ok:
+            _VERIFIED_HEADS[memo_key] = True
+            while len(_VERIFIED_HEADS) > 4096:
+                _VERIFIED_HEADS.popitem(last=False)
+        return ok
 
     def to_dict(self) -> dict:
         """Plain-data form for wire transfer."""

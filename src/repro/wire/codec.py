@@ -14,6 +14,13 @@ Tags::
 
     N  None          I  int            B  bytes        S  str (UTF-8)
     T  True/False    L  list           D  dict
+
+The implementation is the throughput floor of the whole system — every RPC
+frame, sandbox boundary copy, and digest passes through here — so both
+directions are written allocation-lean: encoding appends into one shared
+``bytearray`` (no per-value generator frames or intermediate joins), and
+decoding walks integer offsets with the length/bounds checks inlined. The
+wire format and every canonical-form rejection are unchanged.
 """
 
 from __future__ import annotations
@@ -32,59 +39,107 @@ def encode(value) -> bytes:
     Supported types: ``None``, ``bool``, ``int``, ``bytes``, ``str``, ``list``,
     ``tuple`` (encoded as a list), and ``dict`` with string keys.
     """
-    return b"".join(_encode_value(value, 0))
+    out = bytearray()
+    _encode_into(out, value, 0)
+    return bytes(out)
 
 
-def _encode_value(value, depth: int):
+def _encode_into(out: bytearray, value, depth: int) -> None:
+    # Exact-type checks first, ordered by frequency on the RPC hot path.
+    # ``type(x) is int`` is both faster than isinstance and safely excludes
+    # bool (a subclass of int, which must encode as T, not I); subclasses
+    # fall through to the isinstance chain at the bottom.
     if depth > _MAX_DEPTH:
         raise EncodingError("value nesting too deep to encode")
-    if value is None:
-        yield b"N"
-    elif isinstance(value, bool):
-        # bool must be checked before int (bool is a subclass of int).
-        yield b"T" + (b"\x01" if value else b"\x00")
-    elif isinstance(value, int):
-        yield _encode_int(value)
-    elif isinstance(value, bytes):
-        yield b"B" + _length(len(value)) + value
-    elif isinstance(value, bytearray):
-        yield b"B" + _length(len(value)) + bytes(value)
-    elif isinstance(value, str):
+    kind = type(value)
+    if kind is int:
+        if value >= 0:
+            size = (value.bit_length() + 7) >> 3
+            out += b"I\x00"
+        else:
+            value = -value
+            size = (value.bit_length() + 7) >> 3
+            out += b"I\x01"
+        out += size.to_bytes(4, "big")
+        if size:
+            out += value.to_bytes(size, "big")
+    elif kind is str:
         raw = value.encode("utf-8")
-        yield b"S" + _length(len(raw)) + raw
-    elif isinstance(value, (list, tuple)):
-        yield b"L" + _length(len(value))
-        for item in value:
-            yield from _encode_value(item, depth + 1)
-    elif isinstance(value, dict):
-        keys = list(value.keys())
-        if not all(isinstance(k, str) for k in keys):
-            raise EncodingError("dict keys must be strings")
-        if len(set(keys)) != len(keys):
-            raise EncodingError("dict has duplicate keys")
-        yield b"D" + _length(len(keys))
-        for key in sorted(keys):
+        size = len(raw)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        out += b"S"
+        out += size.to_bytes(4, "big")
+        out += raw
+    elif kind is bytes:
+        size = len(value)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        out += b"B"
+        out += size.to_bytes(4, "big")
+        out += value
+    elif kind is dict:
+        size = len(value)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        try:
+            keys = sorted(value)
+        except TypeError:
+            raise EncodingError("dict keys must be strings") from None
+        out += b"D"
+        out += size.to_bytes(4, "big")
+        next_depth = depth + 1
+        for key in keys:
+            if type(key) is not str:
+                raise EncodingError("dict keys must be strings")
             raw = key.encode("utf-8")
-            yield _length(len(raw)) + raw
-            yield from _encode_value(value[key], depth + 1)
+            out += len(raw).to_bytes(4, "big")
+            out += raw
+            _encode_into(out, value[key], next_depth)
+    elif kind is list or kind is tuple:
+        size = len(value)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        out += b"L"
+        out += size.to_bytes(4, "big")
+        next_depth = depth + 1
+        for item in value:
+            _encode_into(out, item, next_depth)
+    elif value is None:
+        out += b"N"
+    elif kind is bool:
+        out += b"T\x01" if value else b"T\x00"
+    elif kind is bytearray:
+        size = len(value)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        out += b"B"
+        out += size.to_bytes(4, "big")
+        out += value
+    # Subclass fallbacks, in the original precedence order (bool before int).
+    elif isinstance(value, bool):
+        out += b"T\x01" if value else b"T\x00"
+    elif isinstance(value, int):
+        _encode_into(out, int(value), depth)
+    elif isinstance(value, bytes):
+        _encode_into(out, bytes(value), depth)
+    elif isinstance(value, bytearray):
+        _encode_into(out, bytes(value), depth)
+    elif isinstance(value, str):
+        _encode_into(out, str(value), depth)
+    elif isinstance(value, (list, tuple)):
+        size = len(value)
+        if size > 0xFFFFFFFF:
+            raise EncodingError("length out of range")
+        out += b"L"
+        out += size.to_bytes(4, "big")
+        next_depth = depth + 1
+        for item in value:
+            _encode_into(out, item, next_depth)
+    elif isinstance(value, dict):
+        _encode_into(out, dict(value), depth)
     else:
         raise EncodingError(f"cannot encode values of type {type(value).__name__}")
-
-
-def _encode_int(value: int) -> bytes:
-    sign = b"\x01" if value < 0 else b"\x00"
-    magnitude = abs(value)
-    if magnitude == 0:
-        raw = b""
-    else:
-        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
-    return b"I" + sign + _length(len(raw)) + raw
-
-
-def _length(n: int) -> bytes:
-    if n < 0 or n > 0xFFFFFFFF:
-        raise EncodingError("length out of range")
-    return n.to_bytes(4, "big")
 
 
 def decode(data: bytes):
@@ -98,78 +153,102 @@ def decode(data: bytes):
 def _decode_value(data: bytes, offset: int, depth: int):
     if depth > _MAX_DEPTH:
         raise DecodingError("value nesting too deep to decode")
-    if offset >= len(data):
+    size = len(data)
+    if offset >= size:
         raise DecodingError("unexpected end of input")
-    tag = data[offset:offset + 1]
+    tag = data[offset]
     offset += 1
-    if tag == b"N":
-        return None, offset
-    if tag == b"T":
-        if offset >= len(data):
-            raise DecodingError("truncated bool")
-        return data[offset] == 1, offset + 1
-    if tag == b"I":
-        if offset >= len(data):
+    if tag == 0x49:  # I
+        if offset >= size:
             raise DecodingError("truncated int sign")
         negative = data[offset] == 1
         offset += 1
-        length, offset = _read_length(data, offset)
-        raw = _read_bytes(data, offset, length)
-        offset += length
+        end = offset + 4
+        if end > size:
+            raise DecodingError("truncated input")
+        length = int.from_bytes(data[offset:end], "big")
+        offset = end
+        end = offset + length
+        if end > size:
+            raise DecodingError("truncated input")
+        raw = data[offset:end]
         magnitude = int.from_bytes(raw, "big") if raw else 0
         if magnitude == 0 and negative:
             raise DecodingError("non-canonical negative zero")
         if raw and raw[0] == 0:
             raise DecodingError("non-canonical int with leading zero")
-        return (-magnitude if negative else magnitude), offset
-    if tag == b"B":
-        length, offset = _read_length(data, offset)
-        raw = _read_bytes(data, offset, length)
-        return raw, offset + length
-    if tag == b"S":
-        length, offset = _read_length(data, offset)
-        raw = _read_bytes(data, offset, length)
-        try:
-            return raw.decode("utf-8"), offset + length
-        except UnicodeDecodeError as exc:
-            raise DecodingError("invalid UTF-8 in string") from exc
-    if tag == b"L":
-        count, offset = _read_length(data, offset)
-        items = []
-        for _ in range(count):
-            item, offset = _decode_value(data, offset, depth + 1)
-            items.append(item)
-        return items, offset
-    if tag == b"D":
-        count, offset = _read_length(data, offset)
+        return (-magnitude if negative else magnitude), end
+    if tag == 0x44:  # D
+        end = offset + 4
+        if end > size:
+            raise DecodingError("truncated input")
+        count = int.from_bytes(data[offset:end], "big")
+        offset = end
         result = {}
         previous_key = None
+        next_depth = depth + 1
         for _ in range(count):
-            key_length, offset = _read_length(data, offset)
-            key_raw = _read_bytes(data, offset, key_length)
-            offset += key_length
+            end = offset + 4
+            if end > size:
+                raise DecodingError("truncated input")
+            key_length = int.from_bytes(data[offset:end], "big")
+            offset = end
+            end = offset + key_length
+            if end > size:
+                raise DecodingError("truncated input")
             try:
-                key = key_raw.decode("utf-8")
+                key = data[offset:end].decode("utf-8")
             except UnicodeDecodeError as exc:
                 raise DecodingError("invalid UTF-8 in dict key") from exc
             if previous_key is not None and key <= previous_key:
                 raise DecodingError("dict keys not in canonical order")
             previous_key = key
-            value, offset = _decode_value(data, offset, depth + 1)
+            value, offset = _decode_value(data, end, next_depth)
             result[key] = value
         return result, offset
-    raise DecodingError(f"unknown tag {tag!r}")
-
-
-def _read_length(data: bytes, offset: int) -> tuple[int, int]:
-    raw = _read_bytes(data, offset, 4)
-    return int.from_bytes(raw, "big"), offset + 4
-
-
-def _read_bytes(data: bytes, offset: int, length: int) -> bytes:
-    if offset + length > len(data):
-        raise DecodingError("truncated input")
-    return data[offset:offset + length]
+    if tag == 0x4C:  # L
+        end = offset + 4
+        if end > size:
+            raise DecodingError("truncated input")
+        count = int.from_bytes(data[offset:end], "big")
+        offset = end
+        items = []
+        append = items.append
+        next_depth = depth + 1
+        for _ in range(count):
+            item, offset = _decode_value(data, offset, next_depth)
+            append(item)
+        return items, offset
+    if tag == 0x42:  # B
+        end = offset + 4
+        if end > size:
+            raise DecodingError("truncated input")
+        length = int.from_bytes(data[offset:end], "big")
+        offset = end
+        end = offset + length
+        if end > size:
+            raise DecodingError("truncated input")
+        return data[offset:end], end
+    if tag == 0x53:  # S
+        end = offset + 4
+        if end > size:
+            raise DecodingError("truncated input")
+        length = int.from_bytes(data[offset:end], "big")
+        offset = end
+        end = offset + length
+        if end > size:
+            raise DecodingError("truncated input")
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise DecodingError("invalid UTF-8 in string") from exc
+    if tag == 0x4E:  # N
+        return None, offset
+    if tag == 0x54:  # T
+        if offset >= size:
+            raise DecodingError("truncated bool")
+        return data[offset] == 1, offset + 1
+    raise DecodingError(f"unknown tag {data[offset - 1:offset]!r}")
 
 
 def canonical_digest(value) -> bytes:

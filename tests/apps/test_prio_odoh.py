@@ -144,3 +144,33 @@ class TestObliviousDns:
         }
         with pytest.raises(ApplicationError):
             dns_service.handle_query(envelope)
+
+    def test_hot_shared_key_survives_cache_size_inserts(self):
+        """Regression: a re-used ephemeral key must survive eviction pressure.
+
+        The shared-key cache used to evict in pure FIFO insertion order, so a
+        hot key — one the resolver kept deriving the same ECDH secret for on
+        every query — aged out after ``cache_size`` inserts of *other* keys
+        no matter how recently it was used, silently re-paying the point
+        multiplication on the hottest path. The cache is LRU now: a key
+        touched between inserts must still be resident after ``cache_size``
+        strangers arrive, and derivation must not have re-run for it.
+        """
+        from repro.crypto.keys import SigningKey
+        from repro.crypto.secp256k1 import SECP256K1
+
+        service = ObliviousDnsDeployment(records={"a.example.com": "192.0.2.1"})
+        service._shared_key_cache_size = 8
+        cache_size = service._shared_key_cache_size
+
+        hot = SigningKey.generate().verifying_key().to_bytes()
+        hot_key = service._shared_key(hot)
+        for index in range(cache_size):
+            stranger = SECP256K1.encode_point(
+                SECP256K1.multiply(SECP256K1.generator, 1000 + index))
+            service._shared_key(stranger)
+            # The re-use that must refresh recency: same bytes object back
+            # means the cached entry answered, not a fresh derivation.
+            assert service._shared_key(hot) is hot_key
+        assert hot in service._shared_key_cache
+        assert len(service._shared_key_cache) <= cache_size

@@ -1,10 +1,11 @@
 """Unit tests for the RPC layer and vsock-style proxy chain."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import RpcError
 from repro.net.clock import SimClock
-from repro.net.rpc import RpcClient, RpcServer
+from repro.net.rpc import BoundedIdSet, RpcClient, RpcServer
 from repro.net.transport import Network
 from repro.net.vsock import SocketHop, VsockProxyChain
 
@@ -107,3 +108,51 @@ class TestVsock:
     def test_empty_payload(self):
         hop = SocketHop("empty")
         assert hop.forward(b"") == b""
+
+
+class TestBoundedIdSetProperties:
+    """Property tests for the completed-id window behind duplicate filtering."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        maxlen=st.integers(min_value=1, max_value=16),
+        items=st.lists(st.integers(min_value=0, max_value=31), max_size=64),
+    )
+    def test_members_and_order_stay_in_lockstep(self, maxlen, items):
+        """After ANY add sequence: len(_members) == len(_order) <= maxlen.
+
+        The set and the eviction ring must never drift apart — a divergence
+        means either a member that can no longer be evicted (unbounded
+        memory) or a ring entry whose membership was already forgotten
+        (premature re-admission of a duplicate response).
+        """
+        ids = BoundedIdSet(maxlen=maxlen)
+        for item in items:
+            ids.add(item)
+            assert len(ids._members) == len(ids._order) <= maxlen
+            assert set(ids._order) == ids._members
+            assert item in ids
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        maxlen=st.integers(min_value=1, max_value=8),
+        items=st.lists(st.integers(min_value=0, max_value=15), max_size=48),
+    )
+    def test_exactly_the_most_recent_unique_items_remain(self, maxlen, items):
+        """The survivors match a plain-list reference model of the window.
+
+        Re-adding a *present* item is a no-op (it must not refresh recency —
+        the window models completion time, not last-duplicate time), but an
+        item evicted earlier may legitimately re-enter as a fresh addition.
+        The reference model is a list trimmed to ``maxlen`` on every insert.
+        """
+        ids = BoundedIdSet(maxlen=maxlen)
+        model: list = []
+        for item in items:
+            ids.add(item)
+            if item not in model:
+                model.append(item)
+                if len(model) > maxlen:
+                    model.pop(0)
+        assert list(ids._order) == model
+        assert ids._members == set(model)

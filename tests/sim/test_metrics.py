@@ -54,7 +54,19 @@ class TestLatencyStats:
         slow = summarize([0.015])
         assert slow.overhead_vs(base) == pytest.approx(50.0)
         zero = summarize([0.0])
-        assert slow.overhead_vs(zero) == float("inf")
+        assert slow.overhead_vs(zero) is None
+
+    def test_overhead_vs_zero_baseline_stays_valid_json(self):
+        # float("inf") would serialize as the bare word ``Infinity``, which
+        # no strict JSON parser accepts; the undefined ratio must reach a
+        # report as null instead.
+        import json
+
+        slow = summarize([0.015])
+        report = {"overhead_pct": slow.overhead_vs(summarize([0.0])),
+                  "latency": slow.to_dict()}
+        serialized = json.dumps(report, allow_nan=False)
+        assert json.loads(serialized)["overhead_pct"] is None
 
     def test_to_dict_has_all_moments(self):
         payload = summarize([0.5]).to_dict()

@@ -96,7 +96,8 @@ class TestMetrics:
         assert slower.overhead_vs(baseline) == pytest.approx(50.0)
 
     def test_overhead_vs_zero_baseline(self):
-        assert summarize([1.0]).overhead_vs(summarize([0.0])) == float("inf")
+        # None (JSON null), never float("inf") — see LatencyStats.overhead_vs.
+        assert summarize([1.0]).overhead_vs(summarize([0.0])) is None
 
 
 PYTHON_STATE_APP = """
